@@ -1,0 +1,161 @@
+// Command excovery-master is the controlling half of the distributed
+// deployment (Fig. 12): it connects to an excovery-node host over XML-RPC,
+// registers its own event endpoint, generates the treatment plan and
+// executes the experiment remotely — every process action becomes a
+// synchronous RPC, like the prototype's xmlrpclib-based ExperiMaster.
+//
+// Usage (with an excovery-node running on :8800):
+//
+//	excovery-master -host http://127.0.0.1:8800 -listen :8801 -builtin oneshot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"excovery/internal/desc"
+	"excovery/internal/eventlog"
+	"excovery/internal/master"
+	"excovery/internal/metrics"
+	"excovery/internal/noderpc"
+	"excovery/internal/sched"
+	"excovery/internal/store"
+	"excovery/internal/xmlrpc"
+)
+
+func main() {
+	var (
+		hostURL  = flag.String("host", "http://127.0.0.1:8800", "node host XML-RPC endpoint")
+		listen   = flag.String("listen", ":8801", "this master's event endpoint listen address")
+		builtin  = flag.String("builtin", "", "built-in description: casestudy, oneshot, threeparty")
+		reps     = flag.Int("reps", 0, "override the replication count")
+		speed    = flag.Float64("speed", 0.01, "real-time pacing factor")
+		storeDir = flag.String("store", "", "level-2 storage directory")
+		dbPath   = flag.String("db", "", "write the level-3 database here (requires -store)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: excovery-master [flags] [description.xml]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	e, err := loadDescription(*builtin, flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	if *reps > 0 {
+		e.Repl.Count = *reps
+	}
+
+	s := sched.New(sched.RealTime, time.Unix(0, 0))
+	s.SetSpeed(*speed)
+	bus := eventlog.NewBus(s)
+
+	// Event endpoint for node pushes.
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(err)
+	}
+	go http.Serve(ln, noderpc.MasterServer(s, bus))
+	selfURL := "http://" + ln.Addr().String()
+
+	hostClient := xmlrpc.NewClient(*hostURL)
+	if _, err := hostClient.Call("host.ping"); err != nil {
+		fatal(fmt.Errorf("node host unreachable: %w", err))
+	}
+	if _, err := hostClient.Call("host.set_master", selfURL); err != nil {
+		fatal(err)
+	}
+	nodesV, err := hostClient.Call("host.nodes")
+	if err != nil {
+		fatal(err)
+	}
+	handles := map[string]master.NodeHandle{}
+	for _, v := range nodesV.([]any) {
+		id := v.(string)
+		handles[id] = &noderpc.RemoteNode{NodeID: id, C: xmlrpc.NewClient(*hostURL)}
+	}
+	fmt.Printf("excovery-master: %d remote nodes at %s, events at %s\n",
+		len(handles), *hostURL, selfURL)
+
+	var st *store.RunStore
+	if *storeDir != "" {
+		st, err = store.NewRunStore(*storeDir)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	m, err := master.New(master.Config{
+		Exp: e, S: s, Bus: bus, Nodes: handles,
+		Env:   &noderpc.RemoteEnv{C: xmlrpc.NewClient(*hostURL)},
+		Store: st,
+		OnRunDone: func(run desc.Run, rr master.RunResult) {
+			fmt.Printf("run %4d done in %s (timeouts=%d err=%v)\n",
+				run.ID, rr.Duration.Round(time.Millisecond), rr.Timeouts, rr.Err)
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	var rep *master.Report
+	var runErr error
+	s.Go("experimaster", func() { rep, runErr = m.RunAll() })
+	if err := s.Run(); err != nil {
+		fatal(err)
+	}
+	if runErr != nil {
+		fatal(runErr)
+	}
+	fmt.Printf("experiment %q: %d/%d runs completed\n", e.Name, rep.Completed, len(rep.Results))
+
+	ms := metrics.FromReport(e, rep, "", "")
+	trs := metrics.TRs(ms)
+	if len(trs) > 0 {
+		sum := metrics.Summarize(metrics.DurationsToSeconds(trs))
+		fmt.Printf("t_R: mean=%.4fs p90=%.4fs over %d complete runs\n", sum.Mean, sum.P90, sum.N)
+	}
+	if *dbPath != "" && st != nil {
+		db, err := m.Finalize()
+		if err != nil {
+			fatal(err)
+		}
+		if err := db.Save(*dbPath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("level-3 database written to %s\n", *dbPath)
+	}
+}
+
+func loadDescription(builtin, path string) (*desc.Experiment, error) {
+	switch builtin {
+	case "casestudy":
+		return desc.CaseStudy(1000), nil
+	case "oneshot":
+		return desc.OneShot(30), nil
+	case "threeparty":
+		return desc.ThreeParty(30, 100), nil
+	case "":
+	default:
+		return nil, fmt.Errorf("unknown builtin %q", builtin)
+	}
+	if path == "" {
+		return nil, fmt.Errorf("need a description file or -builtin")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return desc.Parse(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,94 @@
+// Command excovery-node is the node-host half of the distributed
+// deployment (Fig. 12): it hosts the emulated platform — network and one
+// NodeManager per platform node — and exposes the node actions over an
+// XML-RPC control channel for an excovery-master process.
+//
+// Usage:
+//
+//	excovery-node -listen :8800 -builtin oneshot
+//	excovery-node -listen :8800 -speed 0.01 description.xml
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"excovery/internal/core"
+	"excovery/internal/desc"
+	"excovery/internal/eventlog"
+	"excovery/internal/noderpc"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", ":8800", "XML-RPC listen address")
+		builtin = flag.String("builtin", "", "host a built-in description: casestudy, oneshot, threeparty")
+		speed   = flag.Float64("speed", 0.01, "real-time pacing factor (wall seconds per virtual second)")
+		seed    = flag.Int64("seed", 0, "override the experiment seed")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: excovery-node [flags] [description.xml]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	e, err := loadDescription(*builtin, flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	var host *noderpc.Host
+	x, err := core.New(e, core.Options{
+		RealTime: true,
+		Speed:    *speed,
+		Seed:     *seed,
+		OnEvent:  func(ev eventlog.Event) { host.ForwardEvent(ev) },
+	})
+	if err != nil {
+		fatal(err)
+	}
+	host = noderpc.NewHost(x)
+	x.S.SetKeepAlive(true)
+
+	srv := host.Server()
+	fmt.Printf("excovery-node: hosting %q (%d nodes) on %s, speed %.3f\n",
+		e.Name, len(x.Managers), *listen, *speed)
+	go func() {
+		if err := http.ListenAndServe(*listen, srv); err != nil {
+			fatal(err)
+		}
+	}()
+	if err := x.S.Run(); err != nil {
+		fatal(err)
+	}
+}
+
+func loadDescription(builtin, path string) (*desc.Experiment, error) {
+	switch builtin {
+	case "casestudy":
+		return desc.CaseStudy(1000), nil
+	case "oneshot":
+		return desc.OneShot(30), nil
+	case "threeparty":
+		return desc.ThreeParty(30, 100), nil
+	case "":
+	default:
+		return nil, fmt.Errorf("unknown builtin %q", builtin)
+	}
+	if path == "" {
+		return nil, fmt.Errorf("need a description file or -builtin")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return desc.Parse(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
+}

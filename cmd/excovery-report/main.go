@@ -1,0 +1,218 @@
+// Command excovery-report extracts metrics from a level-3 experiment
+// database: experiment metadata, per-run discovery times, responsiveness
+// at configurable deadlines, grouped by a factor, plus packet statistics.
+//
+// Usage:
+//
+//	excovery-report exp1.xcdb
+//	excovery-report -group fact_bw -deadlines 0.5,1,5 exp1.xcdb
+//	excovery-report -events -run 3 exp1.xcdb
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"excovery/internal/metrics"
+	"excovery/internal/store"
+	"excovery/internal/viz"
+)
+
+func main() {
+	var (
+		group     = flag.String("group", "", "group metrics by this factor id")
+		deadlines = flag.String("deadlines", "1,5,30", "responsiveness deadlines in seconds, comma separated")
+		events    = flag.Bool("events", false, "dump the event list of -run")
+		run       = flag.Int("run", 0, "run id for -events/-timeline/-packets")
+		packets   = flag.Bool("packets", false, "print packet statistics of -run")
+		timeline  = flag.Bool("timeline", false, "render the Fig. 11 style timeline of -run")
+		repo      = flag.Bool("repo", false, "treat the argument as a level-4 repository directory and summarize all experiments")
+		csvOut    = flag.String("csv", "", "export per-run metrics as CSV to this file (- for stdout)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: excovery-report [flags] experiment.xcdb\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.Arg(0) == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *repo {
+		reportRepository(flag.Arg(0))
+		return
+	}
+	db, err := store.OpenExperimentDB(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	info, err := db.Info()
+	if err != nil {
+		fatal(err)
+	}
+	runs, err := db.RunIDs()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("experiment %q — %s (%d runs, %s)\n", info.Name, info.Comment, len(runs), store.EEVersion)
+
+	if *events {
+		evs, err := db.EventsOfRun(*run)
+		if err != nil {
+			fatal(err)
+		}
+		for _, ev := range evs {
+			fmt.Println(" ", ev)
+		}
+		return
+	}
+	if *timeline {
+		evs, err := db.EventsOfRun(*run)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("run %d — %s\n\n", *run, viz.Phases(evs))
+		fmt.Print(viz.Timeline(evs, 72))
+		return
+	}
+	if *packets {
+		pkts, err := db.PacketsOfRun(*run)
+		if err != nil {
+			fatal(err)
+		}
+		st := metrics.AnalyzePackets(pkts)
+		fmt.Printf("run %d packets: tx=%d rx=%d delivered=%d loss=%.3f meandelay=%s\n",
+			*run, st.TxCount, st.RxCount, st.Delivered, st.LossRate, st.MeanDelay)
+		// Per-packet request/response association (§VI): one line per
+		// query sent by each node in this run.
+		nodes := map[string]bool{}
+		for _, p := range pkts {
+			nodes[p.Src] = true
+		}
+		names := make([]string, 0, len(nodes))
+		for n := range nodes {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			for _, q := range metrics.QueryPairs(pkts, n) {
+				status := "unanswered"
+				if q.Answered {
+					status = q.RTT().String()
+				}
+				fmt.Printf("  query qid=%d from %s: %s\n", q.QID, q.Node, status)
+			}
+		}
+		return
+	}
+
+	ms, err := metrics.FromDB(db, "", "")
+	if err != nil {
+		fatal(err)
+	}
+	if *csvOut != "" {
+		out := os.Stdout
+		if *csvOut != "-" {
+			f, err := os.Create(*csvOut)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := metrics.WriteCSV(out, ms); err != nil {
+			fatal(err)
+		}
+		if *csvOut != "-" {
+			fmt.Printf("wrote %d rows to %s\n", len(ms), *csvOut)
+		}
+		return
+	}
+	var dls []time.Duration
+	for _, part := range strings.Split(*deadlines, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad deadline %q", part))
+		}
+		dls = append(dls, time.Duration(v*float64(time.Second)))
+	}
+
+	printGroup := func(label string, ms []metrics.RunMetric) {
+		trs := metrics.TRs(ms)
+		line := fmt.Sprintf("%-12s n=%-5d complete=%-5d", label, len(ms), len(trs))
+		for _, d := range dls {
+			line += fmt.Sprintf(" R(%s)=%.3f", d, metrics.Responsiveness(ms, d))
+		}
+		if len(trs) > 0 {
+			s := metrics.Summarize(metrics.DurationsToSeconds(trs))
+			line += fmt.Sprintf("  t_R mean=%.4fs p90=%.4fs", s.Mean, s.P90)
+		}
+		fmt.Println(line)
+	}
+
+	if *group == "" {
+		printGroup("all", ms)
+		return
+	}
+	groups := metrics.GroupBy(ms, *group)
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, erra := strconv.Atoi(keys[i])
+		b, errb := strconv.Atoi(keys[j])
+		if erra == nil && errb == nil {
+			return a < b
+		}
+		return keys[i] < keys[j]
+	})
+	fmt.Printf("grouped by %s:\n", *group)
+	for _, k := range keys {
+		printGroup(*group+"="+k, groups[k])
+	}
+}
+
+// reportRepository summarizes a level-4 repository: one line per stored
+// experiment with run counts and overall responsiveness — the
+// cross-experiment comparison level the paper leaves to future work.
+func reportRepository(dir string) {
+	r, err := store.OpenRepository(dir)
+	if err != nil {
+		fatal(err)
+	}
+	names, err := r.List()
+	if err != nil {
+		fatal(err)
+	}
+	if len(names) == 0 {
+		fmt.Println("repository is empty")
+		return
+	}
+	fmt.Printf("%-24s %-8s %-10s %-10s %-8s\n", "experiment", "runs", "t_R mean", "t_R p90", "R(1s)")
+	err = r.ForEach(func(name string, db *store.ExperimentDB) error {
+		ms, err := metrics.FromDB(db, "", "")
+		if err != nil {
+			return err
+		}
+		trs := metrics.TRs(ms)
+		sum := metrics.Summarize(metrics.DurationsToSeconds(trs))
+		fmt.Printf("%-24s %-8d %-10s %-10s %-8.3f\n", name, len(ms),
+			fmt.Sprintf("%.4fs", sum.Mean), fmt.Sprintf("%.4fs", sum.P90),
+			metrics.Responsiveness(ms, time.Second))
+		return nil
+	})
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
+}

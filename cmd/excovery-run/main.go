@@ -1,0 +1,157 @@
+// Command excovery-run executes an experiment description end to end on
+// the emulated platform: it generates the treatment plan, runs every run
+// (preparation → execution → clean-up), records events and packets into
+// the level-2 store, conditions them into a level-3 database and prints a
+// summary with discovery metrics.
+//
+// Usage:
+//
+//	excovery-run -builtin oneshot
+//	excovery-run -store /tmp/exp1 -db /tmp/exp1.xcdb description.xml
+//	excovery-run -builtin casestudy -reps 50 -topo grid -gridwidth 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"excovery/internal/core"
+	"excovery/internal/desc"
+	"excovery/internal/master"
+	"excovery/internal/metrics"
+	"excovery/internal/netem"
+)
+
+func main() {
+	var (
+		builtin   = flag.String("builtin", "", "run a built-in description: casestudy, oneshot, threeparty")
+		reps      = flag.Int("reps", 0, "override the replication count")
+		storeDir  = flag.String("store", "", "level-2 storage directory (default: none)")
+		dbPath    = flag.String("db", "", "write the level-3 database to this file")
+		topo      = flag.String("topo", "full", "topology: full, chain, grid, geometric")
+		gridWidth = flag.Int("gridwidth", 0, "grid width for -topo grid")
+		loss      = flag.Float64("loss", 0.01, "per-link loss probability")
+		delayMs   = flag.Float64("delay", 1.0, "per-link delay in ms")
+		proto     = flag.String("proto", "", "override sd_protocol: zeroconf or scmdir")
+		seed      = flag.Int64("seed", 0, "override the experiment seed")
+		resume    = flag.Bool("resume", false, "skip runs already marked done in -store")
+		verbose   = flag.Bool("v", false, "print per-run results")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: excovery-run [flags] [description.xml]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	e, err := loadDescription(*builtin, flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	if *reps > 0 {
+		e.Repl.Count = *reps
+	}
+
+	opts := core.Options{
+		Topology:  core.TopologyKind(*topo),
+		GridWidth: *gridWidth,
+		Link: netem.LinkParams{
+			Delay:  time.Duration(*delayMs * float64(time.Millisecond)),
+			Jitter: time.Duration(*delayMs * 0.5 * float64(time.Millisecond)),
+			Loss:   *loss,
+		},
+		Protocol: *proto,
+		Seed:     *seed,
+		StoreDir: *storeDir,
+		Resume:   *resume,
+	}
+	if *verbose {
+		opts.OnRunDone = func(run desc.Run, rr master.RunResult) {
+			status := "ok"
+			if rr.Err != nil {
+				status = "error: " + rr.Err.Error()
+			} else if rr.Aborted {
+				status = "aborted"
+			} else if rr.Timeouts > 0 {
+				status = fmt.Sprintf("%d wait timeout(s)", rr.Timeouts)
+			}
+			fmt.Printf("run %4d  treatment %3d rep %4d  %8s  %s\n",
+				run.ID, run.TreatmentIndex, run.Replication, rr.Duration.Round(time.Millisecond), status)
+		}
+	}
+
+	x, err := core.New(e, opts)
+	if err != nil {
+		fatal(err)
+	}
+	wall := time.Now()
+	rep, err := x.Run()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("experiment %q: %d runs (%d completed, %d skipped) in %s wall time\n",
+		e.Name, len(rep.Results), rep.Completed, rep.Skipped, time.Since(wall).Round(time.Millisecond))
+
+	ms := metrics.FromReport(e, rep, "", "")
+	if len(ms) > 0 {
+		trs := metrics.TRs(ms)
+		fmt.Printf("discovery: %d/%d runs complete, responsiveness(1s)=%.3f responsiveness(5s)=%.3f\n",
+			len(trs), len(ms),
+			metrics.Responsiveness(ms, time.Second),
+			metrics.Responsiveness(ms, 5*time.Second))
+		if len(trs) > 0 {
+			s := metrics.Summarize(metrics.DurationsToSeconds(trs))
+			fmt.Printf("t_R: mean=%.4fs p50=%.4fs p90=%.4fs p99=%.4fs max=%.4fs\n",
+				s.Mean, s.P50, s.P90, s.P99, s.Max)
+		}
+	}
+	st := x.Net.Stats()
+	fmt.Printf("network: %d packets sent, %d transmissions, %d delivered, %d dropped (%d loss, %d queue)\n",
+		st.Sent, st.Transmissions, st.Delivered, st.DroppedTotal(),
+		st.Dropped[netem.DropLoss], st.Dropped[netem.DropQueue])
+
+	if *dbPath != "" {
+		if *storeDir == "" {
+			fatal(fmt.Errorf("-db requires -store"))
+		}
+		db, err := x.Finalize()
+		if err != nil {
+			fatal(err)
+		}
+		if err := db.Save(*dbPath); err != nil {
+			fatal(err)
+		}
+		nEv, _ := db.DB.Count("Events")
+		nPk, _ := db.DB.Count("Packets")
+		fmt.Printf("level-3 database: %s (%d events, %d packets)\n", *dbPath, nEv, nPk)
+	}
+}
+
+func loadDescription(builtin, path string) (*desc.Experiment, error) {
+	switch builtin {
+	case "casestudy":
+		return desc.CaseStudy(1000), nil
+	case "oneshot":
+		return desc.OneShot(30), nil
+	case "threeparty":
+		return desc.ThreeParty(30, 100), nil
+	case "":
+	default:
+		return nil, fmt.Errorf("unknown builtin %q", builtin)
+	}
+	if path == "" {
+		return nil, fmt.Errorf("need a description file or -builtin")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return desc.Parse(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
+}

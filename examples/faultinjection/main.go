@@ -1,0 +1,104 @@
+// Fault injection: responsiveness of two-party SD under increasing
+// message loss (§IV-D1), in the style of the responsiveness studies
+// ExCovery was built for [25].
+//
+// A manipulation process injects a message-loss fault on the SM for the
+// whole run; the loss probability is a treatment factor swept from 0 to
+// 60 %. Expected shape: responsiveness decreases monotonically with loss,
+// and the t_R distribution grows step-like tails at the query-retry
+// backoff points (1 s, 3 s, 7 s, …).
+//
+//	go run ./examples/faultinjection -reps 40
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"time"
+
+	"excovery/internal/core"
+	"excovery/internal/desc"
+	"excovery/internal/metrics"
+)
+
+// buildExperiment creates a two-party SD experiment whose treatment factor
+// is the message loss probability injected on the SM node.
+func buildExperiment(reps int) *desc.Experiment {
+	e := desc.OneShot(15)
+	e.Name = "sd-loss-sweep"
+	e.Comment = "Two-party SD under injected message loss"
+	e.Repl.Count = reps
+	e.Factors = append(e.Factors,
+		desc.FloatFactor("fact_loss", desc.UsageConstant, 0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6))
+
+	// The manipulation process runs on the SM node concurrently with the
+	// SD process (§IV-D3): it activates the fault before the SM starts
+	// publishing and leaves it active for the whole run.
+	e.ManipProcesses = []desc.ManipulationProcess{{
+		Actor: "actor0", NodesRef: "fact_nodes",
+		Actions: []desc.Action{
+			desc.Act("fault_msg_loss", "direction", "both", "proto", "sd").
+				WithFactorRef("prob", "fact_loss"),
+			desc.Flag("fault_armed"),
+			desc.WaitEvent(desc.WaitSpec{Event: "done"}),
+			desc.Act("fault_stop", "kind", "fault_msg_loss"),
+		},
+	}}
+	// The SM must not publish before the fault is armed, so the loss
+	// applies to the announcements as well.
+	sm := &e.NodeProcesses[0]
+	sm.Actions = append([]desc.Action{
+		desc.WaitEvent(desc.WaitSpec{Event: "fault_armed"}),
+	}, sm.Actions...)
+	return e
+}
+
+func main() {
+	reps := flag.Int("reps", 40, "replications per loss level")
+	flag.Parse()
+
+	exp := buildExperiment(*reps)
+	x, err := core.New(exp, core.Options{})
+	if err != nil {
+		fail(err)
+	}
+	rep, err := x.Run()
+	if err != nil {
+		fail(err)
+	}
+
+	ms := metrics.FromReport(exp, rep, "", "")
+	fmt.Println("responsiveness vs injected message loss ([25]-shaped):")
+	fmt.Printf("%-8s %-6s %-10s %-10s %-8s %-8s %-8s\n",
+		"loss", "n", "t_R mean", "t_R p90", "R(0.5s)", "R(2s)", "R(15s)")
+	groups := metrics.GroupBy(ms, "fact_loss")
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, _ := strconv.ParseFloat(keys[i], 64)
+		b, _ := strconv.ParseFloat(keys[j], 64)
+		return a < b
+	})
+	for _, k := range keys {
+		g := groups[k]
+		trs := metrics.TRs(g)
+		sum := metrics.Summarize(metrics.DurationsToSeconds(trs))
+		fmt.Printf("%-8s %-6d %-10s %-10s %-8.3f %-8.3f %-8.3f\n",
+			k, len(g),
+			fmt.Sprintf("%.4fs", sum.Mean),
+			fmt.Sprintf("%.4fs", sum.P90),
+			metrics.Responsiveness(g, 500*time.Millisecond),
+			metrics.Responsiveness(g, 2*time.Second),
+			metrics.Responsiveness(g, 15*time.Second))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
+}

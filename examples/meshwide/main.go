@@ -1,0 +1,144 @@
+// Mesh-wide discovery under bursty radio loss, in the style of the
+// authors' mesh-network responsiveness study [26]: an SU in a random
+// geometric mesh must discover a growing set of SMs within a deadline,
+// over links with Gilbert–Elliott burst loss.
+//
+// The number of SMs the SU must find is varied through three levels of the
+// actor_node_map blocking factor, and the plan uses the randomized
+// complete block design (§II-A3): replication order is shuffled within
+// each block while the blocks stay in sequence.
+//
+// Expected shape: responsiveness falls as more SMs must be found (the
+// slowest multicast exchange dominates) and as hop distance grows.
+//
+//	go run ./examples/meshwide -reps 30
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"excovery/internal/core"
+	"excovery/internal/desc"
+	"excovery/internal/metrics"
+	"excovery/internal/netem"
+)
+
+func buildExperiment(reps int) *desc.Experiment {
+	e := &desc.Experiment{
+		Name:    "sd-meshwide",
+		Comment: "Mesh-wide discovery of k SMs under bursty loss",
+		Params: []desc.Param{
+			{Key: "sd_architecture", Value: "two-party"},
+			{Key: "sd_protocol", Value: "zeroconf"},
+			{Key: "sd_scheme", Value: "active"},
+		},
+		AbstractNodes: []string{"M0", "M1", "M2", "U", "R0", "R1", "R2", "R3", "R4", "R5"},
+		Factors: []desc.Factor{
+			{
+				ID: "fact_nodes", Type: desc.TypeActorNodeMap, Usage: desc.UsageBlocking,
+				Levels: []desc.Level{
+					{ActorMap: map[string][]string{"actor0": {"M0"}, "actor1": {"U"}}},
+					{ActorMap: map[string][]string{"actor0": {"M0", "M1"}, "actor1": {"U"}}},
+					{ActorMap: map[string][]string{"actor0": {"M0", "M1", "M2"}, "actor1": {"U"}}},
+				},
+			},
+		},
+		Repl:     desc.Replication{ID: "fact_replication_id", Count: reps},
+		Seed:     26,
+		PlanKind: desc.PlanBlocked,
+	}
+	e.NodeProcesses = []desc.NodeProcess{
+		{
+			Actor: "actor0", Name: "SM", NodesRef: "fact_nodes",
+			Actions: []desc.Action{
+				desc.Act("sd_init"),
+				desc.Act("sd_start_publish"),
+				desc.WaitEvent(desc.WaitSpec{Event: "done"}),
+				desc.Act("sd_stop_publish"),
+				desc.Act("sd_exit"),
+			},
+		},
+		{
+			Actor: "actor1", Name: "SU", NodesRef: "fact_nodes",
+			Actions: []desc.Action{
+				desc.WaitEvent(desc.WaitSpec{
+					Event:     "sd_start_publish",
+					FromActor: "actor0", FromInstance: "all",
+				}),
+				desc.WaitTime(5),
+				desc.Act("sd_init"),
+				desc.WaitMarker(),
+				desc.Act("sd_start_search"),
+				desc.WaitEvent(desc.WaitSpec{
+					Event:     "sd_service_add",
+					FromActor: "actor1", FromInstance: "all",
+					ParamActor: "actor0", ParamInstance: "all",
+					TimeoutSec: 30,
+				}),
+				desc.Flag("done"),
+				desc.Act("sd_stop_search"),
+				desc.Act("sd_exit"),
+			},
+		},
+	}
+	return e
+}
+
+func main() {
+	reps := flag.Int("reps", 30, "replications per SM count")
+	flag.Parse()
+
+	exp := buildExperiment(*reps)
+	opts := core.Options{
+		Topology:  core.TopoGeometric,
+		GeoRadius: 0.35,
+		Link: netem.LinkParams{
+			Delay: time.Millisecond, Jitter: time.Millisecond,
+			Burst: &netem.BurstLoss{
+				PGoodToBad: 0.04, PBadToGood: 0.1,
+				LossGood: 0.01, LossBad: 0.85,
+			},
+		},
+	}
+	x, err := core.New(exp, opts)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("geometric mesh, %d nodes; U is %d/%d/%d hops from M0/M1/M2; stationary link loss %.3f\n",
+		len(x.Net.Nodes()),
+		x.Net.HopCount("U", "M0"), x.Net.HopCount("U", "M1"), x.Net.HopCount("U", "M2"),
+		opts.Link.Burst.MeanLoss())
+
+	rep, err := x.Run()
+	if err != nil {
+		fail(err)
+	}
+	ms := metrics.FromReport(exp, rep, "", "")
+
+	// Group by the number of expected SMs (the blocking level).
+	byK := map[int][]metrics.RunMetric{}
+	for _, m := range ms {
+		byK[m.Expected] = append(byK[m.Expected], m)
+	}
+	fmt.Printf("\n%-6s %-6s %-10s %-10s %-8s %-16s\n",
+		"k SMs", "n", "t_R mean", "t_R p90", "R(1s)", "R(1s) 95% CI")
+	for k := 1; k <= 3; k++ {
+		g := byK[k]
+		trs := metrics.TRs(g)
+		sum := metrics.Summarize(metrics.DurationsToSeconds(trs))
+		lo, hi := metrics.ResponsivenessCI(g, time.Second)
+		fmt.Printf("%-6d %-6d %-10s %-10s %-8.3f [%.3f, %.3f]\n",
+			k, len(g),
+			fmt.Sprintf("%.4fs", sum.Mean),
+			fmt.Sprintf("%.4fs", sum.P90),
+			metrics.Responsiveness(g, time.Second), lo, hi)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
+}

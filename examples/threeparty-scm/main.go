@@ -1,0 +1,118 @@
+// Architecture comparison: two-party (decentralized, multicast) versus
+// three-party (centralized through an SCM, directed unicast) service
+// discovery (§III-B, Fig. 2) under increasing background load.
+//
+// Expected shape: the two-party architecture answers fast on an idle
+// channel, but its multicast query/response path suffers as the medium
+// saturates; the three-party architecture pays an SCM-discovery cost once,
+// then serves directed unicast queries that are lean under load.
+//
+//	go run ./examples/threeparty-scm -reps 30
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"excovery/internal/core"
+	"excovery/internal/desc"
+	"excovery/internal/metrics"
+	"excovery/internal/netem"
+)
+
+func main() {
+	reps := flag.Int("reps", 30, "replications per load level")
+	flag.Parse()
+
+	loads := []int{0, 200, 400}
+	fmt.Printf("%-12s %-10s %-6s %-10s %-10s %-8s\n",
+		"architecture", "load_kbps", "n", "t_R mean", "t_R p90", "R(2s)")
+
+	for _, arch := range []string{"two-party", "three-party"} {
+		for _, load := range loads {
+			ms := runArch(arch, load, *reps)
+			trs := metrics.TRs(ms)
+			sum := metrics.Summarize(metrics.DurationsToSeconds(trs))
+			fmt.Printf("%-12s %-10d %-6d %-10s %-10s %-8.3f\n",
+				arch, load, len(ms),
+				fmt.Sprintf("%.4fs", sum.Mean),
+				fmt.Sprintf("%.4fs", sum.P90),
+				metrics.Responsiveness(ms, 2*time.Second))
+		}
+	}
+}
+
+// runArch executes one architecture at one load level and returns the
+// per-run metrics.
+func runArch(arch string, loadKbps, reps int) []metrics.RunMetric {
+	var exp *desc.Experiment
+	if arch == "two-party" {
+		exp = desc.CaseStudy(reps)
+	} else {
+		exp = desc.ThreeParty(30, reps)
+		// Give the three-party experiment the same environment nodes and
+		// load generator as the case study for a fair comparison.
+		exp.EnvironmentNodes = []string{"E0", "E1", "E2", "E3"}
+		exp.EnvProcesses = desc.CaseStudy(1).EnvProcesses
+	}
+	// Replace the load factors with a single fixed load level.
+	for i := range exp.Factors {
+		switch exp.Factors[i].ID {
+		case "fact_pairs":
+			exp.Factors[i] = desc.IntFactor("fact_pairs", desc.UsageConstant, 4)
+		case "fact_bw":
+			exp.Factors[i] = desc.IntFactor("fact_bw", desc.UsageConstant, maxInt(loadKbps, 1))
+		}
+	}
+	if exp.Factor("fact_pairs") == nil {
+		exp.Factors = append(exp.Factors,
+			desc.IntFactor("fact_pairs", desc.UsageConstant, 4),
+			desc.IntFactor("fact_bw", desc.UsageConstant, maxInt(loadKbps, 1)))
+	}
+	if loadKbps == 0 {
+		// No load: drop the environment process entirely.
+		exp.EnvProcesses = nil
+		stripReadyWait(exp)
+	}
+
+	x, err := core.New(exp, core.Options{
+		Node: netem.NodeParams{RateBps: 1_000_000},
+	})
+	if err != nil {
+		fail(err)
+	}
+	rep, err := x.Run()
+	if err != nil {
+		fail(err)
+	}
+	return metrics.FromReport(exp, rep, "", "")
+}
+
+// stripReadyWait removes waits on the ready_to_init flag when no
+// environment process will raise it.
+func stripReadyWait(exp *desc.Experiment) {
+	for pi := range exp.NodeProcesses {
+		var kept []desc.Action
+		for _, a := range exp.NodeProcesses[pi].Actions {
+			if a.Wait != nil && a.Wait.Event == "ready_to_init" {
+				continue
+			}
+			kept = append(kept, a)
+		}
+		exp.NodeProcesses[pi].Actions = kept
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
+}

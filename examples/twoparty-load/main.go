@@ -1,0 +1,86 @@
+// Two-party SD under background load — the paper's case study, composed
+// from Figs. 4–10: actors A (SM) and B (SU) on a six-node platform, with
+// background traffic between a randomized number of environment node pairs
+// at a swept data rate, many replications per treatment.
+//
+// The program prints the treatment table the evaluation would report:
+// discovery time and responsiveness per (pairs, bandwidth) combination.
+// The expected shape: t_R grows and responsiveness falls with load.
+//
+//	go run ./examples/twoparty-load -reps 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"time"
+
+	"excovery/internal/core"
+	"excovery/internal/desc"
+	"excovery/internal/metrics"
+	"excovery/internal/netem"
+)
+
+func main() {
+	reps := flag.Int("reps", 50, "replications per treatment (paper: 1000)")
+	flag.Parse()
+
+	exp := desc.CaseStudy(*reps)
+	x, err := core.New(exp, core.Options{
+		// A tight radio rate makes the generated load bite, like the
+		// saturated wireless medium of the DES testbed.
+		Node: netem.NodeParams{RateBps: 1_500_000},
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	wall := time.Now()
+	rep, err := x.Run()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("%d runs in %s wall time\n\n", len(rep.Results), time.Since(wall).Round(time.Millisecond))
+
+	ms := metrics.FromReport(exp, rep, "", "")
+	fmt.Println("treatment table (paper case study, Figs. 4-10):")
+	fmt.Printf("%-8s %-8s %-6s %-10s %-10s %-8s %-8s\n",
+		"pairs", "bw_kbps", "n", "t_R mean", "t_R p90", "R(1s)", "R(5s)")
+
+	byPairs := metrics.GroupBy(ms, "fact_pairs")
+	for _, pairs := range sortedIntKeys(byPairs) {
+		byBw := metrics.GroupBy(byPairs[pairs], "fact_bw")
+		for _, bw := range sortedIntKeys(byBw) {
+			g := byBw[bw]
+			trs := metrics.TRs(g)
+			sum := metrics.Summarize(metrics.DurationsToSeconds(trs))
+			fmt.Printf("%-8s %-8s %-6d %-10s %-10s %-8.3f %-8.3f\n",
+				pairs, bw, len(g),
+				fmt.Sprintf("%.4fs", sum.Mean),
+				fmt.Sprintf("%.4fs", sum.P90),
+				metrics.Responsiveness(g, time.Second),
+				metrics.Responsiveness(g, 5*time.Second))
+		}
+	}
+}
+
+func sortedIntKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, _ := strconv.Atoi(keys[i])
+		b, _ := strconv.Atoi(keys[j])
+		return a < b
+	})
+	return keys
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module excovery
+
+go 1.22

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+
+	"excovery/internal/fault"
+	"excovery/internal/netem"
+	"excovery/internal/sched"
+)
+
+// EnvExec executes environment manipulation actions on the emulated
+// platform (§IV-D2): the traffic generator of Fig. 7 and drop-all. It
+// implements master.EnvExecutor.
+type EnvExec struct {
+	s        *sched.Scheduler
+	nw       *netem.Network
+	actorIDs []string
+	envIDs   []string
+	emit     func(typ string, params map[string]string)
+
+	traffic *fault.Traffic
+	dropAll *fault.DropAll
+}
+
+// NewEnvExec builds the environment executor. emit receives the
+// start/stop events the manipulation actions generate (§IV-D3).
+func NewEnvExec(s *sched.Scheduler, nw *netem.Network, actorIDs, envIDs []string,
+	emit func(typ string, params map[string]string)) *EnvExec {
+	if emit == nil {
+		emit = func(string, map[string]string) {}
+	}
+	return &EnvExec{s: s, nw: nw, actorIDs: actorIDs, envIDs: envIDs, emit: emit}
+}
+
+// Traffic returns the running traffic generator, if any.
+func (e *EnvExec) Traffic() *fault.Traffic { return e.traffic }
+
+// Execute implements the environment action vocabulary.
+func (e *EnvExec) Execute(action string, params map[string]string) error {
+	switch action {
+	case "env_traffic_start":
+		return e.trafficStart(params)
+	case "env_traffic_stop":
+		if e.traffic != nil {
+			e.traffic.Stop()
+			e.traffic = nil
+			e.emit("env_traffic_stop", nil)
+		}
+		return nil
+	case "env_drop_all_start":
+		if e.dropAll == nil {
+			proto := params["proto"]
+			if proto == "" {
+				proto = "sd"
+			}
+			e.dropAll = fault.NewDropAll(e.nw, proto)
+		}
+		e.dropAll.Start()
+		e.emit("env_drop_all_start", nil)
+		return nil
+	case "env_drop_all_stop":
+		if e.dropAll != nil {
+			e.dropAll.Stop()
+			e.emit("env_drop_all_stop", nil)
+		}
+		return nil
+	default:
+		return fmt.Errorf("core: unknown environment action %q", action)
+	}
+}
+
+func (e *EnvExec) trafficStart(params map[string]string) error {
+	if e.traffic != nil {
+		e.traffic.Stop()
+		e.traffic = nil
+	}
+	bw, err := strconv.Atoi(params["bw"])
+	if err != nil {
+		return fmt.Errorf("core: env_traffic_start: bad bw %q", params["bw"])
+	}
+	pairs, err := strconv.Atoi(paramOr(params, "random_pairs", "1"))
+	if err != nil {
+		return fmt.Errorf("core: env_traffic_start: bad random_pairs %q", params["random_pairs"])
+	}
+	choice := fault.PairChoice(atoi(paramOr(params, "choice", "0")))
+	var candidates []string
+	switch choice {
+	case fault.ChooseEnv:
+		candidates = e.envIDs
+	case fault.ChooseActors:
+		candidates = e.actorIDs
+	case fault.ChooseAll:
+		candidates = append(append([]string{}, e.actorIDs...), e.envIDs...)
+	default:
+		return fmt.Errorf("core: env_traffic_start: bad choice %q", params["choice"])
+	}
+	if len(candidates) < 2 {
+		// Fall back to all nodes so minimal descriptions without
+		// dedicated environment nodes still work.
+		candidates = append(append([]string{}, e.actorIDs...), e.envIDs...)
+	}
+	ids := make([]netem.NodeID, len(candidates))
+	for i, c := range candidates {
+		ids[i] = netem.NodeID(c)
+	}
+	cfg := fault.TrafficConfig{
+		Pairs:        pairs,
+		BwKbps:       bw,
+		Choice:       choice,
+		Seed:         int64(atoi(paramOr(params, "random_seed", "1"))),
+		SwitchAmount: atoi(paramOr(params, "random_switch_amount", "0")),
+		SwitchSeed:   int64(atoi(paramOr(params, "random_switch_seed", "0"))),
+		Run:          atoi(paramOr(params, "__run", "0")),
+	}
+	tr, err := fault.StartTraffic(e.s, e.nw, ids, cfg)
+	if err != nil {
+		return err
+	}
+	e.traffic = tr
+	e.emit("env_traffic_start", map[string]string{
+		"bw": params["bw"], "pairs": fmt.Sprint(pairs),
+	})
+	return nil
+}
+
+// Reset stops all environment manipulations (run preparation/clean-up).
+func (e *EnvExec) Reset() {
+	if e.traffic != nil {
+		e.traffic.Stop()
+		e.traffic = nil
+	}
+	if e.dropAll != nil {
+		e.dropAll.Stop()
+	}
+}
+
+func paramOr(params map[string]string, key, def string) string {
+	if v := params[key]; v != "" {
+		return v
+	}
+	return def
+}
+
+func atoi(s string) int {
+	v, _ := strconv.Atoi(s)
+	return v
+}

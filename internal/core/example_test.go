@@ -1,0 +1,61 @@
+package core_test
+
+import (
+	"fmt"
+	"time"
+
+	"excovery/internal/core"
+	"excovery/internal/desc"
+	"excovery/internal/metrics"
+)
+
+// Example runs the Fig. 11 one-shot discovery end to end on the emulated
+// platform. Virtual time and fixed seeds make the output deterministic.
+func Example() {
+	exp := desc.OneShot(30) // 30 s discovery deadline
+	x, err := core.New(exp, core.Options{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	rep, err := x.Run()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	ms := metrics.FromReport(exp, rep, "", "")
+	fmt.Printf("runs: %d\n", rep.Completed)
+	fmt.Printf("discovered: %v\n", ms[0].Complete)
+	fmt.Printf("t_R: %s\n", ms[0].TR.Round(time.Microsecond))
+	// Output:
+	// runs: 1
+	// discovered: true
+	// t_R: 41.276ms
+}
+
+// Example_factorSweep shows a factorial experiment: the description's
+// factors expand into a treatment plan, and per-treatment metrics group by
+// factor level.
+func Example_factorSweep() {
+	exp := desc.CaseStudy(2) // 2 replications per treatment
+	plan, _ := desc.GeneratePlan(exp)
+	fmt.Printf("treatments: %d, runs: %d\n", plan.Treatments, len(plan.Runs))
+
+	x, err := core.New(exp, core.Options{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	rep, _ := x.Run()
+	ms := metrics.FromReport(exp, rep, "", "")
+	byBw := metrics.GroupBy(ms, "fact_bw")
+	for _, bw := range []string{"10", "50", "100"} {
+		fmt.Printf("bw=%s kbit/s: %d runs, all complete: %v\n",
+			bw, len(byBw[bw]), metrics.Responsiveness(byBw[bw], 0) == 1)
+	}
+	// Output:
+	// treatments: 6, runs: 12
+	// bw=10 kbit/s: 4 runs, all complete: true
+	// bw=50 kbit/s: 4 runs, all complete: true
+	// bw=100 kbit/s: 4 runs, all complete: true
+}

@@ -1,0 +1,349 @@
+// Package eventlog implements ExCovery's event measurement concept
+// (§IV-B1) and the event-based flow control it supports (§IV-C2).
+//
+// State changes on nodes are recorded as events: each event carries the node
+// it occurred on, a local timestamp taken from that node's clock, an event
+// type and optional parameters. Nodes keep their own Recorder (the paper's
+// per-node temporary storage); the experiment master aggregates reported
+// events in a Bus, against which processes synchronize with wait_for_event
+// and wait_marker.
+package eventlog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"excovery/internal/sched"
+	"excovery/internal/vclock"
+)
+
+// Event is a recorded state change (§IV-B1).
+type Event struct {
+	// Run identifies the experiment run the event belongs to; -1 marks
+	// experiment-scoped events outside any run.
+	Run int
+	// Node is the identifier of the node the event occurred on.
+	Node string
+	// Time is the local timestamp of the originating node.
+	Time time.Time
+	// Type names the state change, e.g. "sd_service_add".
+	Type string
+	// Params carries additional event parameters, e.g. the identifier of
+	// a discovered service.
+	Params map[string]string
+	// Seq is the global arrival order at the master's Bus. It is assigned
+	// by the Bus, not the recorder.
+	Seq uint64
+}
+
+// Param returns the named parameter or "".
+func (e Event) Param(k string) string { return e.Params[k] }
+
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[run %d] %s@%s %s", e.Run, e.Type, e.Node, e.Time.Format("15:04:05.000000"))
+	if len(e.Params) > 0 {
+		keys := make([]string, 0, len(e.Params))
+		for k := range e.Params {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteString(" {")
+		for i, k := range keys {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s=%s", k, e.Params[k])
+		}
+		b.WriteString("}")
+	}
+	return b.String()
+}
+
+// Match selects events in wait_for_event dependencies. Zero fields match
+// anything, mirroring the paper's "if omitted, they default to any".
+type Match struct {
+	// Type is the required event type; empty matches any type.
+	Type string
+	// Nodes restricts the originating node to this set (the paper's
+	// location dependency: a single abstract node or the nodes bound to an
+	// actor role); empty matches any node.
+	Nodes []string
+	// Params are required parameter values; a parameter mapped to "" only
+	// requires presence. Events may carry additional parameters.
+	Params map[string]string
+	// ParamAnyOf, if non-empty, requires that the named parameter's value
+	// is one of the listed values (the paper's param_dependency against a
+	// node set, e.g. "sd_service_add with parameter in instances of
+	// actor0").
+	ParamKey   string
+	ParamAnyOf []string
+}
+
+// Matches reports whether ev satisfies the match.
+func (m Match) Matches(ev Event) bool {
+	if m.Type != "" && ev.Type != m.Type {
+		return false
+	}
+	if len(m.Nodes) > 0 {
+		ok := false
+		for _, n := range m.Nodes {
+			if ev.Node == n {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	for k, v := range m.Params {
+		got, present := ev.Params[k]
+		if !present {
+			return false
+		}
+		if v != "" && got != v {
+			return false
+		}
+	}
+	if m.ParamKey != "" && len(m.ParamAnyOf) > 0 {
+		got, present := ev.Params[m.ParamKey]
+		if !present {
+			return false
+		}
+		ok := false
+		for _, v := range m.ParamAnyOf {
+			if got == v {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Recorder is a node's local event store. Events are timestamped with the
+// node's local clock and optionally forwarded to the master's Bus via the
+// report hook (the dedicated control channel of §IV-A1).
+type Recorder struct {
+	node   string
+	clock  vclock.Clock
+	run    int
+	events []Event
+	report func(Event)
+}
+
+// NewRecorder creates a recorder for a node. report may be nil.
+func NewRecorder(node string, clock vclock.Clock, report func(Event)) *Recorder {
+	return &Recorder{node: node, clock: clock, run: -1, report: report}
+}
+
+// SetRun sets the run identifier stamped on subsequent events. Run -1 marks
+// experiment-scoped events.
+func (r *Recorder) SetRun(run int) { r.run = run }
+
+// Run returns the current run identifier.
+func (r *Recorder) Run() int { return r.run }
+
+// Node returns the recorder's node identifier.
+func (r *Recorder) Node() string { return r.node }
+
+// Emit records an event with the node's local timestamp and forwards it to
+// the master.
+func (r *Recorder) Emit(typ string, params map[string]string) Event {
+	ev := Event{
+		Run:    r.run,
+		Node:   r.node,
+		Time:   r.clock.Now(),
+		Type:   typ,
+		Params: params,
+	}
+	r.events = append(r.events, ev)
+	if r.report != nil {
+		r.report(ev)
+	}
+	return ev
+}
+
+// Events returns all locally recorded events.
+func (r *Recorder) Events() []Event { return r.events }
+
+// RunEvents returns the locally recorded events of one run.
+func (r *Recorder) RunEvents(run int) []Event {
+	var out []Event
+	for _, ev := range r.events {
+		if ev.Run == run {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Reset discards all locally recorded events (used between experiments).
+func (r *Recorder) Reset() { r.events = nil }
+
+// Bus is the master-side aggregation of reported events. Processes block on
+// it with WaitFor; wait_marker corresponds to taking Marker() and passing it
+// as the from argument of the next WaitFor.
+type Bus struct {
+	s      *sched.Scheduler
+	cond   *sched.Cond
+	events []Event
+	seq    uint64
+	epoch  uint64 // incremented by CancelWaiters; pending waits give up
+}
+
+// NewBus creates an empty bus on the scheduler.
+func NewBus(s *sched.Scheduler) *Bus {
+	return &Bus{s: s, cond: s.NewCond("eventbus")}
+}
+
+// Publish stores the event, assigns its global sequence number and wakes all
+// waiters. It must run in scheduler task context.
+func (b *Bus) Publish(ev Event) Event {
+	b.seq++
+	ev.Seq = b.seq
+	b.events = append(b.events, ev)
+	b.cond.Broadcast()
+	return ev
+}
+
+// Marker returns the current position in the event stream. A subsequent
+// WaitFor with this marker considers only events published after it
+// (§IV-C2, wait_marker).
+func (b *Bus) Marker() uint64 { return b.seq }
+
+// Events returns all published events.
+func (b *Bus) Events() []Event { return b.events }
+
+// Len returns the number of published events.
+func (b *Bus) Len() int { return len(b.events) }
+
+// Reset discards all events and restarts sequence numbering.
+func (b *Bus) Reset() {
+	b.events = nil
+	b.seq = 0
+}
+
+// CancelWaiters aborts every pending WaitFor/WaitForDistinct: the waits
+// return unsuccessfully at their next wake-up. The master uses it when a
+// run is aborted so orphaned process tasks cannot linger into later runs.
+func (b *Bus) CancelWaiters() {
+	b.epoch++
+	b.cond.Broadcast()
+}
+
+// WaitFor blocks the calling task until an event with Seq > from matches m,
+// or until timeout elapses (timeout <= 0 means wait forever). On success it
+// returns the first matching event. It implements wait_for_event (§IV-C2).
+func (b *Bus) WaitFor(m Match, from uint64, timeout time.Duration) (Event, bool) {
+	deadline := time.Time{}
+	if timeout > 0 {
+		deadline = b.s.Now().Add(timeout)
+	}
+	epoch := b.epoch
+	next := from
+	for {
+		if b.epoch != epoch {
+			return Event{}, false
+		}
+		for _, ev := range b.since(next) {
+			next = ev.Seq
+			if m.Matches(ev) {
+				return ev, true
+			}
+		}
+		if !deadline.IsZero() {
+			remain := deadline.Sub(b.s.Now())
+			if remain <= 0 {
+				return Event{}, false
+			}
+			if !b.cond.WaitTimeout(remain) && b.seq == next {
+				return Event{}, false
+			}
+		} else {
+			b.cond.Wait()
+		}
+	}
+}
+
+// WaitForDistinct blocks until, counting events with Seq > from that match
+// m, the set of observed values of param key covers want. It returns the
+// matched events in arrival order (one per distinct value) and true on
+// success, or the partial set and false on timeout. This implements waiting
+// for an event "from all instances" with a parameter covering a node set
+// (Fig. 10: all SMs discovered).
+func (b *Bus) WaitForDistinct(m Match, key string, want []string, from uint64, timeout time.Duration) ([]Event, bool) {
+	deadline := time.Time{}
+	if timeout > 0 {
+		deadline = b.s.Now().Add(timeout)
+	}
+	missing := make(map[string]bool, len(want))
+	for _, w := range want {
+		missing[w] = true
+	}
+	epoch := b.epoch
+	var got []Event
+	next := from
+	for {
+		if b.epoch != epoch {
+			return got, false
+		}
+		for _, ev := range b.since(next) {
+			next = ev.Seq
+			if !m.Matches(ev) {
+				continue
+			}
+			v := ev.Params[key]
+			if missing[v] {
+				delete(missing, v)
+				got = append(got, ev)
+			}
+		}
+		if len(missing) == 0 {
+			return got, true
+		}
+		if !deadline.IsZero() {
+			remain := deadline.Sub(b.s.Now())
+			if remain <= 0 {
+				return got, false
+			}
+			b.cond.WaitTimeout(remain)
+		} else {
+			b.cond.Wait()
+		}
+	}
+}
+
+// since returns events with Seq > from. Sequence numbers are dense (1,2,…)
+// so the slice offset is computed directly.
+func (b *Bus) since(from uint64) []Event {
+	if len(b.events) == 0 {
+		return nil
+	}
+	first := b.events[0].Seq
+	idx := int(from - first + 1)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(b.events) {
+		return nil
+	}
+	return b.events[idx:]
+}
+
+// FindFirst scans the published history (without blocking) and returns the
+// first event matching m. Analysis helpers use it after execution.
+func (b *Bus) FindFirst(m Match) (Event, bool) {
+	for _, ev := range b.events {
+		if m.Matches(ev) {
+			return ev, true
+		}
+	}
+	return Event{}, false
+}

@@ -1,0 +1,395 @@
+package fault
+
+import (
+	"testing"
+	"time"
+
+	"excovery/internal/netem"
+	"excovery/internal/sched"
+)
+
+func twoNodes(t *testing.T) (*sched.Scheduler, *netem.Network, *netem.Node, *netem.Node) {
+	t.Helper()
+	s := sched.NewVirtual()
+	nw := netem.New(s, 5)
+	a := nw.AddNode("a", netem.NodeParams{})
+	b := nw.AddNode("b", netem.NodeParams{})
+	nw.AddLink("a", "b", netem.LinkParams{Delay: time.Millisecond})
+	return s, nw, a, b
+}
+
+func TestMessageLossFullDrop(t *testing.T) {
+	s, _, a, b := twoNodes(t)
+	recv := 0
+	b.SetHandler(func(p *netem.Packet) { recv++ })
+	s.Go("t", func() {
+		inj, err := NewMessageLoss(a, 1.0, DirTx, "sd", 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inj.Start()
+		if !inj.Active() {
+			t.Error("not active after Start")
+		}
+		a.Send(netem.Unicast("b"), "sd", nil)
+		a.Send(netem.Unicast("b"), "traffic", nil) // other proto unaffected
+		s.Sleep(50 * time.Millisecond)
+		inj.Stop()
+		inj.Stop() // idempotent
+		a.Send(netem.Unicast("b"), "sd", nil)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if recv != 2 {
+		t.Fatalf("recv = %d, want 2 (traffic + post-stop sd)", recv)
+	}
+}
+
+func TestMessageLossProbabilistic(t *testing.T) {
+	s, _, a, b := twoNodes(t)
+	recv := 0
+	b.SetHandler(func(p *netem.Packet) { recv++ })
+	s.Go("t", func() {
+		inj, _ := NewMessageLoss(a, 0.5, DirBoth, "sd", 1)
+		inj.Start()
+		for i := 0; i < 400; i++ {
+			a.Send(netem.Unicast("b"), "sd", nil)
+			s.Sleep(time.Millisecond)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if recv < 120 || recv > 280 {
+		t.Fatalf("recv = %d of 400 at 50%% loss", recv)
+	}
+}
+
+func TestMessageLossValidation(t *testing.T) {
+	_, _, a, _ := twoNodes(t)
+	if _, err := NewMessageLoss(a, 1.5, DirTx, "sd", 1); err == nil {
+		t.Fatal("accepted probability > 1")
+	}
+	if _, err := NewMessageLoss(a, 0.5, "sideways", "sd", 1); err == nil {
+		t.Fatal("accepted bad direction")
+	}
+	if _, err := NewMessageDelay(a, -time.Second, DirTx, "sd", 1); err == nil {
+		t.Fatal("accepted negative delay")
+	}
+}
+
+func TestMessageDelayAddsLatency(t *testing.T) {
+	s, _, a, b := twoNodes(t)
+	var recvAt time.Time
+	b.SetHandler(func(p *netem.Packet) { recvAt = s.Now() })
+	s.Go("t", func() {
+		inj, _ := NewMessageDelay(a, 100*time.Millisecond, DirTx, "sd", 1)
+		inj.Start()
+		start := s.Now()
+		a.Send(netem.Unicast("b"), "sd", nil)
+		s.Sleep(time.Second)
+		if lat := recvAt.Sub(start); lat < 100*time.Millisecond || lat > 110*time.Millisecond {
+			t.Errorf("latency = %v, want ≈101ms", lat)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathLossOnlyAffectsPeer(t *testing.T) {
+	s := sched.NewVirtual()
+	nw := netem.New(s, 5)
+	ids := netem.BuildFull(nw, "n", 3, netem.NodeParams{}, netem.LinkParams{Delay: time.Millisecond})
+	recv := map[netem.NodeID]int{}
+	for _, id := range ids {
+		id := id
+		nw.Node(id).SetHandler(func(p *netem.Packet) { recv[id]++ })
+	}
+	s.Go("t", func() {
+		inj, _ := NewPathLoss(nw.Node(ids[0]), ids[1], 1.0, DirBoth, "sd", 1)
+		inj.Start()
+		nw.Node(ids[0]).Send(netem.Unicast(ids[1]), "sd", nil)
+		nw.Node(ids[0]).Send(netem.Unicast(ids[2]), "sd", nil)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if recv[ids[1]] != 0 || recv[ids[2]] != 1 {
+		t.Fatalf("recv = %v", recv)
+	}
+}
+
+func TestPathDelaySelective(t *testing.T) {
+	s := sched.NewVirtual()
+	nw := netem.New(s, 5)
+	ids := netem.BuildFull(nw, "n", 3, netem.NodeParams{}, netem.LinkParams{Delay: time.Millisecond})
+	at := map[netem.NodeID]time.Time{}
+	for _, id := range ids {
+		id := id
+		nw.Node(id).SetHandler(func(p *netem.Packet) { at[id] = s.Now() })
+	}
+	s.Go("t", func() {
+		inj, _ := NewPathDelay(nw.Node(ids[0]), ids[1], 200*time.Millisecond, DirTx, "sd", 1)
+		inj.Start()
+		nw.Node(ids[0]).Send(netem.Unicast(ids[1]), "sd", nil)
+		nw.Node(ids[0]).Send(netem.Unicast(ids[2]), "sd", nil)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at[ids[1]].Sub(at[ids[2]]) < 150*time.Millisecond {
+		t.Fatalf("path delay not selective: %v vs %v", at[ids[1]], at[ids[2]])
+	}
+}
+
+func TestInterfaceFaultDirections(t *testing.T) {
+	for _, dir := range []Direction{DirRx, DirTx, DirBoth} {
+		s, _, a, b := twoNodes(t)
+		na, nb := 0, 0
+		a.SetHandler(func(p *netem.Packet) { na++ })
+		b.SetHandler(func(p *netem.Packet) { nb++ })
+		dir := dir
+		s.Go("t", func() {
+			inj, err := NewInterfaceFault(a, dir, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inj.Start()
+			a.Send(netem.Unicast("b"), "sd", nil) // tx from faulted node
+			b.Send(netem.Unicast("a"), "sd", nil) // rx at faulted node
+			s.Sleep(100 * time.Millisecond)
+			inj.Stop()
+			a.Send(netem.Unicast("b"), "sd", nil)
+			b.Send(netem.Unicast("a"), "sd", nil)
+		})
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		switch dir {
+		case DirRx:
+			if na != 1 || nb != 2 {
+				t.Errorf("%s: na=%d nb=%d, want 1/2", dir, na, nb)
+			}
+		case DirTx:
+			if na != 2 || nb != 1 {
+				t.Errorf("%s: na=%d nb=%d, want 2/1", dir, na, nb)
+			}
+		case DirBoth:
+			if na != 1 || nb != 1 {
+				t.Errorf("%s: na=%d nb=%d, want 1/1", dir, na, nb)
+			}
+		}
+	}
+}
+
+func TestDirRandomResolvesDeterministically(t *testing.T) {
+	_, _, a, _ := twoNodes(t)
+	i1, err := NewInterfaceFault(a, DirRandom, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i2, _ := NewInterfaceFault(a, DirRandom, 42)
+	// Same seed, same resolution: both must behave identically. Compare
+	// via the concrete struct.
+	f1 := i1.(*ifaceFault)
+	f2 := i2.(*ifaceFault)
+	if f1.dir != f2.dir {
+		t.Fatalf("same seed resolved differently: %v vs %v", f1.dir, f2.dir)
+	}
+}
+
+func TestApplyTimingBlock(t *testing.T) {
+	s, _, a, b := twoNodes(t)
+	recv := 0
+	b.SetHandler(func(p *netem.Packet) { recv++ })
+	var events []string
+	s.Go("t", func() {
+		inj, _ := NewMessageLoss(a, 1.0, DirTx, "sd", 1)
+		applied := Apply(s, inj, Timing{Duration: 10 * time.Second, Rate: 0.5, Seed: 3},
+			func(what string) { events = append(events, what) })
+		// The active block covers 5s somewhere within [0,10s].
+		if applied.StopAt.Sub(applied.StartAt) != 5*time.Second {
+			t.Errorf("block length = %v", applied.StopAt.Sub(applied.StartAt))
+		}
+		if applied.StartAt.Before(s.Now()) || applied.StopAt.After(s.Now().Add(10*time.Second)) {
+			t.Errorf("block [%v,%v] outside window", applied.StartAt, applied.StopAt)
+		}
+		// Probe every 100ms; sends during the block are dropped.
+		for i := 0; i < 100; i++ {
+			a.Send(netem.Unicast("b"), "sd", nil)
+			s.Sleep(100 * time.Millisecond)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 100 probes over 10s, 50 fall into the 5s block (±2 boundary).
+	if recv < 47 || recv > 53 {
+		t.Fatalf("recv = %d, want ≈50", recv)
+	}
+	if len(events) != 2 || events[0] != "start" || events[1] != "stop" {
+		t.Fatalf("events = %v", events)
+	}
+}
+
+func TestApplyWithoutTimingStartsImmediately(t *testing.T) {
+	s, _, a, _ := twoNodes(t)
+	s.Go("t", func() {
+		inj, _ := NewMessageLoss(a, 1.0, DirTx, "sd", 1)
+		applied := Apply(s, inj, Timing{}, nil)
+		s.Sleep(time.Millisecond)
+		if !inj.Active() {
+			t.Error("fault not active after untimed Apply")
+		}
+		s.Sleep(time.Hour)
+		if !inj.Active() {
+			t.Error("untimed fault stopped by itself")
+		}
+		applied.Cancel(inj)
+		if inj.Active() {
+			t.Error("Cancel did not stop the fault")
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrafficGeneratorLoad(t *testing.T) {
+	s := sched.NewVirtual()
+	nw := netem.New(s, 5)
+	ids := netem.BuildFull(nw, "e", 4, netem.NodeParams{}, netem.LinkParams{Delay: time.Millisecond})
+	for _, id := range ids {
+		nw.Node(id).SetHandler(func(p *netem.Packet) {})
+	}
+	var tr *Traffic
+	s.Go("t", func() {
+		var err error
+		tr, err = StartTraffic(s, nw, ids, TrafficConfig{
+			Pairs: 2, BwKbps: 100, Seed: 7, PacketSize: 500,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Sleep(10 * time.Second)
+		tr.Stop()
+	})
+	if err := s.RunFor(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	// 2 pairs × 2 directions × 100 kbit/s over 10 s = 2,000,000 bits /
+	// 4000 bits per packet = 500 packets (±10%).
+	if tr.Sent() < 450 || tr.Sent() > 550 {
+		t.Fatalf("sent %d packets, want ≈500", tr.Sent())
+	}
+}
+
+func TestTrafficStopsCleanly(t *testing.T) {
+	s := sched.NewVirtual()
+	nw := netem.New(s, 5)
+	ids := netem.BuildFull(nw, "e", 2, netem.NodeParams{}, netem.LinkParams{Delay: time.Millisecond})
+	for _, id := range ids {
+		nw.Node(id).SetHandler(func(p *netem.Packet) {})
+	}
+	var sentAtStop uint64
+	var tr *Traffic
+	s.Go("t", func() {
+		tr, _ = StartTraffic(s, nw, ids, TrafficConfig{Pairs: 1, BwKbps: 50, Seed: 1})
+		s.Sleep(time.Second)
+		tr.Stop()
+		sentAtStop = tr.Sent()
+		s.Sleep(10 * time.Second)
+	})
+	if err := s.RunFor(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	// At most one more packet per direction can slip out after Stop.
+	if tr.Sent() > sentAtStop+2 {
+		t.Fatalf("traffic continued after Stop: %d → %d", sentAtStop, tr.Sent())
+	}
+}
+
+func TestTrafficPairSelectionDeterministicAndSwitching(t *testing.T) {
+	candidates := []netem.NodeID{"a", "b", "c", "d", "e"}
+	base := TrafficConfig{Pairs: 3, BwKbps: 10, Seed: 11, SwitchAmount: 1, SwitchSeed: 22}
+	p0a, err := pickPairs(candidates, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0b, _ := pickPairs(candidates, base)
+	if fmtPairs(p0a) != fmtPairs(p0b) {
+		t.Fatal("same config produced different pairs")
+	}
+	run1 := base
+	run1.Run = 1
+	p1, _ := pickPairs(candidates, run1)
+	if fmtPairs(p0a) == fmtPairs(p1) {
+		t.Fatal("switching did not change pairs between runs")
+	}
+	// Exactly one pair differs after one switch of amount 1 (the switch
+	// may coincidentally redraw the same pair, so allow ≤ 1).
+	diff := 0
+	for i := range p0a {
+		if p0a[i] != p1[i] {
+			diff++
+		}
+	}
+	if diff > 1 {
+		t.Fatalf("%d pairs changed, want ≤ 1", diff)
+	}
+}
+
+func fmtPairs(ps [][2]netem.NodeID) string {
+	out := ""
+	for _, p := range ps {
+		out += string(p[0]) + "-" + string(p[1]) + ";"
+	}
+	return out
+}
+
+func TestTrafficValidation(t *testing.T) {
+	s := sched.NewVirtual()
+	nw := netem.New(s, 5)
+	netem.BuildFull(nw, "e", 2, netem.NodeParams{}, netem.LinkParams{})
+	if _, err := StartTraffic(s, nw, nw.Nodes(), TrafficConfig{Pairs: 0, BwKbps: 10}); err == nil {
+		t.Fatal("accepted zero pairs")
+	}
+	if _, err := StartTraffic(s, nw, nw.Nodes(), TrafficConfig{Pairs: 1, BwKbps: 0}); err == nil {
+		t.Fatal("accepted zero bandwidth")
+	}
+	if _, err := StartTraffic(s, nw, nw.Nodes()[:1], TrafficConfig{Pairs: 1, BwKbps: 10}); err == nil {
+		t.Fatal("accepted single candidate")
+	}
+}
+
+func TestDropAll(t *testing.T) {
+	s, nw, a, b := twoNodes(t)
+	recv := 0
+	b.SetHandler(func(p *netem.Packet) { recv++ })
+	s.Go("t", func() {
+		d := NewDropAll(nw, "sd")
+		d.Start()
+		if !d.Active() {
+			t.Error("not active")
+		}
+		d.Start() // idempotent
+		a.Send(netem.Unicast("b"), "sd", nil)
+		s.Sleep(50 * time.Millisecond)
+		d.Stop()
+		if d.Active() {
+			t.Error("still active after Stop")
+		}
+		a.Send(netem.Unicast("b"), "sd", nil)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if recv != 1 {
+		t.Fatalf("recv = %d, want 1", recv)
+	}
+	if a.RuleCount() != 0 || b.RuleCount() != 0 {
+		t.Fatal("rules leaked after Stop")
+	}
+}

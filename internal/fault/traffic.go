@@ -1,0 +1,194 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"excovery/internal/netem"
+	"excovery/internal/sched"
+)
+
+// TrafficProto is the netem protocol label of generated background
+// traffic. It differs from the SD label so experiment-process fault rules
+// do not hit the load generator.
+const TrafficProto = "traffic"
+
+// PairChoice selects the candidate set the traffic pairs are drawn from
+// (§IV-D2: "Pairs can be randomly chosen from the acting nodes, non-acting
+// nodes or all nodes"). It matches the <choice> parameter of Fig. 7.
+type PairChoice int
+
+const (
+	// ChooseEnv draws pairs from the non-acting (environment) nodes.
+	ChooseEnv PairChoice = 0
+	// ChooseActors draws pairs from the acting nodes.
+	ChooseActors PairChoice = 1
+	// ChooseAll draws pairs from all nodes.
+	ChooseAll PairChoice = 2
+)
+
+// TrafficConfig parameterizes the traffic generator (Fig. 7).
+type TrafficConfig struct {
+	// Pairs is the number of communicating node pairs.
+	Pairs int
+	// BwKbps is the bidirectional data rate per pair in kbit/s.
+	BwKbps int
+	// Choice selects the candidate node set.
+	Choice PairChoice
+	// Seed drives the initial pair selection.
+	Seed int64
+	// SwitchAmount pairs are re-drawn per run (§IV-D2: "They vary from
+	// run to run as determined by a switch amount parameter").
+	SwitchAmount int
+	// SwitchSeed drives the switching; Fig. 7 wires it to the
+	// replication index so replications randomize identically.
+	SwitchSeed int64
+	// Run is the run ordinal controlling how many switch steps have been
+	// applied.
+	Run int
+	// PacketSize is the payload size in bytes; default 512.
+	PacketSize int
+}
+
+// Traffic is a running traffic generation manipulation.
+type Traffic struct {
+	s     *sched.Scheduler
+	nw    *netem.Network
+	cfg   TrafficConfig
+	pairs [][2]netem.NodeID
+	epoch *int // shared stop flag; incremented on Stop
+	sent  uint64
+}
+
+// pickPairs deterministically derives the run's pair set: an initial
+// selection from Seed, then Run·SwitchAmount single-pair replacements from
+// SwitchSeed.
+func pickPairs(candidates []netem.NodeID, cfg TrafficConfig) ([][2]netem.NodeID, error) {
+	if len(candidates) < 2 {
+		return nil, fmt.Errorf("fault: need at least 2 candidate nodes, have %d", len(candidates))
+	}
+	sorted := append([]netem.NodeID(nil), candidates...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	draw := func(r *rand.Rand) [2]netem.NodeID {
+		a := r.Intn(len(sorted))
+		b := r.Intn(len(sorted) - 1)
+		if b >= a {
+			b++
+		}
+		return [2]netem.NodeID{sorted[a], sorted[b]}
+	}
+	pairs := make([][2]netem.NodeID, cfg.Pairs)
+	for i := range pairs {
+		pairs[i] = draw(rng)
+	}
+	if cfg.SwitchAmount > 0 && cfg.Run > 0 {
+		srng := rand.New(rand.NewSource(cfg.SwitchSeed))
+		for step := 0; step < cfg.Run*cfg.SwitchAmount; step++ {
+			idx := srng.Intn(len(pairs))
+			a := srng.Intn(len(sorted))
+			b := srng.Intn(len(sorted) - 1)
+			if b >= a {
+				b++
+			}
+			pairs[idx] = [2]netem.NodeID{sorted[a], sorted[b]}
+		}
+	}
+	return pairs, nil
+}
+
+// StartTraffic launches background load between node pairs drawn from
+// candidates. Each pair communicates bidirectionally at cfg.BwKbps until
+// Stop is called.
+func StartTraffic(s *sched.Scheduler, nw *netem.Network, candidates []netem.NodeID, cfg TrafficConfig) (*Traffic, error) {
+	if cfg.Pairs <= 0 {
+		return nil, fmt.Errorf("fault: traffic needs a positive pair count")
+	}
+	if cfg.BwKbps <= 0 {
+		return nil, fmt.Errorf("fault: traffic needs a positive data rate")
+	}
+	if cfg.PacketSize == 0 {
+		cfg.PacketSize = 512
+	}
+	pairs, err := pickPairs(candidates, cfg)
+	if err != nil {
+		return nil, err
+	}
+	epoch := new(int)
+	t := &Traffic{s: s, nw: nw, cfg: cfg, pairs: pairs, epoch: epoch}
+	// BwKbps is the pair's aggregate bidirectional rate, so each
+	// direction carries half of it.
+	perDirBps := float64(cfg.BwKbps*1000) / 2
+	interval := time.Duration(float64(cfg.PacketSize*8) / perDirBps * float64(time.Second))
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	gen := *epoch
+	for _, p := range pairs {
+		for _, dirPair := range [][2]netem.NodeID{{p[0], p[1]}, {p[1], p[0]}} {
+			src, dst := dirPair[0], dirPair[1]
+			s.GoDaemon(fmt.Sprintf("traffic %s->%s", src, dst), func() {
+				payload := make([]byte, cfg.PacketSize)
+				for *epoch == gen {
+					nw.Node(src).Send(netem.Unicast(dst), TrafficProto, payload)
+					t.sent++
+					s.Sleep(interval)
+				}
+			})
+		}
+	}
+	return t, nil
+}
+
+// Pairs returns the active node pairs.
+func (t *Traffic) Pairs() [][2]netem.NodeID {
+	return append([][2]netem.NodeID(nil), t.pairs...)
+}
+
+// Sent returns the number of generated packets so far.
+func (t *Traffic) Sent() uint64 { return t.sent }
+
+// Stop ends traffic generation. The sender tasks terminate at their next
+// send slot.
+func (t *Traffic) Stop() { *t.epoch++ }
+
+// DropAll is the environment manipulation that makes all experiment nodes
+// stop receiving, sending and forwarding the experiment process packets
+// (§IV-D2). It installs an unconditional drop rule for the given protocol
+// label on every node.
+type DropAll struct {
+	nw    *netem.Network
+	proto string
+	rules map[netem.NodeID]*netem.Rule
+}
+
+// NewDropAll prepares the manipulation for the given protocol label
+// (empty = all packets).
+func NewDropAll(nw *netem.Network, proto string) *DropAll {
+	return &DropAll{nw: nw, proto: proto, rules: make(map[netem.NodeID]*netem.Rule)}
+}
+
+// Start installs the drop rules on all nodes.
+func (d *DropAll) Start() {
+	for _, id := range d.nw.Nodes() {
+		if d.rules[id] != nil {
+			continue
+		}
+		d.rules[id] = d.nw.Node(id).InstallRule(netem.Rule{
+			Dir: netem.DirBoth, Proto: d.proto, DropAll: true,
+		})
+	}
+}
+
+// Stop removes the drop rules.
+func (d *DropAll) Stop() {
+	for id, r := range d.rules {
+		d.nw.Node(id).RemoveRule(r)
+		delete(d.rules, id)
+	}
+}
+
+// Active reports whether the manipulation is installed.
+func (d *DropAll) Active() bool { return len(d.rules) > 0 }

@@ -1,0 +1,398 @@
+// Package master implements the ExperiMaster (§VI-A, Figs. 3 and 12): the
+// controlling entity that executes experiment runs as specified in the
+// abstract description.
+//
+// For every run the master performs the three phases of §IV-C1:
+//
+//	preparation — the environment is reset to a defined initial working
+//	    condition (leftover packets dropped, faults cleared, caches
+//	    flushed) and the per-node clock offsets are measured;
+//	execution — the experiment, manipulation and environment processes
+//	    run concurrently, synchronized through the event bus;
+//	clean-up — every participant is terminated, measurements are
+//	    harvested into the level-2 store.
+//
+// The master generates the treatment plan from the description, executes
+// runs in plan order, and resumes aborted experiments by skipping runs the
+// level-2 store marks as done.
+package master
+
+import (
+	"fmt"
+	"time"
+
+	"excovery/internal/desc"
+	"excovery/internal/eventlog"
+	"excovery/internal/process"
+	"excovery/internal/sched"
+	"excovery/internal/store"
+	"excovery/internal/timesync"
+	"excovery/internal/vclock"
+)
+
+// NodeHandle is the master's view of one participating node. The emulated
+// platform backs it with an in-process node.Manager; the distributed
+// deployment backs it with an XML-RPC proxy. The paper's node object
+// semantics ("uses locking to allow only one access at a time") hold
+// trivially under the cooperative scheduler.
+type NodeHandle interface {
+	// ID is the platform node id.
+	ID() string
+	// PrepareRun resets the node for a run (preparation phase).
+	PrepareRun(run int)
+	// CleanupRun terminates the run on the node (clean-up phase).
+	CleanupRun(run int)
+	// Execute performs one experiment action.
+	Execute(action string, params map[string]string) error
+	// Emit records an event on the node (event_flag).
+	Emit(typ string, params map[string]string)
+	// LocalTime reads the node's local clock (time sync probe).
+	LocalTime() time.Time
+	// HarvestEvents returns the node's recorded events of the run.
+	HarvestEvents(run int) []eventlog.Event
+	// HarvestPackets returns and clears the node's packet captures.
+	HarvestPackets() []store.PacketRecord
+	// HarvestExtras returns and clears the node's plugin measurements
+	// (§IV-B5).
+	HarvestExtras() []store.ExtraMeasurement
+}
+
+// EnvExecutor performs environment actions (traffic generation, drop-all)
+// for the platform. Reset is called during run preparation and clean-up to
+// stop leftover manipulations.
+type EnvExecutor interface {
+	Execute(action string, params map[string]string) error
+	Reset()
+}
+
+// Config assembles a master.
+type Config struct {
+	// Exp is the experiment description (level 1).
+	Exp *desc.Experiment
+	// S is the scheduler everything runs on.
+	S *sched.Scheduler
+	// Bus is the master's event bus.
+	Bus *eventlog.Bus
+	// Nodes maps platform node ids to handles. Every platform actor
+	// node of the description must be present.
+	Nodes map[string]NodeHandle
+	// Env executes environment actions; nil disallows env processes.
+	Env EnvExecutor
+	// Store receives level-2 data; nil keeps measurements in memory
+	// only (events remain available through the Report).
+	Store *store.RunStore
+	// Ref is the master's reference clock; nil means the scheduler
+	// clock.
+	Ref vclock.Clock
+	// MaxRunTime bounds one run's execution phase; 0 means 120 s.
+	MaxRunTime time.Duration
+	// Resume skips runs already marked done in the store.
+	Resume bool
+	// OnRunDone, if set, observes each completed run.
+	OnRunDone func(run desc.Run, rr RunResult)
+	// TopologyMeasure, if set, returns a serialized topology snapshot;
+	// it is recorded before and after the experiment (§IV-B4).
+	TopologyMeasure func() string
+}
+
+// RunResult summarizes one executed run.
+type RunResult struct {
+	// Run is the plan entry.
+	Run desc.Run
+	// Start is the run's start on the reference clock.
+	Start time.Time
+	// Duration is the wall (virtual) duration of the run.
+	Duration time.Duration
+	// Timeouts counts expired waits across all processes.
+	Timeouts int
+	// Err is the first process error, if any.
+	Err error
+	// Aborted reports that MaxRunTime expired before all processes
+	// finished.
+	Aborted bool
+	// Events are the run's events in bus order.
+	Events []eventlog.Event
+	// Offsets are the per-node clock measurements of the preparation
+	// phase.
+	Offsets []timesync.Measurement
+	// Skipped marks a run skipped by resume.
+	Skipped bool
+}
+
+// Report summarizes an experiment execution.
+type Report struct {
+	// Plan is the executed treatment plan.
+	Plan *desc.Plan
+	// Results holds one entry per run, in execution order.
+	Results []RunResult
+	// Completed counts successfully executed runs.
+	Completed int
+	// Skipped counts runs skipped by resume.
+	Skipped int
+}
+
+// Master executes experiments.
+type Master struct {
+	cfg  Config
+	rec  *eventlog.Recorder // the master's own events (node "env")
+	est  *timesync.Estimator
+	plan *desc.Plan
+}
+
+// New validates the description, generates the plan and assembles a
+// master.
+func New(cfg Config) (*Master, error) {
+	if cfg.Exp == nil || cfg.S == nil || cfg.Bus == nil {
+		return nil, fmt.Errorf("master: Exp, S and Bus are required")
+	}
+	if err := desc.Validate(cfg.Exp); err != nil {
+		return nil, fmt.Errorf("master: invalid description: %w", err)
+	}
+	plan, err := desc.GeneratePlan(cfg.Exp)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Ref == nil {
+		cfg.Ref = vclock.Perfect{S: cfg.S}
+	}
+	if cfg.MaxRunTime == 0 {
+		cfg.MaxRunTime = 120 * time.Second
+	}
+	// Every abstract node must be realized by a handle via the platform
+	// mapping.
+	for _, pn := range cfg.Exp.Platform.Actors {
+		if cfg.Nodes[pn.ID] == nil {
+			return nil, fmt.Errorf("master: no handle for platform node %q", pn.ID)
+		}
+	}
+	m := &Master{cfg: cfg, plan: plan,
+		est: &timesync.Estimator{Ref: cfg.Ref, Samples: 3},
+	}
+	m.rec = eventlog.NewRecorder("env", cfg.Ref, func(ev eventlog.Event) { cfg.Bus.Publish(ev) })
+	return m, nil
+}
+
+// Plan returns the generated treatment plan.
+func (m *Master) Plan() *desc.Plan { return m.plan }
+
+// RunAll executes the whole experiment. It must be called from scheduler
+// task context (the facade spawns it as a task).
+func (m *Master) RunAll() (*Report, error) {
+	rep := &Report{Plan: m.plan}
+	m.experimentInit()
+	for _, run := range m.plan.Runs {
+		if m.cfg.Resume && m.cfg.Store != nil && m.cfg.Store.RunDone(run.ID) {
+			rep.Results = append(rep.Results, RunResult{Run: run, Skipped: true})
+			rep.Skipped++
+			continue
+		}
+		rr := m.executeRun(run)
+		rep.Results = append(rep.Results, rr)
+		if rr.Err == nil && !rr.Aborted {
+			rep.Completed++
+		}
+		if m.cfg.OnRunDone != nil {
+			m.cfg.OnRunDone(run, rr)
+		}
+	}
+	m.experimentExit()
+	return rep, nil
+}
+
+// experimentInit performs the preparations before all individual runs
+// (§IV-C1 experiment_init) and records the initial topology.
+func (m *Master) experimentInit() {
+	m.rec.SetRun(-1)
+	m.rec.Emit("experiment_init", map[string]string{"name": m.cfg.Exp.Name})
+	if m.cfg.Store != nil {
+		if xml, err := desc.EncodeString(m.cfg.Exp); err == nil {
+			m.cfg.Store.WriteDescription(xml)
+		}
+		if m.cfg.TopologyMeasure != nil {
+			m.cfg.Store.WriteExperimentMeasurement("master", "topology_before.txt",
+				[]byte(m.cfg.TopologyMeasure()))
+		}
+	}
+}
+
+func (m *Master) experimentExit() {
+	m.rec.SetRun(-1)
+	if m.cfg.Store != nil && m.cfg.TopologyMeasure != nil {
+		m.cfg.Store.WriteExperimentMeasurement("master", "topology_after.txt",
+			[]byte(m.cfg.TopologyMeasure()))
+	}
+	m.rec.Emit("experiment_exit", nil)
+}
+
+// executeRun performs one run's three phases.
+func (m *Master) executeRun(run desc.Run) RunResult {
+	s := m.cfg.S
+	rr := RunResult{Run: run, Start: m.cfg.Ref.Now()}
+
+	// --- preparation phase ---
+	m.cfg.Bus.Reset()
+	m.rec.SetRun(run.ID)
+	if m.cfg.Env != nil {
+		m.cfg.Env.Reset()
+	}
+	for _, id := range m.nodeOrder() {
+		m.cfg.Nodes[id].PrepareRun(run.ID)
+	}
+	// Preliminary measurements: per-node clock offsets (§IV-B3).
+	for _, id := range m.nodeOrder() {
+		h := m.cfg.Nodes[id]
+		rr.Offsets = append(rr.Offsets, m.est.Measure(id, h.LocalTime))
+	}
+
+	// --- execution phase ---
+	roles := desc.RolesFor(m.cfg.Exp, run)
+	wg := s.NewWaitGroup(fmt.Sprintf("run %d", run.ID))
+	var firstErr error
+	timeouts := 0
+	canceled := false
+
+	launch := func(name string, ctx *process.Ctx, actions []desc.Action) {
+		ctx.Canceled = func() bool { return canceled }
+		wg.Add(1)
+		s.Go(name, func() {
+			defer wg.Done()
+			res, err := ctx.RunSequence(actions)
+			timeouts += len(res.Timeouts)
+			if err != nil && err != process.ErrCanceled && firstErr == nil {
+				firstErr = err
+			}
+		})
+	}
+
+	emit := func(nodeID string, typ string, params map[string]string) {
+		if nodeID == "" {
+			m.rec.Emit(typ, params)
+			return
+		}
+		m.cfg.Nodes[nodeID].Emit(typ, params)
+	}
+
+	for _, np := range m.cfg.Exp.NodeProcesses {
+		np := np
+		for _, nodeID := range roles[np.Actor] {
+			nodeID := nodeID
+			h := m.cfg.Nodes[nodeID]
+			if h == nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("master: run %d: no handle for node %q", run.ID, nodeID)
+				}
+				continue
+			}
+			exec := process.ExecutorFunc(func(_, action string, params map[string]string) error {
+				if action == "sd_init" && params["role"] == "" {
+					params["role"] = np.Name
+				}
+				return h.Execute(action, params)
+			})
+			ctx := &process.Ctx{S: s, Bus: m.cfg.Bus, Run: run, Roles: roles,
+				Node: nodeID, Emit: emit, Exec: exec}
+			launch(fmt.Sprintf("proc %s@%s", np.Actor, nodeID), ctx, np.Actions)
+		}
+	}
+	for _, mp := range m.cfg.Exp.ManipProcesses {
+		mp := mp
+		for _, nodeID := range roles[mp.Actor] {
+			nodeID := nodeID
+			h := m.cfg.Nodes[nodeID]
+			if h == nil {
+				continue
+			}
+			exec := process.ExecutorFunc(func(_, action string, params map[string]string) error {
+				return h.Execute(action, params)
+			})
+			ctx := &process.Ctx{S: s, Bus: m.cfg.Bus, Run: run, Roles: roles,
+				Node: nodeID, Emit: emit, Exec: exec}
+			launch(fmt.Sprintf("manip %s@%s", mp.Actor, nodeID), ctx, mp.Actions)
+		}
+	}
+	for i, ep := range m.cfg.Exp.EnvProcesses {
+		ep := ep
+		exec := process.ExecutorFunc(func(_, action string, params map[string]string) error {
+			if m.cfg.Env == nil {
+				return fmt.Errorf("master: no environment executor for %q", action)
+			}
+			params["__run"] = fmt.Sprint(run.ID)
+			return m.cfg.Env.Execute(action, params)
+		})
+		ctx := &process.Ctx{S: s, Bus: m.cfg.Bus, Run: run, Roles: roles,
+			Node: "", Emit: emit, Exec: exec}
+		launch(fmt.Sprintf("env %d", i), ctx, ep.Actions)
+	}
+
+	if !wg.WaitTimeout(m.cfg.MaxRunTime) {
+		rr.Aborted = true
+		m.rec.Emit("run_aborted", map[string]string{"run": fmt.Sprint(run.ID)})
+		// Cancel leftover process tasks: waiters on the bus give up at
+		// their next wake-up and the cancel flag stops further actions,
+		// so orphaned tasks cannot leak into later runs.
+		canceled = true
+		m.cfg.Bus.CancelWaiters()
+		wg.WaitTimeout(time.Second)
+	}
+	rr.Timeouts = timeouts
+	rr.Err = firstErr
+
+	// --- clean-up phase ---
+	if m.cfg.Env != nil {
+		m.cfg.Env.Reset()
+	}
+	for _, id := range m.nodeOrder() {
+		m.cfg.Nodes[id].CleanupRun(run.ID)
+	}
+	rr.Duration = m.cfg.Ref.Now().Sub(rr.Start)
+	rr.Events = append([]eventlog.Event(nil), m.cfg.Bus.Events()...)
+
+	// Harvest into level 2.
+	if m.cfg.Store != nil && !rr.Aborted && rr.Err == nil {
+		st := m.cfg.Store
+		for _, id := range m.nodeOrder() {
+			h := m.cfg.Nodes[id]
+			st.WriteEvents(run.ID, id, h.HarvestEvents(run.ID))
+			st.WritePackets(run.ID, id, h.HarvestPackets())
+			for _, x := range h.HarvestExtras() {
+				st.WriteExtra(run.ID, x.Node, x.Name, x.Content)
+			}
+		}
+		st.WriteEvents(run.ID, "env", m.envEvents(run.ID))
+		st.WriteRunInfo(store.RunInfo{Run: run.ID, Start: rr.Start, Offsets: rr.Offsets})
+		st.MarkRunDone(run.ID)
+	}
+	return rr
+}
+
+// envEvents extracts the master's own events of one run.
+func (m *Master) envEvents(run int) []eventlog.Event {
+	return m.rec.RunEvents(run)
+}
+
+// nodeOrder returns handle ids sorted for deterministic iteration.
+func (m *Master) nodeOrder() []string {
+	out := make([]string, 0, len(m.cfg.Nodes))
+	for id := range m.cfg.Nodes {
+		out = append(out, id)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Finalize conditions the level-2 store into a level-3 database (§IV-F).
+func (m *Master) Finalize() (*store.ExperimentDB, error) {
+	if m.cfg.Store == nil {
+		return nil, fmt.Errorf("master: no store configured")
+	}
+	xml, _ := desc.EncodeString(m.cfg.Exp)
+	return store.Condition(m.cfg.Store, store.Meta{
+		ExpXML:  xml,
+		Name:    m.cfg.Exp.Name,
+		Comment: m.cfg.Exp.Comment,
+	})
+}

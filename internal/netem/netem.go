@@ -1,0 +1,420 @@
+// Package netem emulates a wireless multi-hop IP network on a cooperative
+// scheduler.
+//
+// The paper's prototype runs on the DES wireless testbed at FU Berlin; this
+// package is the substitute platform (see DESIGN.md). It fulfils the
+// platform requirements of §IV-A as far as they apply to an emulator:
+//
+//   - Experiment management (§IV-A1): the control channel is out of band —
+//     the master manipulates nodes through direct method calls (or XML-RPC
+//     in the distributed deployment), never through emulated links.
+//   - Connection control (§IV-A2): interfaces can be taken down per
+//     direction and packets can be dropped, delayed and modified based on
+//     installed rules (see rules.go).
+//   - Measurement (§IV-A3): every node captures packets with local
+//     timestamps and full content, packets carry unique identifiers and
+//     their hop-by-hop path, and a 16-bit packet tagger reproduces the
+//     prototype's IP-option tagging.
+//
+// Topology is an arbitrary undirected graph with per-link delay, jitter and
+// loss and per-node transmission rate (the shared-medium serialization of a
+// wireless radio). Unicast packets are routed hop by hop along shortest
+// paths; multicast and broadcast packets flood the mesh with per-hop
+// duplicate suppression and a TTL, which is how mDNS traffic propagates in
+// a mesh under flooding-based multicast.
+package netem
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"excovery/internal/sched"
+	"excovery/internal/vclock"
+)
+
+// BurstLoss is a two-state Gilbert–Elliott loss model for bursty wireless
+// links ([8]: real radio channels lose packets in bursts, not
+// independently). The link is in a good or a bad state; each traversing
+// packet first triggers a possible state transition, then draws its loss
+// from the current state's probability.
+type BurstLoss struct {
+	// PGoodToBad and PBadToGood are per-packet transition probabilities.
+	PGoodToBad, PBadToGood float64
+	// LossGood and LossBad are the loss probabilities in each state
+	// (typically LossGood ≪ LossBad).
+	LossGood, LossBad float64
+}
+
+// MeanLoss returns the stationary loss probability of the model.
+func (b BurstLoss) MeanLoss() float64 {
+	den := b.PGoodToBad + b.PBadToGood
+	if den == 0 {
+		return b.LossGood
+	}
+	pBad := b.PGoodToBad / den
+	return (1-pBad)*b.LossGood + pBad*b.LossBad
+}
+
+// LinkParams describe one directed link of the topology.
+type LinkParams struct {
+	// Delay is the constant propagation/processing delay.
+	Delay time.Duration
+	// Jitter adds a uniformly distributed extra delay in [0,Jitter).
+	Jitter time.Duration
+	// Loss is the probability in [0,1] that a packet on this link is
+	// lost. Losses are independent per packet and per receiving neighbor
+	// (broadcast transmissions can reach some neighbors and miss others,
+	// as on a real radio channel).
+	Loss float64
+	// Burst, if non-nil, replaces the independent Loss with the
+	// Gilbert–Elliott model; each directed link keeps its own state.
+	Burst *BurstLoss
+
+	// burstBad is the per-directed-link Gilbert–Elliott state.
+	burstBad bool
+}
+
+// DefaultLink returns link parameters resembling one hop of an IEEE 802.11
+// mesh under light load: 1 ms delay, 0.5 ms jitter, 1 % loss.
+func DefaultLink() LinkParams {
+	return LinkParams{Delay: time.Millisecond, Jitter: 500 * time.Microsecond, Loss: 0.01}
+}
+
+// NodeParams describe a node's radio.
+type NodeParams struct {
+	// RateBps is the egress serialization rate in bits per second. All
+	// transmissions of a node share this rate, which models medium
+	// occupancy: background traffic inflates the queueing delay of SD
+	// packets. Default 6 Mbit/s (effective 802.11g mesh rate).
+	RateBps int64
+	// QueueLen is the maximum number of packets in the egress queue;
+	// excess packets are tail-dropped. Default 64.
+	QueueLen int
+	// Clock is the node's local clock; nil means a perfect clock.
+	Clock vclock.Clock
+}
+
+func (p *NodeParams) fill(s *sched.Scheduler) {
+	if p.RateBps == 0 {
+		p.RateBps = 6_000_000
+	}
+	if p.QueueLen == 0 {
+		p.QueueLen = 64
+	}
+	if p.Clock == nil {
+		p.Clock = vclock.Perfect{S: s}
+	}
+}
+
+// DropReason classifies discarded packets in the network statistics.
+type DropReason int
+
+const (
+	// DropLoss is a random link loss.
+	DropLoss DropReason = iota
+	// DropRule is a discard by an installed manipulation rule.
+	DropRule
+	// DropQueue is an egress tail drop (queue full).
+	DropQueue
+	// DropNoRoute means no path to the unicast destination exists.
+	DropNoRoute
+	// DropTTL means the flood TTL expired.
+	DropTTL
+	// DropIfDown means the interface was administratively down.
+	DropIfDown
+	dropReasonCount
+)
+
+func (r DropReason) String() string {
+	switch r {
+	case DropLoss:
+		return "loss"
+	case DropRule:
+		return "rule"
+	case DropQueue:
+		return "queue"
+	case DropNoRoute:
+		return "noroute"
+	case DropTTL:
+		return "ttl"
+	case DropIfDown:
+		return "ifdown"
+	default:
+		return fmt.Sprintf("DropReason(%d)", int(r))
+	}
+}
+
+// Stats are network-wide packet counters.
+type Stats struct {
+	// Sent counts packets handed to Send.
+	Sent uint64
+	// Transmissions counts per-hop radio transmissions.
+	Transmissions uint64
+	// Delivered counts handler invocations.
+	Delivered uint64
+	// Duplicates counts flood duplicates suppressed at receivers.
+	Duplicates uint64
+	// Dropped counts discards by reason.
+	Dropped [dropReasonCount]uint64
+}
+
+// DroppedTotal sums all drop reasons.
+func (st *Stats) DroppedTotal() uint64 {
+	var t uint64
+	for _, v := range st.Dropped {
+		t += v
+	}
+	return t
+}
+
+// Network is an emulated mesh network.
+type Network struct {
+	s       *sched.Scheduler
+	nodes   map[NodeID]*Node
+	order   []NodeID // sorted, for deterministic iteration
+	links   map[NodeID]map[NodeID]*LinkParams
+	groups  map[string]map[NodeID]bool
+	routes  map[NodeID]map[NodeID]NodeID // routes[src][dst] = next hop
+	dirty   bool
+	pktSeq  uint64
+	ruleSeq int
+	seed    int64
+	stats   Stats
+
+	// DefaultTTL limits multicast/broadcast flooding; default 8 hops.
+	DefaultTTL int
+	// Contention models the shared wireless medium (CSMA-style): a
+	// transmission occupies the channel at the sender and all its radio
+	// neighbors, so background traffic steals airtime from everyone in
+	// range — the mechanism that makes generated load inflate discovery
+	// times on a real testbed. Default on; switch off for idealized
+	// point-to-point links.
+	Contention bool
+
+	busyUntil map[NodeID]time.Time
+}
+
+// New creates an empty network. All random decisions (loss, jitter) derive
+// from seed, so two networks with equal topology, seed and workload behave
+// identically (§IV-C1: "perfect repeatability of random sequences").
+func New(s *sched.Scheduler, seed int64) *Network {
+	return &Network{
+		s:          s,
+		nodes:      make(map[NodeID]*Node),
+		links:      make(map[NodeID]map[NodeID]*LinkParams),
+		groups:     make(map[string]map[NodeID]bool),
+		seed:       seed,
+		DefaultTTL: 8,
+		Contention: true,
+		busyUntil:  make(map[NodeID]time.Time),
+	}
+}
+
+// Scheduler returns the scheduler the network runs on.
+func (nw *Network) Scheduler() *sched.Scheduler { return nw.s }
+
+// Stats returns a snapshot of the network counters.
+func (nw *Network) Stats() Stats { return nw.stats }
+
+// ResetStats zeroes the network counters (run preparation).
+func (nw *Network) ResetStats() { nw.stats = Stats{} }
+
+// AddNode creates a node. Adding an existing node panics: node identifiers
+// are host names and must be unique (§IV-E).
+func (nw *Network) AddNode(id NodeID, params NodeParams) *Node {
+	if _, dup := nw.nodes[id]; dup {
+		panic(fmt.Sprintf("netem: duplicate node %q", id))
+	}
+	params.fill(nw.s)
+	n := &Node{
+		id:     id,
+		net:    nw,
+		params: params,
+		clock:  params.Clock,
+		rng:    rand.New(rand.NewSource(nw.seed ^ int64(hashID(id)))),
+		seen:   make(map[uint64]bool),
+		up:     true,
+	}
+	n.egress = sched.NewQueue[*transmission](nw.s, "egress "+string(id))
+	nw.s.GoDaemon("pump "+string(id), n.pump)
+	nw.nodes[id] = n
+	nw.order = append(nw.order, id)
+	sort.Slice(nw.order, func(i, j int) bool { return nw.order[i] < nw.order[j] })
+	nw.links[id] = make(map[NodeID]*LinkParams)
+	nw.dirty = true
+	return n
+}
+
+// Node returns the named node or nil.
+func (nw *Network) Node(id NodeID) *Node { return nw.nodes[id] }
+
+// Nodes returns all node identifiers in sorted order.
+func (nw *Network) Nodes() []NodeID { return append([]NodeID(nil), nw.order...) }
+
+// AddLink creates a bidirectional link with the same parameters in both
+// directions. Links to unknown nodes panic.
+func (nw *Network) AddLink(a, b NodeID, p LinkParams) {
+	nw.addDirected(a, b, p)
+	nw.addDirected(b, a, p)
+}
+
+// AddDirectedLink creates a unidirectional link (asymmetric links are
+// common in wireless meshes, [8]).
+func (nw *Network) AddDirectedLink(from, to NodeID, p LinkParams) {
+	nw.addDirected(from, to, p)
+}
+
+func (nw *Network) addDirected(from, to NodeID, p LinkParams) {
+	if nw.nodes[from] == nil || nw.nodes[to] == nil {
+		panic(fmt.Sprintf("netem: link %s->%s references unknown node", from, to))
+	}
+	if from == to {
+		panic("netem: self link")
+	}
+	cp := p
+	nw.links[from][to] = &cp
+	nw.dirty = true
+}
+
+// Link returns the parameters of the directed link from->to, or nil.
+func (nw *Network) Link(from, to NodeID) *LinkParams {
+	return nw.links[from][to]
+}
+
+// RemoveLink deletes the link in both directions.
+func (nw *Network) RemoveLink(a, b NodeID) {
+	delete(nw.links[a], b)
+	delete(nw.links[b], a)
+	nw.dirty = true
+}
+
+// Join adds a node to a multicast group.
+func (nw *Network) Join(group string, id NodeID) {
+	if nw.groups[group] == nil {
+		nw.groups[group] = make(map[NodeID]bool)
+	}
+	nw.groups[group][id] = true
+}
+
+// Leave removes a node from a multicast group.
+func (nw *Network) Leave(group string, id NodeID) {
+	delete(nw.groups[group], id)
+}
+
+// InGroup reports group membership.
+func (nw *Network) InGroup(group string, id NodeID) bool {
+	return nw.groups[group][id]
+}
+
+// neighbors returns the usable outgoing links of n in sorted order.
+func (nw *Network) neighbors(n NodeID) []NodeID {
+	out := make([]NodeID, 0, len(nw.links[n]))
+	for id := range nw.links[n] {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// recomputeRoutes rebuilds the next-hop tables with a BFS per source over
+// nodes whose interfaces are up.
+func (nw *Network) recomputeRoutes() {
+	nw.routes = make(map[NodeID]map[NodeID]NodeID, len(nw.order))
+	for _, src := range nw.order {
+		nw.routes[src] = nw.bfsFrom(src)
+	}
+	nw.dirty = false
+}
+
+func (nw *Network) bfsFrom(src NodeID) map[NodeID]NodeID {
+	next := make(map[NodeID]NodeID)
+	if !nw.nodes[src].up {
+		return next
+	}
+	type qe struct {
+		node  NodeID
+		first NodeID // first hop on the path from src
+	}
+	visited := map[NodeID]bool{src: true}
+	var queue []qe
+	for _, nb := range nw.neighbors(src) {
+		if nw.nodes[nb].up {
+			visited[nb] = true
+			next[nb] = nb
+			queue = append(queue, qe{nb, nb})
+		}
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range nw.neighbors(cur.node) {
+			if visited[nb] || !nw.nodes[nb].up {
+				continue
+			}
+			visited[nb] = true
+			next[nb] = cur.first
+			queue = append(queue, qe{nb, cur.first})
+		}
+	}
+	return next
+}
+
+// NextHop returns the first hop on the route src->dst, recomputing routes
+// if the topology changed. ok is false when dst is unreachable.
+func (nw *Network) NextHop(src, dst NodeID) (NodeID, bool) {
+	if nw.dirty {
+		nw.recomputeRoutes()
+	}
+	hop, ok := nw.routes[src][dst]
+	return hop, ok
+}
+
+// HopCount returns the number of hops on the shortest path a->b, 0 for
+// a==b, or -1 if unreachable. It is the topology measurement of §IV-B4.
+func (nw *Network) HopCount(a, b NodeID) int {
+	if a == b {
+		return 0
+	}
+	if nw.dirty {
+		nw.recomputeRoutes()
+	}
+	hops := 0
+	cur := a
+	for cur != b {
+		next, ok := nw.routes[cur][b]
+		if !ok {
+			return -1
+		}
+		cur = next
+		hops++
+		if hops > len(nw.order) {
+			return -1 // routing loop guard; cannot happen with BFS tables
+		}
+	}
+	return hops
+}
+
+// HopMatrix measures hop counts between all node pairs, as done before and
+// after each experiment (§IV-B4).
+func (nw *Network) HopMatrix() map[NodeID]map[NodeID]int {
+	m := make(map[NodeID]map[NodeID]int, len(nw.order))
+	for _, a := range nw.order {
+		m[a] = make(map[NodeID]int, len(nw.order))
+		for _, b := range nw.order {
+			m[a][b] = nw.HopCount(a, b)
+		}
+	}
+	return m
+}
+
+func hashID(id NodeID) uint64 {
+	// FNV-1a; stable across runs and platforms.
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= 1099511628211
+	}
+	return h
+}

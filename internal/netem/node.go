@@ -1,0 +1,349 @@
+package netem
+
+import (
+	"math/rand"
+	"time"
+
+	"excovery/internal/sched"
+	"excovery/internal/vclock"
+)
+
+// Handler receives packets addressed to a node. It runs in scheduler task
+// context and may use all scheduler primitives.
+type Handler func(p *Packet)
+
+// Node is one emulated network node.
+type Node struct {
+	id     NodeID
+	net    *Network
+	params NodeParams
+	clock  vclock.Clock
+	rng    *rand.Rand
+
+	handler Handler
+
+	egress  *sched.Queue[*transmission]
+	queued  int // packets currently in egress (for tail drop)
+	up      bool
+	rxDown  bool
+	txDown  bool
+	tag     uint16
+	tagging bool
+
+	capturing bool
+	captures  []Capture
+
+	rules []*Rule
+	seen  map[uint64]bool // flood duplicate suppression
+}
+
+// transmission is one queued radio transmission.
+type transmission struct {
+	pkt *Packet
+	// nextHop is the unicast relay target; zero for flood transmissions.
+	nextHop NodeID
+	// extraDelay accumulates rule-injected delay to apply before
+	// propagation.
+	extraDelay time.Duration
+}
+
+// ID returns the node identifier.
+func (n *Node) ID() NodeID { return n.id }
+
+// Net returns the network the node belongs to.
+func (n *Node) Net() *Network { return n.net }
+
+// Clock returns the node's local clock.
+func (n *Node) Clock() vclock.Clock { return n.clock }
+
+// SetClock replaces the node's local clock (used by experiments that model
+// clock deviation).
+func (n *Node) SetClock(c vclock.Clock) {
+	if c == nil {
+		c = vclock.Perfect{S: n.net.s}
+	}
+	n.clock = c
+}
+
+// SetHandler installs the packet receive handler.
+func (n *Node) SetHandler(h Handler) { n.handler = h }
+
+// SetTagging enables the packet tagger of §VI-A: each transmitted packet
+// gets a 16-bit identifier, incremented per packet, wrapping at 65535.
+func (n *Node) SetTagging(on bool) { n.tagging = on }
+
+// SetCapture enables or disables packet capture on this node.
+func (n *Node) SetCapture(on bool) { n.capturing = on }
+
+// Captures returns the packets captured so far.
+func (n *Node) Captures() []Capture { return n.captures }
+
+// ClearCaptures drops captured packets (between runs).
+func (n *Node) ClearCaptures() { n.captures = nil }
+
+// ResetRunState clears per-run transient state: flood duplicate suppression
+// and queued packets are discarded, reproducing the preparation-phase
+// requirement that "network packets generated in previous runs must be
+// dropped on all participants" (§IV-C1).
+func (n *Node) ResetRunState() {
+	n.seen = make(map[uint64]bool)
+	for {
+		if _, ok := n.egress.TryPop(); !ok {
+			break
+		}
+		n.queued--
+	}
+}
+
+// InterfaceUp reports whether the interface is administratively up.
+func (n *Node) InterfaceUp() bool { return n.up }
+
+// SetInterface activates or deactivates the node's network interface
+// (§IV-A2). A down interface neither sends, receives nor forwards, and the
+// node disappears from routing until reactivated.
+func (n *Node) SetInterface(up bool) {
+	if n.up == up {
+		return
+	}
+	n.up = up
+	n.net.dirty = true
+}
+
+// SetInterfaceDir blocks only one direction, implementing the directional
+// interface fault of §IV-D1 without removing the node from routing.
+func (n *Node) SetInterfaceDir(rxBlocked, txBlocked bool) {
+	n.rxDown = rxBlocked
+	n.txDown = txBlocked
+}
+
+func (n *Node) capture(p *Packet, dir CaptureDir) {
+	if !n.capturing {
+		return
+	}
+	n.captures = append(n.captures, Capture{
+		Time: n.clock.Now(),
+		Dir:  dir,
+		Node: n.id,
+		Pkt:  *p,
+	})
+}
+
+// Send originates a packet from this node. For unicast destinations it is
+// routed hop by hop; multicast and broadcast flood the mesh. It returns the
+// assigned packet ID; ok is false if the packet was dropped locally (down
+// interface, full queue, tx rule, or no route).
+func (n *Node) Send(dst Dest, proto string, payload []byte) (id uint64, ok bool) {
+	nw := n.net
+	nw.stats.Sent++
+	nw.pktSeq++
+	p := &Packet{
+		ID:      nw.pktSeq,
+		Src:     n.id,
+		Dst:     dst,
+		Proto:   proto,
+		Payload: payload,
+		TTL:     nw.DefaultTTL,
+		Path:    []NodeID{n.id},
+		SentAt:  nw.s.Now(),
+	}
+	if n.tagging {
+		n.tag++
+		p.Tag = n.tag
+	}
+	// Originating node has seen its own flood packet.
+	n.seen[p.ID] = true
+	return p.ID, n.enqueue(p)
+}
+
+// enqueue pushes a packet into the egress queue, applying tx admission
+// (interface state, rules, tail drop). It is used for both originated and
+// forwarded packets.
+func (n *Node) enqueue(p *Packet) bool {
+	nw := n.net
+	if !n.up || n.txDown {
+		nw.stats.Dropped[DropIfDown]++
+		return false
+	}
+	v := n.evalRules(p, CaptureTx)
+	if v.drop {
+		nw.stats.Dropped[DropRule]++
+		return false
+	}
+	x := &transmission{pkt: p, extraDelay: v.delay}
+	if p.Dst.IsUnicast() && p.Dst.Node != n.id {
+		hop, ok := nw.NextHop(n.id, p.Dst.Node)
+		if !ok {
+			nw.stats.Dropped[DropNoRoute]++
+			return false
+		}
+		x.nextHop = hop
+	}
+	if n.queued >= n.params.QueueLen {
+		nw.stats.Dropped[DropQueue]++
+		return false
+	}
+	n.queued++
+	n.egress.Push(x)
+	return true
+}
+
+// pump serializes transmissions at the node's radio rate. One daemon task
+// per node.
+func (n *Node) pump() {
+	for {
+		x, ok := n.egress.Pop()
+		if !ok {
+			return
+		}
+		n.queued--
+		// Serialization: the radio occupies the medium for size*8/rate.
+		// Rule-injected delay does NOT occupy the medium; it is applied
+		// per propagation below, like a real qdisc netem delay.
+		txTime := time.Duration(float64(x.pkt.WireSize()*8) / float64(n.params.RateBps) * float64(time.Second))
+		if n.net.Contention {
+			// CSMA-style deferral: wait while any neighbor occupies the
+			// channel, with a small random backoff against lockstep.
+			for {
+				busy := n.net.busyUntil[n.id]
+				now := n.net.s.Now()
+				if !busy.After(now) {
+					break
+				}
+				n.net.s.Sleep(busy.Sub(now) + time.Duration(n.rng.Int63n(int64(50*time.Microsecond))))
+			}
+			// Reserve the channel at the sender and all its neighbors.
+			until := n.net.s.Now().Add(txTime)
+			if until.After(n.net.busyUntil[n.id]) {
+				n.net.busyUntil[n.id] = until
+			}
+			for _, nb := range n.net.neighbors(n.id) {
+				if until.After(n.net.busyUntil[nb]) {
+					n.net.busyUntil[nb] = until
+				}
+			}
+		}
+		n.net.s.Sleep(txTime)
+		if !n.up || n.txDown {
+			n.net.stats.Dropped[DropIfDown]++
+			continue
+		}
+		n.transmit(x)
+	}
+}
+
+// transmit propagates one radio transmission to its neighbor(s).
+func (n *Node) transmit(x *transmission) {
+	nw := n.net
+	nw.stats.Transmissions++
+	n.capture(x.pkt, CaptureTx)
+	if x.pkt.Dst.IsUnicast() {
+		if x.pkt.Dst.Node == n.id {
+			// Loopback delivery.
+			n.receive(x.pkt.clone())
+			return
+		}
+		n.propagate(x.pkt, x.nextHop, x.extraDelay)
+		return
+	}
+	// Flood: one transmission reaches every neighbor, each with an
+	// independent loss draw.
+	for _, nb := range nw.neighbors(n.id) {
+		n.propagate(x.pkt, nb, x.extraDelay)
+	}
+}
+
+// propagate models the link from n to neighbor nb: loss, delay, jitter,
+// plus any rule-injected extra delay.
+func (n *Node) propagate(p *Packet, nb NodeID, extra time.Duration) {
+	nw := n.net
+	lp := nw.links[n.id][nb]
+	if lp == nil {
+		nw.stats.Dropped[DropNoRoute]++
+		return
+	}
+	if lp.Burst != nil {
+		b := lp.Burst
+		if lp.burstBad {
+			if n.rng.Float64() < b.PBadToGood {
+				lp.burstBad = false
+			}
+		} else {
+			if n.rng.Float64() < b.PGoodToBad {
+				lp.burstBad = true
+			}
+		}
+		loss := b.LossGood
+		if lp.burstBad {
+			loss = b.LossBad
+		}
+		if loss > 0 && n.rng.Float64() < loss {
+			nw.stats.Dropped[DropLoss]++
+			return
+		}
+	} else if lp.Loss > 0 && n.rng.Float64() < lp.Loss {
+		nw.stats.Dropped[DropLoss]++
+		return
+	}
+	delay := lp.Delay + extra
+	if lp.Jitter > 0 {
+		delay += time.Duration(n.rng.Int63n(int64(lp.Jitter)))
+	}
+	target := nw.nodes[nb]
+	q := p.clone()
+	nw.s.ScheduleFunc(delay, "rx "+string(nb), func() {
+		target.receive(q)
+	})
+}
+
+// receive processes an arriving packet: capture, rx rules, duplicate
+// suppression, local delivery, and forwarding/reflooding.
+func (n *Node) receive(p *Packet) {
+	nw := n.net
+	if !n.up || n.rxDown {
+		nw.stats.Dropped[DropIfDown]++
+		return
+	}
+	p.Path = append(p.Path, n.id)
+	n.capture(p, CaptureRx)
+	v := n.evalRules(p, CaptureRx)
+	if v.drop {
+		nw.stats.Dropped[DropRule]++
+		return
+	}
+	if v.delay > 0 {
+		nw.s.Sleep(v.delay)
+	}
+
+	if p.Dst.IsUnicast() {
+		if p.Dst.Node == n.id {
+			n.deliver(p)
+			return
+		}
+		// Relay.
+		n.enqueue(p)
+		return
+	}
+
+	// Flood handling with duplicate suppression.
+	if n.seen[p.ID] {
+		nw.stats.Duplicates++
+		return
+	}
+	n.seen[p.ID] = true
+	if p.Dst.Broadcast || nw.InGroup(p.Dst.Group, n.id) {
+		n.deliver(p)
+	}
+	p.TTL--
+	if p.TTL <= 0 {
+		nw.stats.Dropped[DropTTL]++
+		return
+	}
+	n.enqueue(p)
+}
+
+func (n *Node) deliver(p *Packet) {
+	n.net.stats.Delivered++
+	if n.handler != nil {
+		n.handler(p)
+	}
+}

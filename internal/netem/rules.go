@@ -1,0 +1,162 @@
+package netem
+
+import "time"
+
+// Direction selects which packet flows a manipulation rule applies to
+// (§IV-D1: "Direction can be receive, transmit, both").
+type Direction int
+
+const (
+	// DirBoth applies to received and transmitted packets.
+	DirBoth Direction = iota
+	// DirRx applies to received packets only.
+	DirRx
+	// DirTx applies to transmitted packets only.
+	DirTx
+)
+
+func (d Direction) String() string {
+	switch d {
+	case DirRx:
+		return "rx"
+	case DirTx:
+		return "tx"
+	default:
+		return "both"
+	}
+}
+
+// matches reports whether a rule with direction d applies to a packet
+// moving in capture direction c.
+func (d Direction) matches(c CaptureDir) bool {
+	switch d {
+	case DirBoth:
+		return true
+	case DirRx:
+		return c == CaptureRx
+	default:
+		return c == CaptureTx
+	}
+}
+
+// Rule is a packet-manipulation rule installed on a node. Rules implement
+// the connection-control requirement of §IV-A2 (dropping, delaying and
+// modifying packets based on defined rules) and are the mechanism behind
+// the fault injections of §IV-D1.
+type Rule struct {
+	id int
+	// Dir selects transmit and/or receive application.
+	Dir Direction
+	// Proto, if non-empty, restricts the rule to packets with that
+	// protocol label. Fault injections use "sd" to affect only packets
+	// "belonging to the experiment process" (§IV-D1).
+	Proto string
+	// Peer, if non-empty, restricts the rule to packets whose remote end
+	// (source for rx, destination for tx) is this node. Path loss and
+	// path delay faults use it.
+	Peer NodeID
+	// DropProb is the probability in [0,1] that a matching packet is
+	// discarded.
+	DropProb float64
+	// DropAll unconditionally discards matching packets (interface
+	// fault / drop-all manipulation).
+	DropAll bool
+	// Delay adds a constant delay to matching packets (message delay
+	// fault).
+	Delay time.Duration
+	// ReorderProb delays a matching packet by ReorderDelay with this
+	// probability, letting later packets overtake it (§IV-A2 requires
+	// reordering support).
+	ReorderProb  float64
+	ReorderDelay time.Duration
+	// Modify, if non-nil, replaces the packet payload (content
+	// manipulation, §IV-A2). It must not retain the packet.
+	Modify func(p *Packet)
+}
+
+// ID returns the rule identifier assigned at installation.
+func (r *Rule) ID() int { return r.id }
+
+// appliesTo reports whether the rule matches packet p moving in direction c
+// at node n.
+func (r *Rule) appliesTo(p *Packet, c CaptureDir) bool {
+	if !r.Dir.matches(c) {
+		return false
+	}
+	if r.Proto != "" && p.Proto != r.Proto {
+		return false
+	}
+	if r.Peer != "" {
+		if c == CaptureRx {
+			if p.Src != r.Peer {
+				return false
+			}
+		} else {
+			if !p.Dst.IsUnicast() || p.Dst.Node != r.Peer {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// verdict is the outcome of evaluating a node's rule chain on one packet.
+type verdict struct {
+	drop  bool
+	delay time.Duration
+}
+
+// evalRules runs all installed rules of n on p for direction c. Random
+// decisions draw from the node's deterministic rng stream.
+func (n *Node) evalRules(p *Packet, c CaptureDir) verdict {
+	var v verdict
+	for _, r := range n.rules {
+		if !r.appliesTo(p, c) {
+			continue
+		}
+		if r.DropAll {
+			v.drop = true
+			return v
+		}
+		if r.DropProb > 0 && n.rng.Float64() < r.DropProb {
+			v.drop = true
+			return v
+		}
+		v.delay += r.Delay
+		if r.ReorderProb > 0 && n.rng.Float64() < r.ReorderProb {
+			v.delay += r.ReorderDelay
+		}
+		if r.Modify != nil {
+			r.Modify(p)
+		}
+	}
+	return v
+}
+
+// InstallRule adds a manipulation rule to the node and returns it; the rule
+// stays active until RemoveRule.
+func (n *Node) InstallRule(r Rule) *Rule {
+	n.net.ruleSeq++
+	r.id = n.net.ruleSeq
+	rp := &r
+	n.rules = append(n.rules, rp)
+	return rp
+}
+
+// RemoveRule uninstalls a rule previously returned by InstallRule. Removing
+// a rule twice is a no-op.
+func (n *Node) RemoveRule(r *Rule) {
+	for i, x := range n.rules {
+		if x == r {
+			n.rules = append(n.rules[:i], n.rules[i+1:]...)
+			return
+		}
+	}
+}
+
+// ClearRules removes all rules (run preparation resets the environment,
+// §IV-C1).
+func (n *Node) ClearRules() { n.rules = nil }
+
+// RuleCount returns the number of installed rules.
+func (n *Node) RuleCount() int { return len(n.rules) }

@@ -1,0 +1,335 @@
+// Package node implements the NodeManager, the central component of a
+// node participating in experiments (§VI-A, Fig. 12). It exposes the
+// experiment process actions (the SD actions of §V), the fault injection
+// actions (§IV-D1) and management procedures; their implementation is
+// delegated to sub-components — the SD actions to an sd.Agent (the
+// prototype delegated to Avahi), the faults to the fault package. All
+// components use the node's event recorder to signal event occurrences.
+//
+// A plugin mechanism lets experimenters extend the action vocabulary with
+// custom functions (§IV-B: "a plugin concept to extend these data with
+// custom measurements on demand").
+package node
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"excovery/internal/eventlog"
+	"excovery/internal/fault"
+	"excovery/internal/netem"
+	"excovery/internal/sched"
+	"excovery/internal/sd"
+	"excovery/internal/store"
+)
+
+// DefaultServiceType is the service class used when an action does not
+// name one.
+const DefaultServiceType sd.ServiceType = "_expproc._udp"
+
+// PluginFunc is a custom action or measurement registered by an
+// experimenter.
+type PluginFunc func(params map[string]string) error
+
+// Manager is one node's experiment agent.
+type Manager struct {
+	s     *sched.Scheduler
+	nd    *netem.Node
+	rec   *eventlog.Recorder
+	agent sd.Agent
+
+	faults  map[string][]activeFault // kind → active injections
+	plugins map[string]PluginFunc
+	extras  []store.ExtraMeasurement // plugin measurements of the run
+}
+
+type activeFault struct {
+	inj     fault.Injection
+	applied *fault.Applied
+}
+
+// New creates a manager for a netem node. agent may be nil for pure
+// environment nodes. The recorder should report to the master's bus.
+func New(s *sched.Scheduler, nd *netem.Node, rec *eventlog.Recorder, agent sd.Agent) *Manager {
+	return &Manager{
+		s: s, nd: nd, rec: rec, agent: agent,
+		faults:  make(map[string][]activeFault),
+		plugins: make(map[string]PluginFunc),
+	}
+}
+
+// ID returns the platform node id.
+func (m *Manager) ID() string { return string(m.nd.ID()) }
+
+// Recorder returns the node's event recorder.
+func (m *Manager) Recorder() *eventlog.Recorder { return m.rec }
+
+// Node returns the underlying netem node.
+func (m *Manager) Node() *netem.Node { return m.nd }
+
+// Agent returns the SD agent (nil on environment nodes).
+func (m *Manager) Agent() sd.Agent { return m.agent }
+
+// Emit records an event on this node.
+func (m *Manager) Emit(typ string, params map[string]string) {
+	m.rec.Emit(typ, params)
+}
+
+// LocalTime returns the node's local clock reading; the master's time-sync
+// estimator probes it (§IV-B3).
+func (m *Manager) LocalTime() time.Time { return m.nd.Clock().Now() }
+
+// AddExtra records a named plugin measurement for the current run; the
+// master harvests it into the level-2 store, from where conditioning moves
+// it into the ExtraRunMeasurements table (§IV-B5: plugins have a separate
+// storage location that must be accessible during collection).
+func (m *Manager) AddExtra(name string, content []byte) {
+	m.extras = append(m.extras, store.ExtraMeasurement{
+		Run: m.rec.Run(), Node: m.ID(), Name: name, Content: content,
+	})
+}
+
+// HarvestExtras returns and clears the plugin measurements.
+func (m *Manager) HarvestExtras() []store.ExtraMeasurement {
+	out := m.extras
+	m.extras = nil
+	return out
+}
+
+// RegisterPlugin adds a custom action; it becomes invocable from process
+// descriptions under its name.
+func (m *Manager) RegisterPlugin(name string, fn PluginFunc) {
+	if _, dup := m.plugins[name]; dup {
+		panic("node: duplicate plugin " + name)
+	}
+	m.plugins[name] = fn
+}
+
+// PrepareRun resets per-run state: the run id on the recorder, leftover
+// packets and rules in the network, pending faults, and packet captures
+// (§IV-C1: "the whole environment of the experiment process must be reset
+// to a defined initial working condition").
+func (m *Manager) PrepareRun(run int) {
+	m.rec.SetRun(run)
+	m.StopAllFaults()
+	m.nd.ResetRunState()
+	m.nd.ClearCaptures()
+	m.nd.SetCapture(true)
+	m.nd.SetTagging(true)
+	m.Emit("run_init", map[string]string{"run": strconv.Itoa(run)})
+}
+
+// CleanupRun terminates a run on this node (§IV-C1 clean-up phase).
+func (m *Manager) CleanupRun(run int) {
+	if m.agent != nil {
+		m.agent.Exit()
+	}
+	m.StopAllFaults()
+	m.Emit("run_exit", map[string]string{"run": strconv.Itoa(run)})
+}
+
+// HarvestRun returns and clears the packet captures of the current run.
+func (m *Manager) HarvestRun() []store.PacketRecord {
+	caps := m.nd.Captures()
+	out := make([]store.PacketRecord, len(caps))
+	for i, c := range caps {
+		out[i] = store.FromCapture(c)
+	}
+	m.nd.ClearCaptures()
+	return out
+}
+
+// StopAllFaults deactivates every active fault injection.
+func (m *Manager) StopAllFaults() {
+	for kind, list := range m.faults {
+		for _, af := range list {
+			af.applied.Cancel(af.inj)
+		}
+		delete(m.faults, kind)
+	}
+}
+
+// ActiveFaults returns the number of active injections.
+func (m *Manager) ActiveFaults() int {
+	n := 0
+	for _, list := range m.faults {
+		n += len(list)
+	}
+	return n
+}
+
+// Execute dispatches one experiment action (process.Executor contract for
+// node-bound processes).
+func (m *Manager) Execute(action string, params map[string]string) error {
+	switch action {
+	case "sd_init":
+		return m.sdInit(params)
+	case "sd_exit":
+		m.needAgent()
+		m.agent.Exit()
+		return nil
+	case "sd_start_search":
+		m.needAgent()
+		m.agent.StartSearch(serviceType(params))
+		return nil
+	case "sd_stop_search":
+		m.needAgent()
+		m.agent.StopSearch(serviceType(params))
+		return nil
+	case "sd_start_publish":
+		m.needAgent()
+		m.agent.StartPublish(m.instance(params))
+		return nil
+	case "sd_stop_publish":
+		m.needAgent()
+		m.agent.StopPublish(m.instanceName(params))
+		return nil
+	case "sd_update_publish":
+		m.needAgent()
+		inst := m.instance(params)
+		inst.TXT = map[string]string{"updated": "1"}
+		m.agent.UpdatePublish(inst)
+		return nil
+	case "fault_interface", "fault_msg_loss", "fault_msg_delay",
+		"fault_path_loss", "fault_path_delay":
+		return m.startFault(action, params)
+	case "fault_stop":
+		return m.stopFault(params)
+	default:
+		if fn, ok := m.plugins[action]; ok {
+			return fn(params)
+		}
+		return fmt.Errorf("node %s: unknown action %q", m.ID(), action)
+	}
+}
+
+func (m *Manager) needAgent() {
+	if m.agent == nil {
+		panic("node: SD action on a node without SD agent")
+	}
+}
+
+func (m *Manager) sdInit(params map[string]string) error {
+	m.needAgent()
+	role := sd.Role(params["role"])
+	switch role {
+	case sd.RoleSU, sd.RoleSM, sd.RoleSCM:
+	case "":
+		return fmt.Errorf("node %s: sd_init without role", m.ID())
+	default:
+		return fmt.Errorf("node %s: unknown SD role %q", m.ID(), params["role"])
+	}
+	return m.agent.Init(role)
+}
+
+func serviceType(params map[string]string) sd.ServiceType {
+	if t := params["type"]; t != "" {
+		return sd.ServiceType(t)
+	}
+	return DefaultServiceType
+}
+
+func (m *Manager) instanceName(params map[string]string) string {
+	if n := params["name"]; n != "" {
+		return n
+	}
+	return m.ID() + "." + string(serviceType(params))
+}
+
+func (m *Manager) instance(params map[string]string) sd.Instance {
+	return sd.Instance{
+		Name:    m.instanceName(params),
+		Type:    serviceType(params),
+		Node:    m.nd.ID(),
+		Address: params["address"],
+		Port:    atoiDefault(params["port"], 4711),
+	}
+}
+
+// startFault creates, schedules and registers a fault injection. Common
+// parameters: direction, proto (default "sd"), duration_s, rate,
+// randomseed; specific parameters: prob, delay_ms, peer. The action emits
+// a <kind>_start event; the scheduled stop (if timed) emits <kind>_stop
+// (§IV-D3).
+func (m *Manager) startFault(kind string, params map[string]string) error {
+	dir := fault.Direction(params["direction"])
+	if dir == "" {
+		dir = fault.DirBoth
+	}
+	proto := params["proto"]
+	if proto == "" {
+		proto = "sd"
+	}
+	seed := int64(atoiDefault(params["randomseed"], 1))
+	var inj fault.Injection
+	var err error
+	switch kind {
+	case "fault_interface":
+		inj, err = fault.NewInterfaceFault(m.nd, dir, seed)
+	case "fault_msg_loss":
+		inj, err = fault.NewMessageLoss(m.nd, atofDefault(params["prob"], 1), dir, proto, seed)
+	case "fault_msg_delay":
+		inj, err = fault.NewMessageDelay(m.nd, msParam(params, "delay_ms"), dir, proto, seed)
+	case "fault_path_loss":
+		inj, err = fault.NewPathLoss(m.nd, netem.NodeID(params["peer"]), atofDefault(params["prob"], 1), dir, proto, seed)
+	case "fault_path_delay":
+		inj, err = fault.NewPathDelay(m.nd, netem.NodeID(params["peer"]), msParam(params, "delay_ms"), dir, proto, seed)
+	}
+	if err != nil {
+		return err
+	}
+	tm := fault.Timing{
+		Duration: time.Duration(atofDefault(params["duration_s"], 0) * float64(time.Second)),
+		Rate:     atofDefault(params["rate"], 0),
+		Seed:     seed,
+	}
+	applied := fault.Apply(m.s, inj, tm, func(what string) {
+		m.Emit(kind+"_"+what, map[string]string{"target": m.ID()})
+	})
+	m.faults[kind] = append(m.faults[kind], activeFault{inj: inj, applied: applied})
+	return nil
+}
+
+// stopFault stops active injections: all of one kind (param kind), or all.
+func (m *Manager) stopFault(params map[string]string) error {
+	kind := params["kind"]
+	if kind == "" {
+		m.StopAllFaults()
+		return nil
+	}
+	list, ok := m.faults[kind]
+	if !ok {
+		return fmt.Errorf("node %s: no active fault of kind %q", m.ID(), kind)
+	}
+	for _, af := range list {
+		af.applied.Cancel(af.inj)
+	}
+	delete(m.faults, kind)
+	m.Emit(kind+"_stop", map[string]string{"target": m.ID()})
+	return nil
+}
+
+func atoiDefault(s string, def int) int {
+	if s == "" {
+		return def
+	}
+	if v, err := strconv.Atoi(s); err == nil {
+		return v
+	}
+	return def
+}
+
+func atofDefault(s string, def float64) float64 {
+	if s == "" {
+		return def
+	}
+	if v, err := strconv.ParseFloat(s, 64); err == nil {
+		return v
+	}
+	return def
+}
+
+func msParam(params map[string]string, key string) time.Duration {
+	return time.Duration(atofDefault(params[key], 0) * float64(time.Millisecond))
+}

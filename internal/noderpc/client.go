@@ -1,0 +1,181 @@
+package noderpc
+
+import (
+	"encoding/json"
+	"time"
+
+	"excovery/internal/eventlog"
+	"excovery/internal/sched"
+	"excovery/internal/store"
+	"excovery/internal/xmlrpc"
+)
+
+// RemoteNode is the master-process proxy of one node on a host; it
+// implements master.NodeHandle over XML-RPC. Transport errors are
+// collected in Err (first error wins) so the infallible parts of the
+// NodeHandle contract stay usable.
+type RemoteNode struct {
+	// NodeID is the platform node id on the host.
+	NodeID string
+	// C is the host's XML-RPC endpoint.
+	C *xmlrpc.Client
+	// Err records the first transport error.
+	Err error
+}
+
+func (r *RemoteNode) fail(err error) {
+	if err != nil && r.Err == nil {
+		r.Err = err
+	}
+}
+
+// ID implements master.NodeHandle.
+func (r *RemoteNode) ID() string { return r.NodeID }
+
+// PrepareRun implements master.NodeHandle.
+func (r *RemoteNode) PrepareRun(run int) {
+	_, err := r.C.Call("node.prepare_run", r.NodeID, run)
+	r.fail(err)
+}
+
+// CleanupRun implements master.NodeHandle.
+func (r *RemoteNode) CleanupRun(run int) {
+	_, err := r.C.Call("node.cleanup_run", r.NodeID, run)
+	r.fail(err)
+}
+
+// Execute implements master.NodeHandle.
+func (r *RemoteNode) Execute(action string, params map[string]string) error {
+	_, err := r.C.Call("node.execute", r.NodeID, action, params)
+	return err
+}
+
+// Emit implements master.NodeHandle.
+func (r *RemoteNode) Emit(typ string, params map[string]string) {
+	if params == nil {
+		params = map[string]string{}
+	}
+	_, err := r.C.Call("node.emit", r.NodeID, typ, params)
+	r.fail(err)
+}
+
+// LocalTime implements master.NodeHandle; RFC3339Nano over the wire keeps
+// sub-second resolution that plain XML-RPC dateTime lacks.
+func (r *RemoteNode) LocalTime() time.Time {
+	v, err := r.C.Call("node.local_time", r.NodeID)
+	if err != nil {
+		r.fail(err)
+		return time.Time{}
+	}
+	s, _ := v.(string)
+	t, err := time.Parse(time.RFC3339Nano, s)
+	if err != nil {
+		r.fail(err)
+		return time.Time{}
+	}
+	return t
+}
+
+// HarvestEvents implements master.NodeHandle.
+func (r *RemoteNode) HarvestEvents(run int) []eventlog.Event {
+	v, err := r.C.Call("node.harvest_events", r.NodeID, run)
+	if err != nil {
+		r.fail(err)
+		return nil
+	}
+	s, _ := v.(string)
+	var events []eventlog.Event
+	if err := json.Unmarshal([]byte(s), &events); err != nil {
+		r.fail(err)
+		return nil
+	}
+	return events
+}
+
+// HarvestPackets implements master.NodeHandle.
+func (r *RemoteNode) HarvestPackets() []store.PacketRecord {
+	v, err := r.C.Call("node.harvest_packets", r.NodeID)
+	if err != nil {
+		r.fail(err)
+		return nil
+	}
+	s, _ := v.(string)
+	var pkts []store.PacketRecord
+	if err := json.Unmarshal([]byte(s), &pkts); err != nil {
+		r.fail(err)
+		return nil
+	}
+	return pkts
+}
+
+// HarvestExtras implements master.NodeHandle.
+func (r *RemoteNode) HarvestExtras() []store.ExtraMeasurement {
+	v, err := r.C.Call("node.harvest_extras", r.NodeID)
+	if err != nil {
+		r.fail(err)
+		return nil
+	}
+	s, _ := v.(string)
+	var extras []store.ExtraMeasurement
+	if err := json.Unmarshal([]byte(s), &extras); err != nil {
+		r.fail(err)
+		return nil
+	}
+	return extras
+}
+
+// RemoteEnv proxies environment actions to the host; it implements
+// master.EnvExecutor.
+type RemoteEnv struct {
+	C   *xmlrpc.Client
+	Err error
+}
+
+// Execute implements master.EnvExecutor.
+func (r *RemoteEnv) Execute(action string, params map[string]string) error {
+	if params == nil {
+		params = map[string]string{}
+	}
+	_, err := r.C.Call("env.execute", action, params)
+	return err
+}
+
+// Reset implements master.EnvExecutor.
+func (r *RemoteEnv) Reset() {
+	if _, err := r.C.Call("env.reset"); err != nil && r.Err == nil {
+		r.Err = err
+	}
+}
+
+// MasterServer receives event pushes from node hosts and publishes them
+// into the master's bus via scheduler injection.
+func MasterServer(s *sched.Scheduler, bus *eventlog.Bus) *xmlrpc.Server {
+	srv := xmlrpc.NewServer()
+	srv.Register("master.events", func(params []any) (any, error) {
+		data, ok := arg[string](params, 0)
+		if !ok {
+			return nil, errBadArgs("master.events", "json string")
+		}
+		var events []eventlog.Event
+		if err := json.Unmarshal([]byte(data), &events); err != nil {
+			return nil, err
+		}
+		// Fire and forget: the push must not block the host's pump when
+		// the master is already shutting down.
+		s.Inject("rpc master.events", func() {
+			for _, ev := range events {
+				ev.Seq = 0 // bus assigns master-side sequence numbers
+				bus.Publish(ev)
+			}
+		})
+		return true, nil
+	})
+	srv.Register("master.ping", func(params []any) (any, error) {
+		return "pong", nil
+	})
+	return srv
+}
+
+func errBadArgs(method, want string) error {
+	return &xmlrpc.Fault{Code: -32602, String: method + ": want " + want}
+}

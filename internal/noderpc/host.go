@@ -1,0 +1,322 @@
+// Package noderpc implements the distributed deployment of Fig. 12: the
+// ExperiMaster and the NodeManagers run in separate processes connected by
+// a dedicated XML-RPC control channel (§IV-A1, §VI-A).
+//
+// The node-host process serves the platform — the emulated network and one
+// NodeManager per platform node — behind an XML-RPC server whose methods
+// mirror the NodeHandle contract. Node events are pushed asynchronously to
+// the master's own XML-RPC endpoint (the paper's nodes report measurements
+// over the control channel). The master process runs the treatment plan
+// and the experiment processes, issuing every action as a synchronous RPC,
+// exactly like the prototype's xmlrpclib-based ExperiMaster.
+package noderpc
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"excovery/internal/core"
+	"excovery/internal/eventlog"
+	"excovery/internal/xmlrpc"
+)
+
+// Host serves a core.Experiment's nodes over XML-RPC. Create the
+// experiment with Options.RealTime so RPC requests interleave with
+// emulated time, and wire Options.OnEvent to Host.ForwardEvent.
+type Host struct {
+	x *core.Experiment
+
+	mu     sync.Mutex
+	outbox []eventlog.Event
+	kick   chan struct{}
+	master *xmlrpc.Client
+	stop   chan struct{}
+}
+
+// NewHost wraps an assembled experiment.
+func NewHost(x *core.Experiment) *Host {
+	return &Host{x: x, kick: make(chan struct{}, 1), stop: make(chan struct{})}
+}
+
+// ForwardEvent queues an event for asynchronous delivery to the master.
+// It is safe to call from scheduler task context: queuing never blocks.
+func (h *Host) ForwardEvent(ev eventlog.Event) {
+	h.mu.Lock()
+	h.outbox = append(h.outbox, ev)
+	h.mu.Unlock()
+	select {
+	case h.kick <- struct{}{}:
+	default:
+	}
+}
+
+// pump drains the outbox to the master endpoint. Runs on a plain
+// goroutine: HTTP calls must not block the cooperative scheduler.
+func (h *Host) pump() {
+	for {
+		select {
+		case <-h.stop:
+			return
+		case <-h.kick:
+		}
+		for {
+			h.mu.Lock()
+			if len(h.outbox) == 0 || h.master == nil {
+				h.mu.Unlock()
+				break
+			}
+			batch := h.outbox
+			h.outbox = nil
+			c := h.master
+			h.mu.Unlock()
+			data, err := json.Marshal(batch)
+			if err != nil {
+				continue
+			}
+			if _, err := c.Call("master.events", string(data)); err != nil {
+				// Redeliver on the next kick; the control channel is
+				// expected to be reliable (§IV-A1), so transient HTTP
+				// errors only delay events.
+				h.mu.Lock()
+				h.outbox = append(batch, h.outbox...)
+				h.mu.Unlock()
+				time.Sleep(50 * time.Millisecond)
+				select {
+				case h.kick <- struct{}{}:
+				default:
+				}
+				break
+			}
+		}
+	}
+}
+
+// Close stops the event pump.
+func (h *Host) Close() { close(h.stop) }
+
+// Server builds the XML-RPC method registry for this host.
+func (h *Host) Server() *xmlrpc.Server {
+	srv := xmlrpc.NewServer()
+	s := h.x.S
+
+	srv.Register("host.ping", func(params []any) (any, error) {
+		return "pong", nil
+	})
+	srv.Register("host.nodes", func(params []any) (any, error) {
+		ids := make([]any, 0, len(h.x.Managers))
+		for _, id := range sortedKeys(h.x.Managers) {
+			ids = append(ids, id)
+		}
+		return ids, nil
+	})
+	// host.set_master registers the master's event endpoint and starts
+	// the push pump.
+	srv.Register("host.set_master", func(params []any) (any, error) {
+		url, ok := arg[string](params, 0)
+		if !ok {
+			return nil, fmt.Errorf("host.set_master: want url string")
+		}
+		h.mu.Lock()
+		first := h.master == nil
+		h.master = xmlrpc.NewClient(url)
+		h.mu.Unlock()
+		if first {
+			go h.pump()
+		}
+		return true, nil
+	})
+
+	srv.Register("node.prepare_run", func(params []any) (any, error) {
+		id, run, err := nodeRunArgs(params)
+		if err != nil {
+			return nil, err
+		}
+		mgr := h.x.Managers[id]
+		if mgr == nil {
+			return nil, fmt.Errorf("no node %q", id)
+		}
+		s.InjectWait("rpc prepare_run", func() { mgr.PrepareRun(run) })
+		return true, nil
+	})
+	srv.Register("node.cleanup_run", func(params []any) (any, error) {
+		id, run, err := nodeRunArgs(params)
+		if err != nil {
+			return nil, err
+		}
+		mgr := h.x.Managers[id]
+		if mgr == nil {
+			return nil, fmt.Errorf("no node %q", id)
+		}
+		s.InjectWait("rpc cleanup_run", func() { mgr.CleanupRun(run) })
+		return true, nil
+	})
+	srv.Register("node.execute", func(params []any) (any, error) {
+		id, ok := arg[string](params, 0)
+		action, ok2 := arg[string](params, 1)
+		if !ok || !ok2 {
+			return nil, fmt.Errorf("node.execute: want (node, action, params)")
+		}
+		pm := map[string]string{}
+		if raw, ok := arg[map[string]any](params, 2); ok {
+			for k, v := range raw {
+				pm[k] = fmt.Sprint(v)
+			}
+		}
+		mgr := h.x.Managers[id]
+		if mgr == nil {
+			return nil, fmt.Errorf("no node %q", id)
+		}
+		var execErr error
+		s.InjectWait("rpc execute "+action, func() { execErr = mgr.Execute(action, pm) })
+		if execErr != nil {
+			return nil, execErr
+		}
+		return true, nil
+	})
+	srv.Register("node.emit", func(params []any) (any, error) {
+		id, ok := arg[string](params, 0)
+		typ, ok2 := arg[string](params, 1)
+		if !ok || !ok2 {
+			return nil, fmt.Errorf("node.emit: want (node, type, params)")
+		}
+		pm := map[string]string{}
+		if raw, ok := arg[map[string]any](params, 2); ok {
+			for k, v := range raw {
+				pm[k] = fmt.Sprint(v)
+			}
+		}
+		mgr := h.x.Managers[id]
+		if mgr == nil {
+			return nil, fmt.Errorf("no node %q", id)
+		}
+		s.InjectWait("rpc emit", func() { mgr.Emit(typ, pm) })
+		return true, nil
+	})
+	srv.Register("node.local_time", func(params []any) (any, error) {
+		id, ok := arg[string](params, 0)
+		if !ok {
+			return nil, fmt.Errorf("node.local_time: want node")
+		}
+		mgr := h.x.Managers[id]
+		if mgr == nil {
+			return nil, fmt.Errorf("no node %q", id)
+		}
+		var t time.Time
+		s.InjectWait("rpc local_time", func() { t = mgr.LocalTime() })
+		return t.Format(time.RFC3339Nano), nil
+	})
+	srv.Register("node.harvest_events", func(params []any) (any, error) {
+		id, run, err := nodeRunArgs(params)
+		if err != nil {
+			return nil, err
+		}
+		mgr := h.x.Managers[id]
+		if mgr == nil {
+			return nil, fmt.Errorf("no node %q", id)
+		}
+		var events []eventlog.Event
+		s.InjectWait("rpc harvest_events", func() { events = mgr.Recorder().RunEvents(run) })
+		data, err := json.Marshal(events)
+		if err != nil {
+			return nil, err
+		}
+		return string(data), nil
+	})
+	srv.Register("node.harvest_packets", func(params []any) (any, error) {
+		id, ok := arg[string](params, 0)
+		if !ok {
+			return nil, fmt.Errorf("node.harvest_packets: want node")
+		}
+		mgr := h.x.Managers[id]
+		if mgr == nil {
+			return nil, fmt.Errorf("no node %q", id)
+		}
+		var data []byte
+		var jerr error
+		s.InjectWait("rpc harvest_packets", func() {
+			data, jerr = json.Marshal(mgr.HarvestRun())
+		})
+		if jerr != nil {
+			return nil, jerr
+		}
+		return string(data), nil
+	})
+	srv.Register("node.harvest_extras", func(params []any) (any, error) {
+		id, ok := arg[string](params, 0)
+		if !ok {
+			return nil, fmt.Errorf("node.harvest_extras: want node")
+		}
+		mgr := h.x.Managers[id]
+		if mgr == nil {
+			return nil, fmt.Errorf("no node %q", id)
+		}
+		var data []byte
+		var jerr error
+		s.InjectWait("rpc harvest_extras", func() {
+			data, jerr = json.Marshal(mgr.HarvestExtras())
+		})
+		if jerr != nil {
+			return nil, jerr
+		}
+		return string(data), nil
+	})
+	srv.Register("env.execute", func(params []any) (any, error) {
+		action, ok := arg[string](params, 0)
+		if !ok {
+			return nil, fmt.Errorf("env.execute: want (action, params)")
+		}
+		pm := map[string]string{}
+		if raw, ok := arg[map[string]any](params, 1); ok {
+			for k, v := range raw {
+				pm[k] = fmt.Sprint(v)
+			}
+		}
+		var execErr error
+		s.InjectWait("rpc env "+action, func() { execErr = h.x.Env.Execute(action, pm) })
+		if execErr != nil {
+			return nil, execErr
+		}
+		return true, nil
+	})
+	srv.Register("env.reset", func(params []any) (any, error) {
+		s.InjectWait("rpc env reset", func() { h.x.Env.Reset() })
+		return true, nil
+	})
+	return srv
+}
+
+func nodeRunArgs(params []any) (string, int, error) {
+	id, ok := arg[string](params, 0)
+	run, ok2 := arg[int](params, 1)
+	if !ok || !ok2 {
+		return "", 0, fmt.Errorf("want (node string, run int)")
+	}
+	return id, run, nil
+}
+
+func arg[T any](params []any, i int) (T, bool) {
+	var zero T
+	if i >= len(params) {
+		return zero, false
+	}
+	v, ok := params[i].(T)
+	if !ok {
+		return zero, false
+	}
+	return v, true
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,226 @@
+package noderpc
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"excovery/internal/core"
+	"excovery/internal/desc"
+	"excovery/internal/eventlog"
+	"excovery/internal/master"
+	"excovery/internal/sched"
+	"excovery/internal/sd"
+	"excovery/internal/xmlrpc"
+)
+
+// TestDistributedOneShot runs the Fig. 12 deployment inside one test
+// process: a node host (own real-time scheduler, emulated network, XML-RPC
+// server) and a master (own real-time scheduler, event endpoint, RPC
+// proxies), connected over HTTP loopback.
+func TestDistributedOneShot(t *testing.T) {
+	e := desc.OneShot(30)
+
+	// --- node host side ---
+	var host *Host
+	x, err := core.New(e, core.Options{
+		RealTime: true,
+		Speed:    0.002, // 500× faster than real time
+		OnEvent:  func(ev eventlog.Event) { host.ForwardEvent(ev) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	host = NewHost(x)
+	defer host.Close()
+	hostHTTP := httptest.NewServer(host.Server())
+	defer hostHTTP.Close()
+	x.S.SetKeepAlive(true) // serve RPC even when emulation is quiescent
+	hostDone := make(chan error, 1)
+	go func() { hostDone <- x.S.Run() }()
+	defer x.S.Stop()
+
+	// --- master side ---
+	ms := sched.New(sched.RealTime, time.Unix(0, 0))
+	ms.SetSpeed(0.002)
+	bus := eventlog.NewBus(ms)
+	masterHTTP := httptest.NewServer(MasterServer(ms, bus))
+	defer masterHTTP.Close()
+
+	hostClient := xmlrpc.NewClient(hostHTTP.URL)
+	if _, err := hostClient.Call("host.set_master", masterHTTP.URL); err != nil {
+		t.Fatal(err)
+	}
+	nodesV, err := hostClient.Call("host.nodes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodeIDs := nodesV.([]any)
+	if len(nodeIDs) != 2 {
+		t.Fatalf("host.nodes = %v", nodeIDs)
+	}
+
+	handles := map[string]master.NodeHandle{}
+	remotes := map[string]*RemoteNode{}
+	for _, v := range nodeIDs {
+		id := v.(string)
+		rn := &RemoteNode{NodeID: id, C: xmlrpc.NewClient(hostHTTP.URL)}
+		handles[id] = rn
+		remotes[id] = rn
+	}
+	env := &RemoteEnv{C: xmlrpc.NewClient(hostHTTP.URL)}
+
+	m, err := master.New(master.Config{
+		Exp: e, S: ms, Bus: bus, Nodes: handles, Env: env,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var rep *master.Report
+	var runErr error
+	ms.Go("experimaster", func() {
+		rep, runErr = m.RunAll()
+	})
+	if err := ms.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if rep.Completed != 1 {
+		t.Fatalf("completed = %d; results: %+v", rep.Completed, rep.Results[0])
+	}
+	rr := rep.Results[0]
+	if rr.Err != nil || rr.Aborted {
+		t.Fatalf("run: err=%v aborted=%v", rr.Err, rr.Aborted)
+	}
+	if rr.Timeouts != 0 {
+		t.Fatalf("timeouts = %d (discovery failed over RPC control plane)", rr.Timeouts)
+	}
+	// Transport must have stayed healthy.
+	for id, rn := range remotes {
+		if rn.Err != nil {
+			t.Fatalf("remote %s: %v", id, rn.Err)
+		}
+	}
+	// Harvested events are authoritative: both lifecycle ends present.
+	found := map[string]bool{}
+	for _, ev := range remotes["A"].HarvestEvents(0) {
+		found[ev.Type] = true
+	}
+	for _, ev := range remotes["B"].HarvestEvents(0) {
+		found[ev.Type] = true
+	}
+	for _, typ := range []string{sd.EvStartPublish, sd.EvServiceAdd, sd.EvExitDone} {
+		if !found[typ] {
+			t.Errorf("missing harvested event %s", typ)
+		}
+	}
+	// Offsets were measured over the control channel; the two processes
+	// use different epochs, so the measured offset must be large and the
+	// error bound finite.
+	if len(rr.Offsets) == 0 {
+		t.Fatal("no time sync measurements")
+	}
+	x.S.Stop()
+	<-hostDone
+}
+
+func TestRemoteNodeErrorCollection(t *testing.T) {
+	rn := &RemoteNode{NodeID: "x", C: xmlrpc.NewClient("http://127.0.0.1:1/nope")}
+	rn.PrepareRun(0)
+	if rn.Err == nil {
+		t.Fatal("expected transport error")
+	}
+	if evs := rn.HarvestEvents(0); evs != nil {
+		t.Fatal("events from dead host")
+	}
+	if err := rn.Execute("sd_init", nil); err == nil {
+		t.Fatal("Execute against dead host succeeded")
+	}
+}
+
+func TestMasterServerRejectsBadPayload(t *testing.T) {
+	s := sched.NewVirtual()
+	bus := eventlog.NewBus(s)
+	srv := MasterServer(s, bus)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := xmlrpc.NewClient(ts.URL)
+	if _, err := c.Call("master.events", "not json"); err == nil {
+		t.Fatal("bad payload accepted")
+	}
+	if _, err := c.Call("master.events", 42); err == nil {
+		t.Fatal("non-string accepted")
+	}
+	if v, err := c.Call("master.ping"); err != nil || v != "pong" {
+		t.Fatalf("ping = %v, %v", v, err)
+	}
+}
+
+// TestHostMethodErrors exercises the host server's argument and node
+// validation without a running master.
+func TestHostMethodErrors(t *testing.T) {
+	e := desc.OneShot(30)
+	x, err := core.New(e, core.Options{RealTime: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := NewHost(x)
+	defer host.Close()
+	x.S.SetKeepAlive(true)
+	ts := httptest.NewServer(host.Server())
+	defer ts.Close()
+	done := make(chan error, 1)
+	go func() { done <- x.S.Run() }()
+	defer func() { x.S.Stop(); <-done }()
+
+	c := xmlrpc.NewClient(ts.URL)
+	if v, err := c.Call("host.ping"); err != nil || v != "pong" {
+		t.Fatalf("ping = %v, %v", v, err)
+	}
+	cases := []struct {
+		method string
+		args   []any
+	}{
+		{"node.prepare_run", []any{"ghost", 0}},
+		{"node.prepare_run", []any{42, "not-an-int"}},
+		{"node.cleanup_run", []any{"ghost", 0}},
+		{"node.execute", []any{"ghost", "sd_init", map[string]any{}}},
+		{"node.execute", []any{"A"}}, // missing action
+		{"node.emit", []any{"ghost", "x", map[string]any{}}},
+		{"node.local_time", []any{"ghost"}},
+		{"node.local_time", []any{}},
+		{"node.harvest_events", []any{"ghost", 0}},
+		{"node.harvest_packets", []any{"ghost"}},
+		{"host.set_master", []any{}},
+	}
+	for _, tc := range cases {
+		if _, err := c.Call(tc.method, tc.args...); err == nil {
+			t.Errorf("%s(%v) succeeded", tc.method, tc.args)
+		}
+	}
+	// A failing node action surfaces as a fault with the Go error text.
+	if _, err := c.Call("node.execute", "A", "sd_init", map[string]any{}); err == nil {
+		t.Error("sd_init without role should fault")
+	}
+	// env validation propagates too.
+	if _, err := c.Call("env.execute", "env_warp", map[string]any{}); err == nil {
+		t.Error("unknown env action accepted")
+	}
+	if _, err := c.Call("env.reset"); err != nil {
+		t.Errorf("env.reset: %v", err)
+	}
+	// Valid calls work.
+	if _, err := c.Call("node.prepare_run", "A", 0); err != nil {
+		t.Errorf("prepare_run: %v", err)
+	}
+	v, err := c.Call("node.local_time", "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, perr := time.Parse(time.RFC3339Nano, v.(string)); perr != nil {
+		t.Fatalf("local_time format: %v", perr)
+	}
+}

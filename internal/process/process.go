@@ -1,0 +1,203 @@
+// Package process executes the action sequences of an experiment
+// description: node processes, manipulation processes and environment
+// processes (§IV-C2).
+//
+// The engine interprets the four flow-control actions itself —
+// wait_for_time, wait_for_event, wait_marker and event_flag — and
+// dispatches every other action to an Executor (the node manager for SD
+// and fault actions, the master for environment manipulations). Action
+// parameters that reference factors are resolved against the current run's
+// treatment before dispatch.
+package process
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"time"
+
+	"excovery/internal/desc"
+	"excovery/internal/eventlog"
+	"excovery/internal/sched"
+)
+
+// Executor performs non-flow-control actions. node is the platform node
+// the process is bound to, or "" for environment processes. Parameters
+// arrive with factor references already resolved to level values.
+type Executor interface {
+	Execute(node, action string, params map[string]string) error
+}
+
+// ExecutorFunc adapts a function to the Executor interface.
+type ExecutorFunc func(node, action string, params map[string]string) error
+
+// Execute implements Executor.
+func (f ExecutorFunc) Execute(node, action string, params map[string]string) error {
+	return f(node, action, params)
+}
+
+// Ctx is the execution context of one process within one run.
+type Ctx struct {
+	// S is the scheduler; the process runs in task context.
+	S *sched.Scheduler
+	// Bus is the master's event bus used by wait_for_event.
+	Bus *eventlog.Bus
+	// Run is the current treatment.
+	Run desc.Run
+	// Roles maps actor roles to platform node ids for this run.
+	Roles map[string][]string
+	// Node is the platform node executing this process ("" for
+	// environment processes).
+	Node string
+	// Emit records an event on behalf of the executing node (event_flag
+	// and wait_timeout events).
+	Emit func(node, typ string, params map[string]string)
+	// Exec performs the domain actions.
+	Exec Executor
+	// Canceled, if set, is polled before every action; when it reports
+	// true the sequence aborts with ErrCanceled (run abort, §IV-C1
+	// clean-up must not race with leftover process tasks).
+	Canceled func() bool
+
+	// marker is the wait_marker position consumed by the next
+	// wait_for_event (§IV-C2).
+	marker    uint64
+	hasMarker bool
+}
+
+// Timeout marks a wait_for_event that expired. It is recorded as a
+// wait_timeout event and execution continues — the description decides how
+// to react (Fig. 10 flags "done" either way).
+type Timeout struct {
+	Event string
+}
+
+// Result summarizes a process execution.
+type Result struct {
+	// Timeouts lists expired waits in order of occurrence.
+	Timeouts []Timeout
+	// Executed counts dispatched (non-flow-control) actions.
+	Executed int
+}
+
+// ErrCanceled reports that the run was aborted while the process was
+// still executing.
+var ErrCanceled = errors.New("process: run canceled")
+
+// RunSequence executes the actions in order. It must run in scheduler task
+// context. Execution errors abort the sequence; wait timeouts do not.
+func (ctx *Ctx) RunSequence(actions []desc.Action) (Result, error) {
+	var res Result
+	for i, a := range actions {
+		if ctx.Canceled != nil && ctx.Canceled() {
+			return res, ErrCanceled
+		}
+		switch a.Name {
+		case "wait_for_time":
+			secs, err := strconv.ParseFloat(a.Param("seconds", "0"), 64)
+			if err != nil {
+				return res, fmt.Errorf("process: action %d wait_for_time: bad seconds %q", i, a.Param("seconds", ""))
+			}
+			ctx.S.Sleep(time.Duration(secs * float64(time.Second)))
+
+		case "wait_marker":
+			ctx.marker = ctx.Bus.Marker()
+			ctx.hasMarker = true
+
+		case "event_flag":
+			ctx.Emit(ctx.Node, a.Value, nil)
+
+		case "wait_for_event":
+			if a.Wait == nil {
+				return res, fmt.Errorf("process: action %d: wait_for_event without spec", i)
+			}
+			if to := ctx.waitForEvent(*a.Wait); to != nil {
+				res.Timeouts = append(res.Timeouts, *to)
+			}
+
+		default:
+			params, err := ctx.resolveParams(a)
+			if err != nil {
+				return res, fmt.Errorf("process: action %d (%s): %w", i, a.Name, err)
+			}
+			if err := ctx.Exec.Execute(ctx.Node, a.Name, params); err != nil {
+				return res, fmt.Errorf("process: action %d (%s) on %q: %w", i, a.Name, ctx.Node, err)
+			}
+			res.Executed++
+		}
+	}
+	return res, nil
+}
+
+// resolveParams merges literal parameters with factor-referenced values
+// from the run's treatment.
+func (ctx *Ctx) resolveParams(a desc.Action) (map[string]string, error) {
+	params := make(map[string]string, len(a.Params)+len(a.FactorRefs))
+	for k, v := range a.Params {
+		params[k] = v
+	}
+	for k, fid := range a.FactorRefs {
+		l, ok := ctx.Run.Level(fid)
+		if !ok {
+			return nil, fmt.Errorf("factor %q not in treatment", fid)
+		}
+		params[k] = l.Raw
+	}
+	return params, nil
+}
+
+// waitForEvent implements the wait_for_event semantics of §IV-C2: an event
+// is specified by its name, location (node or actor role) and parameters;
+// omitted parts default to "any". A preceding wait_marker restricts
+// matching to events after the marker; the marker is consumed. A
+// param_dependency against an actor requires the event parameter "node" to
+// cover every node bound to that actor (Fig. 10: all SMs discovered).
+func (ctx *Ctx) waitForEvent(w desc.WaitSpec) *Timeout {
+	from := uint64(0)
+	if ctx.hasMarker {
+		from = ctx.marker
+		ctx.hasMarker = false
+	}
+	timeout := time.Duration(w.TimeoutSec * float64(time.Second))
+
+	m := eventlog.Match{Type: w.Event, Params: w.Params}
+	switch {
+	case w.FromNode != "":
+		m.Nodes = []string{w.FromNode}
+	case w.FromActor != "":
+		m.Nodes = ctx.resolveInstances(w.FromActor, w.FromInstance)
+	}
+
+	if w.ParamActor != "" {
+		want := ctx.resolveInstances(w.ParamActor, w.ParamInstance)
+		_, ok := ctx.Bus.WaitForDistinct(m, "node", want, from, timeout)
+		if !ok {
+			ctx.emitTimeout(w)
+			return &Timeout{Event: w.Event}
+		}
+		return nil
+	}
+	if _, ok := ctx.Bus.WaitFor(m, from, timeout); !ok {
+		ctx.emitTimeout(w)
+		return &Timeout{Event: w.Event}
+	}
+	return nil
+}
+
+func (ctx *Ctx) emitTimeout(w desc.WaitSpec) {
+	ctx.Emit(ctx.Node, "wait_timeout", map[string]string{"event": w.Event})
+}
+
+// resolveInstances maps an actor role and instance selector to platform
+// node ids: "all" or "" selects every instance, a number selects one.
+func (ctx *Ctx) resolveInstances(actor, instance string) []string {
+	nodes := ctx.Roles[actor]
+	if instance == "" || instance == "all" {
+		return nodes
+	}
+	idx, err := strconv.Atoi(instance)
+	if err != nil || idx < 0 || idx >= len(nodes) {
+		return nil
+	}
+	return []string{nodes[idx]}
+}

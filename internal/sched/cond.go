@@ -1,0 +1,250 @@
+package sched
+
+import "time"
+
+// Cond is a scheduler-aware condition variable. Unlike sync.Cond it needs no
+// external mutex: task code is already serialized by the cooperative
+// scheduler, so checking the predicate and calling Wait cannot race with a
+// Signal from another task.
+//
+// Typical use:
+//
+//	for !predicate() {
+//	    if !cond.WaitTimeout(timeout) {
+//	        // timed out
+//	    }
+//	}
+type Cond struct {
+	s       *Scheduler
+	name    string
+	waiters []*condWaiter
+}
+
+type condWaiter struct {
+	t     *task
+	timer *Timer
+	fired bool // woken (either way); guards double wake
+}
+
+// NewCond creates a condition variable. The name appears in deadlock
+// reports.
+func (s *Scheduler) NewCond(name string) *Cond {
+	return &Cond{s: s, name: name}
+}
+
+// Wait blocks the current task until Signal or Broadcast wakes it.
+func (c *Cond) Wait() {
+	c.s.mu.Lock()
+	t := c.s.mustCurrentLocked("Cond.Wait")
+	t.state = stateBlocked
+	t.blockedOn = "cond " + c.name
+	t.timedOut = false
+	c.s.current = nil
+	c.waiters = append(c.waiters, &condWaiter{t: t})
+	c.s.mu.Unlock()
+	c.s.block(t)
+}
+
+// WaitTimeout blocks the current task until woken or until d of virtual
+// time elapses. It reports true if the task was woken by Signal/Broadcast
+// and false on timeout. A non-positive d times out at the current instant
+// (after yielding), which still allows an already-pending Broadcast to win.
+func (c *Cond) WaitTimeout(d time.Duration) bool {
+	c.s.mu.Lock()
+	t := c.s.mustCurrentLocked("Cond.WaitTimeout")
+	t.state = stateBlocked
+	t.blockedOn = "cond " + c.name
+	t.timedOut = false
+	c.s.current = nil
+	w := &condWaiter{t: t}
+	if d < 0 {
+		d = 0
+	}
+	w.timer = c.s.addTimerLocked(c.s.now.Add(d), func() {
+		if w.fired {
+			return
+		}
+		w.fired = true
+		t.timedOut = true
+		c.removeWaiterLocked(w)
+		c.s.makeRunnableLocked(t)
+	})
+	c.waiters = append(c.waiters, w)
+	c.s.mu.Unlock()
+	c.s.block(t)
+	return !t.timedOut
+}
+
+func (c *Cond) removeWaiterLocked(w *condWaiter) {
+	for i, x := range c.waiters {
+		if x == w {
+			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// Signal wakes the longest-waiting task, if any. It must be called from a
+// task or injected closure.
+func (c *Cond) Signal() {
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	for len(c.waiters) > 0 {
+		w := c.waiters[0]
+		c.waiters = c.waiters[1:]
+		if w.fired {
+			continue
+		}
+		w.fired = true
+		if w.timer != nil {
+			w.timer.stopped = true
+		}
+		c.s.makeRunnableLocked(w.t)
+		return
+	}
+}
+
+// Broadcast wakes all waiting tasks in FIFO order.
+func (c *Cond) Broadcast() {
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	ws := c.waiters
+	c.waiters = nil
+	for _, w := range ws {
+		if w.fired {
+			continue
+		}
+		w.fired = true
+		if w.timer != nil {
+			w.timer.stopped = true
+		}
+		c.s.makeRunnableLocked(w.t)
+	}
+}
+
+// Queue is an unbounded FIFO mailbox for passing values between tasks.
+// Pop blocks; TryPop and PopTimeout do not block forever. Queue is the
+// scheduler-aware replacement for Go channels in cooperative task code.
+type Queue[T any] struct {
+	cond  *Cond
+	items []T
+	// closed marks the queue as finished: Pops drain remaining items and
+	// then report failure.
+	closed bool
+}
+
+// NewQueue creates an empty queue.
+func NewQueue[T any](s *Scheduler, name string) *Queue[T] {
+	return &Queue[T]{cond: s.NewCond("queue " + name)}
+}
+
+// Push appends v and wakes one waiter. Push on a closed queue panics, as
+// with Go channels.
+func (q *Queue[T]) Push(v T) {
+	if q.closed {
+		panic("sched: push on closed queue")
+	}
+	q.items = append(q.items, v)
+	q.cond.Signal()
+}
+
+// Close marks the queue closed and wakes all waiters.
+func (q *Queue[T]) Close() {
+	q.closed = true
+	q.cond.Broadcast()
+}
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Pop removes and returns the head, blocking until an item is available.
+// ok is false if the queue was closed and drained.
+func (q *Queue[T]) Pop() (v T, ok bool) {
+	for len(q.items) == 0 {
+		if q.closed {
+			return v, false
+		}
+		q.cond.Wait()
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// TryPop removes and returns the head without blocking.
+func (q *Queue[T]) TryPop() (v T, ok bool) {
+	if len(q.items) == 0 {
+		return v, false
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// PopTimeout is Pop with a virtual-time deadline; ok is false on timeout or
+// closed-and-drained.
+func (q *Queue[T]) PopTimeout(d time.Duration) (v T, ok bool) {
+	deadline := q.cond.s.Now().Add(d)
+	for len(q.items) == 0 {
+		if q.closed {
+			return v, false
+		}
+		remain := deadline.Sub(q.cond.s.Now())
+		if remain <= 0 {
+			return v, false
+		}
+		if !q.cond.WaitTimeout(remain) && len(q.items) == 0 {
+			return v, false
+		}
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// WaitGroup is a scheduler-aware counterpart of sync.WaitGroup for joining
+// a set of tasks.
+type WaitGroup struct {
+	cond *Cond
+	n    int
+}
+
+// NewWaitGroup creates a WaitGroup with count zero.
+func (s *Scheduler) NewWaitGroup(name string) *WaitGroup {
+	return &WaitGroup{cond: s.NewCond("waitgroup " + name)}
+}
+
+// Add increments the counter by delta.
+func (wg *WaitGroup) Add(delta int) {
+	wg.n += delta
+	if wg.n < 0 {
+		panic("sched: negative WaitGroup counter")
+	}
+	if wg.n == 0 {
+		wg.cond.Broadcast()
+	}
+}
+
+// Done decrements the counter by one.
+func (wg *WaitGroup) Done() { wg.Add(-1) }
+
+// Wait blocks until the counter reaches zero.
+func (wg *WaitGroup) Wait() {
+	for wg.n > 0 {
+		wg.cond.Wait()
+	}
+}
+
+// WaitTimeout blocks until the counter reaches zero or d elapses; it
+// reports true if the counter reached zero.
+func (wg *WaitGroup) WaitTimeout(d time.Duration) bool {
+	deadline := wg.cond.s.Now().Add(d)
+	for wg.n > 0 {
+		remain := deadline.Sub(wg.cond.s.Now())
+		if remain <= 0 {
+			return false
+		}
+		wg.cond.WaitTimeout(remain)
+	}
+	return true
+}

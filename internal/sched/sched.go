@@ -1,0 +1,610 @@
+// Package sched provides a cooperative discrete-event scheduler.
+//
+// All ExCovery components that model distributed behaviour (network links,
+// protocol agents, experiment processes, fault injectors) run as tasks on a
+// Scheduler. Exactly one task executes at any moment; a task runs until it
+// blocks on one of the scheduler primitives (Sleep, Cond.Wait, Yield). This
+// cooperative model has two important consequences:
+//
+//   - Determinism. In virtual-time mode, a run is a pure function of the
+//     task program and the seeds it uses. Timers fire in (time, sequence)
+//     order and runnable tasks resume in FIFO order, so repeated executions
+//     are bit-identical — the repeatability property ExCovery demands of its
+//     platform (§IV-A).
+//
+//   - Lock freedom. Task code never runs concurrently with other task code,
+//     so shared state touched only by tasks needs no mutexes. The only entry
+//     point for foreign goroutines is Inject, which hands a closure to the
+//     scheduler to be run as a task.
+//
+// The scheduler supports two modes. In Virtual mode time jumps instantly
+// from event to event; an experiment with thousands of runs completes in
+// seconds. In RealTime mode the controller sleeps the wall-clock delta
+// (scaled by a speed factor) before firing each timer, so emulated protocol
+// behaviour can interact with live external systems such as an XML-RPC
+// control plane.
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Mode selects how the scheduler maps virtual time onto wall-clock time.
+type Mode int
+
+const (
+	// Virtual advances time instantly to the next pending timer.
+	Virtual Mode = iota
+	// RealTime sleeps the (scaled) wall-clock delta before firing timers.
+	RealTime
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Virtual:
+		return "virtual"
+	case RealTime:
+		return "realtime"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// taskState describes where a task currently is in its lifecycle.
+type taskState int
+
+const (
+	stateRunnable taskState = iota
+	stateRunning
+	stateBlocked
+	stateDone
+)
+
+type task struct {
+	id    uint64
+	name  string
+	wake  chan struct{}
+	state taskState
+	// daemon tasks (network pumps, protocol agents) do not keep Run alive:
+	// when only daemons remain and nothing is scheduled, Run returns nil
+	// instead of reporting a deadlock.
+	daemon bool
+	// timedOut reports whether the last WaitTimeout ended by timeout.
+	timedOut bool
+	// blockedOn is a human-readable description of the blocking primitive,
+	// used in deadlock reports.
+	blockedOn string
+}
+
+// DeadlockError is returned by Run when live tasks remain but none is
+// runnable and no timer is pending. It lists the blocked tasks to aid
+// debugging of experiment descriptions that wait for events that can never
+// occur.
+type DeadlockError struct {
+	Now     time.Time
+	Blocked []string
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sched: deadlock at %s: %d task(s) blocked: %v",
+		e.Now.Format(time.RFC3339Nano), len(e.Blocked), e.Blocked)
+}
+
+// PanicError wraps a panic that escaped a task function.
+type PanicError struct {
+	Task  string
+	Value any
+	Stack string
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sched: task %q panicked: %v", e.Task, e.Value)
+}
+
+// Scheduler is a cooperative discrete-event scheduler. The zero value is not
+// usable; create one with New.
+type Scheduler struct {
+	mode   Mode
+	factor float64 // wall seconds per virtual second in RealTime mode
+
+	mu        sync.Mutex
+	now       time.Time
+	seq       uint64
+	timers    timerHeap
+	runnable  []*task
+	tasks     map[uint64]*task // live tasks
+	current   *task
+	ctrl      chan struct{} // task -> controller: "I blocked or exited"
+	inject    chan struct{} // foreign goroutine -> controller: "new work"
+	stopping  bool
+	panicked  *PanicError
+	running   bool // a Run* call is active
+	daemons   int  // live daemon tasks
+	keepAlive bool // RealTime: stay in Run when quiescent, awaiting Inject
+
+	// stats
+	switches uint64
+	fired    uint64
+}
+
+// New creates a scheduler starting at the given epoch. The epoch becomes the
+// initial value of Now; experiments typically use a fixed epoch so recorded
+// timestamps are stable across runs.
+func New(mode Mode, epoch time.Time) *Scheduler {
+	return &Scheduler{
+		mode:   mode,
+		factor: 1.0,
+		now:    epoch,
+		tasks:  make(map[uint64]*task),
+		ctrl:   make(chan struct{}),
+		inject: make(chan struct{}, 1),
+	}
+}
+
+// NewVirtual is shorthand for New(Virtual, epoch) with a fixed, arbitrary
+// epoch useful in tests and emulated experiments.
+func NewVirtual() *Scheduler {
+	return New(Virtual, time.Date(2014, 5, 19, 0, 0, 0, 0, time.UTC))
+}
+
+// SetSpeed sets the real-time pacing factor: wall-clock seconds slept per
+// virtual second. A factor of 0.1 runs ten times faster than real time. It
+// has no effect in Virtual mode. SetSpeed must be called before Run.
+func (s *Scheduler) SetSpeed(factor float64) {
+	if factor <= 0 {
+		panic("sched: speed factor must be positive")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.factor = factor
+}
+
+// Mode reports the scheduler's time mode.
+func (s *Scheduler) Mode() Mode { return s.mode }
+
+// SetKeepAlive makes a RealTime Run call stay active when the system is
+// quiescent, waiting for Inject instead of returning. RPC-serving node
+// hosts need this; Stop still terminates the Run.
+func (s *Scheduler) SetKeepAlive(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.keepAlive = on
+}
+
+// Now returns the current virtual time. It may be called from any goroutine.
+func (s *Scheduler) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// Switches returns the number of task resumptions performed so far. It is a
+// cheap proxy for simulation effort, used by benchmarks.
+func (s *Scheduler) Switches() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.switches
+}
+
+// FiredTimers returns the number of timers fired so far.
+func (s *Scheduler) FiredTimers() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fired
+}
+
+// Go spawns fn as a new tracked task. It may be called before Run, from
+// within a running task, or (rarely) from a foreign goroutine. The task does
+// not start executing until the controller schedules it.
+func (s *Scheduler) Go(name string, fn func()) {
+	s.spawn(name, fn, false)
+}
+
+// GoDaemon spawns fn as a daemon task: a long-lived service (e.g. a network
+// interface pump) that should not keep Run alive. When every live task is a
+// daemon and no timer or runnable task remains, Run returns nil — the
+// system is quiescent, not deadlocked.
+func (s *Scheduler) GoDaemon(name string, fn func()) {
+	s.spawn(name, fn, true)
+}
+
+func (s *Scheduler) spawn(name string, fn func(), daemon bool) {
+	s.mu.Lock()
+	t := s.newTaskLocked(name)
+	t.daemon = daemon
+	if daemon {
+		s.daemons++
+	}
+	s.runnable = append(s.runnable, t)
+	s.mu.Unlock()
+	go s.taskBody(t, fn)
+}
+
+func (s *Scheduler) newTaskLocked(name string) *task {
+	s.seq++
+	t := &task{id: s.seq, name: name, wake: make(chan struct{}, 1), state: stateRunnable}
+	s.tasks[t.id] = t
+	return t
+}
+
+func (s *Scheduler) taskBody(t *task, fn func()) {
+	<-t.wake // wait for first dispatch
+	defer func() {
+		if r := recover(); r != nil {
+			s.mu.Lock()
+			if s.panicked == nil {
+				s.panicked = &PanicError{Task: t.name, Value: r, Stack: string(debug.Stack())}
+			}
+			s.finishTaskLocked(t)
+			s.mu.Unlock()
+			s.ctrl <- struct{}{}
+			return
+		}
+		s.mu.Lock()
+		s.finishTaskLocked(t)
+		s.mu.Unlock()
+		s.ctrl <- struct{}{}
+	}()
+	fn()
+}
+
+func (s *Scheduler) finishTaskLocked(t *task) {
+	t.state = stateDone
+	delete(s.tasks, t.id)
+	if t.daemon {
+		s.daemons--
+	}
+	if s.current == t {
+		s.current = nil
+	}
+}
+
+// Inject hands fn to the scheduler from a foreign goroutine; fn will run as
+// a regular task. Inject is the only scheduler entry point that is safe to
+// call from goroutines not managed by the scheduler (e.g. RPC handlers). If
+// the scheduler is between Run calls the work is queued until the next Run.
+func (s *Scheduler) Inject(name string, fn func()) {
+	s.mu.Lock()
+	t := s.newTaskLocked(name)
+	s.runnable = append(s.runnable, t)
+	s.mu.Unlock()
+	go s.taskBody(t, fn)
+	// Poke the controller in case it is idle-waiting (RealTime mode).
+	select {
+	case s.inject <- struct{}{}:
+	default:
+	}
+}
+
+// InjectWait runs fn as a task and blocks the calling (foreign) goroutine
+// until fn returns. It must not be called from within a task: that would
+// deadlock the cooperative scheduler.
+func (s *Scheduler) InjectWait(name string, fn func()) {
+	done := make(chan struct{})
+	s.Inject(name, func() {
+		defer close(done)
+		fn()
+	})
+	<-done
+}
+
+// Stop requests that the active Run call return as soon as the currently
+// executing task blocks. Pending work remains queued.
+func (s *Scheduler) Stop() {
+	s.mu.Lock()
+	s.stopping = true
+	s.mu.Unlock()
+	select {
+	case s.inject <- struct{}{}:
+	default:
+	}
+}
+
+// ErrStopped is returned by Run when Stop was called.
+var ErrStopped = fmt.Errorf("sched: stopped")
+
+// Run drives the scheduler until no live tasks remain, a deadline (zero
+// means none) is reached, Stop is called, or the system deadlocks. It
+// returns nil on normal completion, a *DeadlockError on deadlock, a
+// *PanicError if a task panicked, or ErrStopped.
+func (s *Scheduler) Run() error { return s.run(time.Time{}) }
+
+// RunUntil drives the scheduler until virtual time reaches deadline (or any
+// of the Run termination conditions occurs first). Reaching the deadline is
+// a normal return: timers at or after the deadline stay pending.
+func (s *Scheduler) RunUntil(deadline time.Time) error { return s.run(deadline) }
+
+// RunFor is RunUntil(Now().Add(d)).
+func (s *Scheduler) RunFor(d time.Duration) error {
+	s.mu.Lock()
+	deadline := s.now.Add(d)
+	s.mu.Unlock()
+	return s.run(deadline)
+}
+
+func (s *Scheduler) run(deadline time.Time) error {
+	s.mu.Lock()
+	if s.running {
+		s.mu.Unlock()
+		panic("sched: concurrent Run calls")
+	}
+	s.running = true
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.running = false
+		s.mu.Unlock()
+	}()
+
+	wallBase := time.Now()
+	virtBase := s.Now()
+
+	for {
+		s.mu.Lock()
+		if s.panicked != nil {
+			pe := s.panicked
+			s.panicked = nil
+			s.mu.Unlock()
+			return pe
+		}
+		if s.stopping {
+			s.stopping = false
+			s.mu.Unlock()
+			return ErrStopped
+		}
+
+		// 1. Resume the next runnable task, if any.
+		if len(s.runnable) > 0 {
+			t := s.runnable[0]
+			copy(s.runnable, s.runnable[1:])
+			s.runnable = s.runnable[:len(s.runnable)-1]
+			t.state = stateRunning
+			s.current = t
+			s.switches++
+			s.mu.Unlock()
+			t.wake <- struct{}{}
+			<-s.ctrl // wait until t blocks or exits
+			continue
+		}
+
+		// 2. No runnable task: fire the earliest timer.
+		if s.timers.Len() > 0 {
+			tm := s.timers[0]
+			if tm.stopped {
+				heap.Pop(&s.timers)
+				s.mu.Unlock()
+				continue
+			}
+			if !deadline.IsZero() && tm.when.After(deadline) {
+				if s.now.Before(deadline) {
+					s.now = deadline
+				}
+				s.mu.Unlock()
+				return nil
+			}
+			if s.mode == RealTime && tm.when.After(s.now) {
+				// Sleep the scaled wall-clock delta, but wake early on
+				// injection so external work gets serviced promptly.
+				target := wallBase.Add(time.Duration(float64(tm.when.Sub(virtBase)) * s.factor))
+				dt := time.Until(target)
+				if dt > 0 {
+					s.mu.Unlock()
+					select {
+					case <-time.After(dt):
+					case <-s.inject:
+					}
+					continue // re-evaluate: injection may have added work
+				}
+			}
+			heap.Pop(&s.timers)
+			if tm.when.After(s.now) {
+				s.now = tm.when
+			}
+			if !tm.stopped {
+				s.fired++
+				tm.fire() // runs with s.mu held; only queue manipulation
+			}
+			s.mu.Unlock()
+			continue
+		}
+
+		// 3. Nothing runnable, no timers. The system is finished when
+		// only daemon tasks remain blocked — unless keep-alive mode
+		// holds the scheduler open for external injections (an RPC
+		// serving host).
+		if len(s.tasks) == s.daemons {
+			if s.keepAlive && s.mode == RealTime {
+				s.mu.Unlock()
+				select {
+				case <-s.inject:
+				case <-time.After(50 * time.Millisecond):
+				}
+				continue
+			}
+			s.mu.Unlock()
+			return nil
+		}
+		if s.mode == RealTime {
+			// Live tasks are blocked waiting for external input.
+			s.mu.Unlock()
+			select {
+			case <-s.inject:
+			case <-time.After(10 * time.Millisecond):
+			}
+			continue
+		}
+		blocked := s.blockedNamesLocked()
+		now := s.now
+		s.mu.Unlock()
+		return &DeadlockError{Now: now, Blocked: blocked}
+	}
+}
+
+func (s *Scheduler) blockedNamesLocked() []string {
+	var names []string
+	for _, t := range s.tasks {
+		if t.state == stateBlocked && !t.daemon {
+			names = append(names, fmt.Sprintf("%s (on %s)", t.name, t.blockedOn))
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// block parks the current task. The caller must have already registered the
+// task with whatever will later make it runnable again (a timer or a cond
+// waiter list), while holding s.mu; block is called after releasing s.mu.
+func (s *Scheduler) block(t *task) {
+	s.ctrl <- struct{}{}
+	<-t.wake
+}
+
+// mustCurrent returns the currently executing task and panics if the caller
+// is not running on the scheduler. All blocking primitives require task
+// context.
+func (s *Scheduler) mustCurrentLocked(op string) *task {
+	t := s.current
+	if t == nil || t.state != stateRunning {
+		panic("sched: " + op + " called outside a scheduler task")
+	}
+	return t
+}
+
+// makeRunnableLocked transitions a blocked task to the runnable queue.
+func (s *Scheduler) makeRunnableLocked(t *task) {
+	if t.state != stateBlocked {
+		panic("sched: makeRunnable on non-blocked task")
+	}
+	t.state = stateRunnable
+	t.blockedOn = ""
+	s.runnable = append(s.runnable, t)
+}
+
+// Sleep suspends the current task for d of virtual time. Non-positive
+// durations yield the processor but do not advance time.
+func (s *Scheduler) Sleep(d time.Duration) {
+	s.mu.Lock()
+	t := s.mustCurrentLocked("Sleep")
+	t.state = stateBlocked
+	t.blockedOn = fmt.Sprintf("sleep %s", d)
+	s.current = nil
+	if d < 0 {
+		d = 0
+	}
+	s.addTimerLocked(s.now.Add(d), func() {
+		s.makeRunnableLocked(t)
+	})
+	s.mu.Unlock()
+	s.block(t)
+}
+
+// Yield moves the current task to the back of the runnable queue, letting
+// other runnable tasks execute at the same virtual instant.
+func (s *Scheduler) Yield() {
+	s.mu.Lock()
+	t := s.mustCurrentLocked("Yield")
+	t.state = stateRunnable
+	s.current = nil
+	s.runnable = append(s.runnable, t)
+	s.mu.Unlock()
+	s.block(t)
+}
+
+// Timer is a cancelable scheduled callback. Its fire function runs with the
+// scheduler lock held and must restrict itself to queue manipulation; user
+// callbacks are wrapped in fresh tasks by ScheduleFunc.
+type Timer struct {
+	s       *Scheduler
+	when    time.Time
+	seq     uint64
+	idx     int
+	stopped bool
+	fire    func()
+}
+
+// When returns the virtual time at which the timer fires.
+func (t *Timer) When() time.Time { return t.when }
+
+// Stop cancels the timer. It reports whether the timer was still pending.
+// Safe to call multiple times and from any task.
+func (t *Timer) Stop() bool {
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	if t.stopped {
+		return false
+	}
+	t.stopped = true
+	return true
+}
+
+func (s *Scheduler) addTimerLocked(when time.Time, fire func()) *Timer {
+	s.seq++
+	tm := &Timer{s: s, when: when, seq: s.seq, fire: fire}
+	heap.Push(&s.timers, tm)
+	return tm
+}
+
+// ScheduleFunc runs fn as a new task after d of virtual time. The returned
+// Timer can cancel it before it fires. fn runs as a full task and may block
+// on scheduler primitives.
+func (s *Scheduler) ScheduleFunc(d time.Duration, name string, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.addTimerLocked(s.now.Add(d), func() {
+		t := s.newTaskLocked(name)
+		s.runnable = append(s.runnable, t)
+		go s.taskBody(t, fn)
+	})
+}
+
+// ScheduleAt is ScheduleFunc with an absolute firing time.
+func (s *Scheduler) ScheduleAt(when time.Time, name string, fn func()) *Timer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if when.Before(s.now) {
+		when = s.now
+	}
+	return s.addTimerLocked(when, func() {
+		t := s.newTaskLocked(name)
+		s.runnable = append(s.runnable, t)
+		go s.taskBody(t, fn)
+	})
+}
+
+// timerHeap orders timers by (when, seq) so simultaneous timers fire in
+// creation order, keeping virtual-mode execution deterministic.
+type timerHeap []*Timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if !h[i].when.Equal(h[j].when) {
+		return h[i].when.Before(h[j].when)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *timerHeap) Push(x any) {
+	tm := x.(*Timer)
+	tm.idx = len(*h)
+	*h = append(*h, tm)
+}
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	tm := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return tm
+}

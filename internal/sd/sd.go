@@ -1,0 +1,258 @@
+// Package sd defines the generic service discovery model used by the
+// ExCovery case study (§III, §V), following the taxonomy of Dabrowski et
+// al. [15]: service users (SU) discover services that service managers
+// (SM) publish, optionally through service cache managers (SCM).
+//
+// The package provides the protocol-independent pieces — roles, service
+// instances, the TTL cache, the Agent interface with its event vocabulary —
+// while concrete service discovery protocols live in the subpackages
+// zeroconf (two-party, mDNS/DNS-SD-like) and scmdir (three-party directory
+// protocol with an SCM, plus a hybrid mode). The abstract SD process
+// description "does not intend to model an SDP specific behavior in detail"
+// (§V); any Agent implementation can execute it, which is what makes SDP
+// implementations comparable in experiments.
+package sd
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"excovery/internal/netem"
+	"excovery/internal/sched"
+)
+
+// Role is a node's function in the SD process (§III-A).
+type Role string
+
+const (
+	// RoleSU is a service user (discovers services).
+	RoleSU Role = "SU"
+	// RoleSM is a service manager (publishes services).
+	RoleSM Role = "SM"
+	// RoleSCM is a service cache manager (caches and answers queries).
+	RoleSCM Role = "SCM"
+)
+
+// ServiceType names an abstract service class, e.g. "_expproc._udp".
+type ServiceType string
+
+// Instance is a concrete service instance description (§III-A): the SM
+// identity, the type, an interface location and optional attributes.
+type Instance struct {
+	// Name uniquely identifies the instance, e.g. "printer-1._ipp._udp".
+	Name string
+	// Type is the service class.
+	Type ServiceType
+	// Node is the identity of the publishing SM.
+	Node netem.NodeID
+	// Address is the service interface location.
+	Address string
+	// Port is the service port.
+	Port int
+	// TXT carries additional attributes.
+	TXT map[string]string
+	// Version increments with every description update; caches treat a
+	// higher version as a changed description.
+	Version int
+}
+
+func (i Instance) String() string {
+	return fmt.Sprintf("%s (%s on %s)", i.Name, i.Type, i.Node)
+}
+
+// Equal reports whether two instances describe the same state.
+func (i Instance) Equal(o Instance) bool {
+	if i.Name != o.Name || i.Type != o.Type || i.Node != o.Node ||
+		i.Address != o.Address || i.Port != o.Port || i.Version != o.Version ||
+		len(i.TXT) != len(o.TXT) {
+		return false
+	}
+	for k, v := range i.TXT {
+		if o.TXT[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Event types of the SD experiment process (§V). Agents emit them through
+// their EventSink; the experiment description synchronizes on them.
+const (
+	EvInitDone     = "sd_init_done"
+	EvExitDone     = "sd_exit_done"
+	EvStartSearch  = "sd_start_search"
+	EvStopSearch   = "sd_stop_search"
+	EvServiceAdd   = "sd_service_add"
+	EvServiceDel   = "sd_service_del"
+	EvServiceUpd   = "sd_service_upd"
+	EvStartPublish = "sd_start_publish"
+	EvStopPublish  = "sd_stop_publish"
+	EvSCMStarted   = "scm_started"
+	EvSCMFound     = "scm_found"
+	EvSCMRegAdd    = "scm_registration_add"
+	EvSCMRegDel    = "scm_registration_del"
+	EvSCMRegUpd    = "scm_registration_upd"
+)
+
+// EventSink receives the SD events an agent generates. The node manager
+// wires it to the node's event recorder.
+type EventSink func(typ string, params map[string]string)
+
+// Scheme is the communication scheme used for discovery (§III-B).
+type Scheme string
+
+const (
+	// SchemeActive sends multicast queries (aggressive discovery).
+	SchemeActive Scheme = "active"
+	// SchemePassive only listens to unsolicited announcements (lazy
+	// discovery).
+	SchemePassive Scheme = "passive"
+	// SchemeDirected sends unicast queries to a known SCM or SM.
+	SchemeDirected Scheme = "directed"
+)
+
+// Agent is the protocol-independent SD interface executing the actions of
+// §V. All methods must be called from scheduler task context. Agents
+// operate continuously once initialized; searches and publications persist
+// until stopped or until Exit.
+type Agent interface {
+	// Init performs "Configuration Discovery and Monitoring": the agent
+	// establishes its identity and, depending on the protocol, discovers
+	// scopes and SCMs. It emits sd_init_done when complete (and
+	// scm_started when initialized as SCM).
+	Init(role Role) error
+	// Exit stops the role and all searches and publications, emitting
+	// sd_exit_done upon completion.
+	Exit()
+	// StartSearch initiates a continuous discovery process for a service
+	// type, emitting sd_start_search, then sd_service_add per discovered
+	// instance (with the instance and publishing node as parameters).
+	StartSearch(t ServiceType)
+	// StopSearch stops a search, including removal of notification
+	// requests on SCMs; emits sd_stop_search.
+	StopSearch(t ServiceType)
+	// StartPublish publishes an instance, emitting sd_start_publish.
+	StartPublish(inst Instance)
+	// StopPublish gracefully stops publishing (goodbyes, SCM
+	// de-registration), emitting sd_stop_publish.
+	StopPublish(name string)
+	// UpdatePublish updates a published description, emitting
+	// sd_service_upd before the update executes.
+	UpdatePublish(inst Instance)
+	// Discovered returns the currently known instances of a type, sorted
+	// by name (the agent's local cache view).
+	Discovered(t ServiceType) []Instance
+}
+
+// Cache is a TTL-bounded service instance cache, the "local cache on SUs
+// and SMs to reduce network load" (§III-A). Expiry runs on the scheduler;
+// callbacks fire on state transitions.
+type Cache struct {
+	s       *sched.Scheduler
+	entries map[string]*cacheEntry
+	// OnAdd fires when a previously unknown instance appears.
+	OnAdd func(Instance)
+	// OnDel fires when an instance expires or is removed.
+	OnDel func(Instance)
+	// OnUpd fires when a known instance's description changes.
+	OnUpd func(Instance)
+}
+
+type cacheEntry struct {
+	inst  Instance
+	timer *sched.Timer
+}
+
+// NewCache creates an empty cache on the scheduler.
+func NewCache(s *sched.Scheduler) *Cache {
+	return &Cache{s: s, entries: make(map[string]*cacheEntry)}
+}
+
+// Upsert inserts or refreshes an instance with the given TTL. A TTL of
+// zero removes the instance (a goodbye). Returns true if the instance was
+// new.
+func (c *Cache) Upsert(inst Instance, ttl time.Duration) bool {
+	if ttl <= 0 {
+		c.Remove(inst.Name)
+		return false
+	}
+	e, known := c.entries[inst.Name]
+	if known {
+		e.timer.Stop()
+		changed := !e.inst.Equal(inst)
+		e.inst = inst
+		e.timer = c.expiryTimer(inst.Name, ttl)
+		if changed && c.OnUpd != nil {
+			c.OnUpd(inst)
+		}
+		return false
+	}
+	c.entries[inst.Name] = &cacheEntry{inst: inst, timer: c.expiryTimer(inst.Name, ttl)}
+	if c.OnAdd != nil {
+		c.OnAdd(inst)
+	}
+	return true
+}
+
+func (c *Cache) expiryTimer(name string, ttl time.Duration) *sched.Timer {
+	return c.s.ScheduleFunc(ttl, "cache-expire "+name, func() {
+		c.Remove(name)
+	})
+}
+
+// Remove deletes an instance, firing OnDel if it was present.
+func (c *Cache) Remove(name string) {
+	e, ok := c.entries[name]
+	if !ok {
+		return
+	}
+	e.timer.Stop()
+	delete(c.entries, name)
+	if c.OnDel != nil {
+		c.OnDel(e.inst)
+	}
+}
+
+// Lookup returns the cached instances of a type, sorted by name.
+func (c *Cache) Lookup(t ServiceType) []Instance {
+	var out []Instance
+	for _, e := range c.entries {
+		if e.inst.Type == t {
+			out = append(out, e.inst)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Get returns a cached instance by name.
+func (c *Cache) Get(name string) (Instance, bool) {
+	e, ok := c.entries[name]
+	if !ok {
+		return Instance{}, false
+	}
+	return e.inst, true
+}
+
+// Len returns the number of cached instances.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Flush removes all entries without firing callbacks (run preparation).
+func (c *Cache) Flush() {
+	for _, e := range c.entries {
+		e.timer.Stop()
+	}
+	c.entries = make(map[string]*cacheEntry)
+}
+
+// InstParams builds the standard event parameters naming a discovered or
+// published instance: the instance identifier and the publishing node, the
+// latter matching the param_dependency checks of Fig. 10.
+func InstParams(inst Instance) map[string]string {
+	return map[string]string{
+		"service": inst.Name,
+		"type":    string(inst.Type),
+		"node":    string(inst.Node),
+	}
+}

@@ -1,0 +1,187 @@
+package sd
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"excovery/internal/sched"
+)
+
+func TestCacheUpsertAddUpdDel(t *testing.T) {
+	s := sched.NewVirtual()
+	c := NewCache(s)
+	var adds, upds, dels []string
+	c.OnAdd = func(i Instance) { adds = append(adds, i.Name) }
+	c.OnUpd = func(i Instance) { upds = append(upds, i.Name) }
+	c.OnDel = func(i Instance) { dels = append(dels, i.Name) }
+	s.Go("t", func() {
+		i := Instance{Name: "a", Type: "_x"}
+		if !c.Upsert(i, time.Minute) {
+			t.Error("first upsert should report new")
+		}
+		if c.Upsert(i, time.Minute) {
+			t.Error("refresh should not report new")
+		}
+		i.Version = 1
+		c.Upsert(i, time.Minute)
+		c.Remove("a")
+		c.Remove("a") // idempotent
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(adds) != 1 || len(upds) != 1 || len(dels) != 1 {
+		t.Fatalf("adds=%v upds=%v dels=%v", adds, upds, dels)
+	}
+}
+
+func TestCacheTTLExpiry(t *testing.T) {
+	s := sched.NewVirtual()
+	c := NewCache(s)
+	var delAt time.Time
+	c.OnDel = func(Instance) { delAt = s.Now() }
+	start := s.Now()
+	s.Go("t", func() {
+		c.Upsert(Instance{Name: "a", Type: "_x"}, 10*time.Second)
+		s.Sleep(5 * time.Second)
+		// Refresh restarts the TTL.
+		c.Upsert(Instance{Name: "a", Type: "_x"}, 10*time.Second)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := delAt.Sub(start); got != 15*time.Second {
+		t.Fatalf("expired after %v, want 15s (refresh at 5s + 10s TTL)", got)
+	}
+}
+
+func TestCacheZeroTTLIsGoodbye(t *testing.T) {
+	s := sched.NewVirtual()
+	c := NewCache(s)
+	dels := 0
+	c.OnDel = func(Instance) { dels++ }
+	s.Go("t", func() {
+		c.Upsert(Instance{Name: "a", Type: "_x"}, time.Minute)
+		c.Upsert(Instance{Name: "a", Type: "_x"}, 0)
+		if c.Len() != 0 {
+			t.Error("zero TTL did not remove")
+		}
+		// Goodbye for unknown instance is a no-op.
+		c.Upsert(Instance{Name: "b", Type: "_x"}, 0)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if dels != 1 {
+		t.Fatalf("dels = %d", dels)
+	}
+}
+
+func TestCacheLookupSortedAndTyped(t *testing.T) {
+	s := sched.NewVirtual()
+	c := NewCache(s)
+	s.Go("t", func() {
+		c.Upsert(Instance{Name: "zeta", Type: "_x"}, time.Minute)
+		c.Upsert(Instance{Name: "alpha", Type: "_x"}, time.Minute)
+		c.Upsert(Instance{Name: "other", Type: "_y"}, time.Minute)
+		got := c.Lookup("_x")
+		if len(got) != 2 || got[0].Name != "alpha" || got[1].Name != "zeta" {
+			t.Errorf("Lookup = %v", got)
+		}
+		if _, ok := c.Get("other"); !ok {
+			t.Error("Get failed")
+		}
+		if _, ok := c.Get("nope"); ok {
+			t.Error("Get on missing succeeded")
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheFlushSilent(t *testing.T) {
+	s := sched.NewVirtual()
+	c := NewCache(s)
+	dels := 0
+	c.OnDel = func(Instance) { dels++ }
+	s.Go("t", func() {
+		c.Upsert(Instance{Name: "a", Type: "_x"}, time.Minute)
+		c.Flush()
+		if c.Len() != 0 {
+			t.Error("flush left entries")
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if dels != 0 {
+		t.Fatalf("flush fired %d OnDel callbacks", dels)
+	}
+}
+
+func TestInstanceEqual(t *testing.T) {
+	base := Instance{Name: "a", Type: "_x", Node: "n", Address: "1.2.3.4", Port: 5,
+		TXT: map[string]string{"k": "v"}}
+	same := base
+	same.TXT = map[string]string{"k": "v"}
+	if !base.Equal(same) {
+		t.Fatal("equal instances reported unequal")
+	}
+	for _, mut := range []func(*Instance){
+		func(i *Instance) { i.Name = "b" },
+		func(i *Instance) { i.Type = "_y" },
+		func(i *Instance) { i.Node = "m" },
+		func(i *Instance) { i.Address = "x" },
+		func(i *Instance) { i.Port = 6 },
+		func(i *Instance) { i.Version = 1 },
+		func(i *Instance) { i.TXT = map[string]string{"k": "w"} },
+		func(i *Instance) { i.TXT = map[string]string{} },
+	} {
+		o := base
+		o.TXT = map[string]string{"k": "v"}
+		mut(&o)
+		if base.Equal(o) {
+			t.Fatalf("mutation not detected: %+v", o)
+		}
+	}
+}
+
+func TestInstParams(t *testing.T) {
+	p := InstParams(Instance{Name: "svc", Type: "_x", Node: "host1"})
+	if p["service"] != "svc" || p["type"] != "_x" || p["node"] != "host1" {
+		t.Fatalf("params = %v", p)
+	}
+}
+
+// Property: after any sequence of upserts and removes, Len equals the
+// number of distinct live names.
+func TestCacheLenProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		s := sched.NewVirtual()
+		c := NewCache(s)
+		live := map[string]bool{}
+		ok := true
+		s.Go("t", func() {
+			for _, op := range ops {
+				name := string(rune('a' + op%8))
+				if op%3 == 0 {
+					c.Remove(name)
+					delete(live, name)
+				} else {
+					c.Upsert(Instance{Name: name, Type: "_x"}, time.Hour)
+					live[name] = true
+				}
+			}
+			ok = c.Len() == len(live)
+		})
+		if err := s.RunFor(time.Minute); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

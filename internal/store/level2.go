@@ -1,0 +1,402 @@
+// Package store implements ExCovery's four storage levels (§IV-F):
+//
+//	level 1 — the abstract experiment description (an XML document,
+//	          provided by package desc);
+//	level 2 — intermediate per-run storage of all raw measurements, a
+//	          file-system hierarchy of per-node event logs, packet
+//	          captures, log files and plugin measurements;
+//	level 3 — one relational database per experiment with the schema of
+//	          Table I, filled by the conditioning step that unifies all
+//	          timestamps onto the master's reference time base;
+//	level 4 — a repository integrating multiple experiments (the paper
+//	          leaves this to future work; a basic implementation is
+//	          provided here).
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"time"
+
+	"excovery/internal/eventlog"
+	"excovery/internal/netem"
+	"excovery/internal/timesync"
+)
+
+// Level-2 layout below the experiment directory:
+//
+//	runs/<run>/<node>/events.jsonl
+//	runs/<run>/<node>/packets.jsonl
+//	runs/<run>/<node>/log.txt
+//	runs/<run>/<node>/extra/<name>
+//	runs/<run>/sync.jsonl            (master's time-sync measurements)
+//	runs/<run>/runinfo.json
+//	experiment/<node>/<name>         (experiment-wide measurements)
+//	description.xml                  (level 1, copied for transparency)
+
+// RunStore is the level-2 intermediate storage for one experiment.
+type RunStore struct {
+	// Dir is the experiment directory.
+	Dir string
+}
+
+// NewRunStore creates (or reuses) the experiment directory.
+func NewRunStore(dir string) (*RunStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &RunStore{Dir: dir}, nil
+}
+
+func (rs *RunStore) runDir(run int, node string) string {
+	return filepath.Join(rs.Dir, "runs", strconv.Itoa(run), node)
+}
+
+// WriteDescription stores the level-1 document alongside the raw data.
+func (rs *RunStore) WriteDescription(xml string) error {
+	return os.WriteFile(filepath.Join(rs.Dir, "description.xml"), []byte(xml), 0o644)
+}
+
+// ReadDescription returns the stored level-1 document.
+func (rs *RunStore) ReadDescription() (string, error) {
+	b, err := os.ReadFile(filepath.Join(rs.Dir, "description.xml"))
+	return string(b), err
+}
+
+// WriteEvents appends a node's recorded events of one run.
+func (rs *RunStore) WriteEvents(run int, node string, events []eventlog.Event) error {
+	return rs.appendJSONL(filepath.Join(rs.runDir(run, node), "events.jsonl"), toAny(events))
+}
+
+// ReadEvents loads a node's events of one run.
+func (rs *RunStore) ReadEvents(run int, node string) ([]eventlog.Event, error) {
+	var out []eventlog.Event
+	err := rs.readJSONL(filepath.Join(rs.runDir(run, node), "events.jsonl"), func(line []byte) error {
+		var ev eventlog.Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return err
+		}
+		out = append(out, ev)
+		return nil
+	})
+	return out, err
+}
+
+// PacketRecord is the serialized form of one captured packet (§IV-B2): a
+// local timestamp, a unique identifier, source and destination and the
+// content.
+type PacketRecord struct {
+	Time time.Time `json:"time"`
+	Dir  string    `json:"dir"`
+	// Node is the capturing node (where this tx/rx was observed).
+	Node string         `json:"node,omitempty"`
+	ID   uint64         `json:"id"`
+	Tag  uint16         `json:"tag"`
+	Src  string         `json:"src"`
+	Dst  string         `json:"dst"`
+	Data []byte         `json:"data"`
+	Path []netem.NodeID `json:"path,omitempty"`
+}
+
+// FromCapture converts a netem capture.
+func FromCapture(c netem.Capture) PacketRecord {
+	return PacketRecord{
+		Time: c.Time,
+		Dir:  c.Dir.String(),
+		Node: string(c.Node),
+		ID:   c.Pkt.ID,
+		Tag:  c.Pkt.Tag,
+		Src:  string(c.Pkt.Src),
+		Dst:  c.Pkt.Dst.String(),
+		Data: c.Pkt.Payload,
+		Path: c.Pkt.Path,
+	}
+}
+
+// WritePackets appends a node's packet captures of one run.
+func (rs *RunStore) WritePackets(run int, node string, pkts []PacketRecord) error {
+	return rs.appendJSONL(filepath.Join(rs.runDir(run, node), "packets.jsonl"), toAny(pkts))
+}
+
+// ReadPackets loads a node's packet captures of one run.
+func (rs *RunStore) ReadPackets(run int, node string) ([]PacketRecord, error) {
+	var out []PacketRecord
+	err := rs.readJSONL(filepath.Join(rs.runDir(run, node), "packets.jsonl"), func(line []byte) error {
+		var p PacketRecord
+		if err := json.Unmarshal(line, &p); err != nil {
+			return err
+		}
+		out = append(out, p)
+		return nil
+	})
+	return out, err
+}
+
+// AppendLog appends to a node's free-form log file for a run.
+func (rs *RunStore) AppendLog(run int, node, text string) error {
+	dir := rs.runDir(run, node)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, "log.txt"), os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.WriteString(text)
+	return err
+}
+
+// ReadLog returns a node's log file for a run ("" if none).
+func (rs *RunStore) ReadLog(run int, node string) (string, error) {
+	b, err := os.ReadFile(filepath.Join(rs.runDir(run, node), "log.txt"))
+	if os.IsNotExist(err) {
+		return "", nil
+	}
+	return string(b), err
+}
+
+// WriteExtra stores a plugin measurement for a run (§IV-B5: plugins have a
+// separate storage location).
+func (rs *RunStore) WriteExtra(run int, node, name string, content []byte) error {
+	dir := filepath.Join(rs.runDir(run, node), "extra")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, name), content, 0o644)
+}
+
+// ExtraMeasurement is one plugin measurement.
+type ExtraMeasurement struct {
+	Run     int
+	Node    string
+	Name    string
+	Content []byte
+}
+
+// ListExtras returns all plugin measurements of a run.
+func (rs *RunStore) ListExtras(run int) ([]ExtraMeasurement, error) {
+	runRoot := filepath.Join(rs.Dir, "runs", strconv.Itoa(run))
+	nodes, err := os.ReadDir(runRoot)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var out []ExtraMeasurement
+	for _, nd := range nodes {
+		if !nd.IsDir() {
+			continue
+		}
+		extraDir := filepath.Join(runRoot, nd.Name(), "extra")
+		files, err := os.ReadDir(extraDir)
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range files {
+			content, err := os.ReadFile(filepath.Join(extraDir, f.Name()))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ExtraMeasurement{Run: run, Node: nd.Name(), Name: f.Name(), Content: content})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out, nil
+}
+
+// WriteExperimentMeasurement stores an experiment-wide named measurement.
+func (rs *RunStore) WriteExperimentMeasurement(node, name string, content []byte) error {
+	dir := filepath.Join(rs.Dir, "experiment", node)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, name), content, 0o644)
+}
+
+// ListExperimentMeasurements returns all experiment-wide measurements.
+func (rs *RunStore) ListExperimentMeasurements() ([]ExtraMeasurement, error) {
+	root := filepath.Join(rs.Dir, "experiment")
+	nodes, err := os.ReadDir(root)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var out []ExtraMeasurement
+	for _, nd := range nodes {
+		files, err := os.ReadDir(filepath.Join(root, nd.Name()))
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range files {
+			content, err := os.ReadFile(filepath.Join(root, nd.Name(), f.Name()))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ExtraMeasurement{Run: -1, Node: nd.Name(), Name: f.Name(), Content: content})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out, nil
+}
+
+// RunInfo records a run's start time and per-node clock offsets, feeding
+// the RunInfos table (Table I: RunID, NodeID, StartTime, TimeDiff).
+type RunInfo struct {
+	Run     int                    `json:"run"`
+	Start   time.Time              `json:"start"`
+	Offsets []timesync.Measurement `json:"offsets"`
+}
+
+// WriteRunInfo stores the run metadata and time-sync measurements.
+func (rs *RunStore) WriteRunInfo(info RunInfo) error {
+	dir := filepath.Join(rs.Dir, "runs", strconv.Itoa(info.Run))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(info, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "runinfo.json"), b, 0o644)
+}
+
+// ReadRunInfo loads a run's metadata.
+func (rs *RunStore) ReadRunInfo(run int) (RunInfo, error) {
+	var info RunInfo
+	b, err := os.ReadFile(filepath.Join(rs.Dir, "runs", strconv.Itoa(run), "runinfo.json"))
+	if err != nil {
+		return info, err
+	}
+	err = json.Unmarshal(b, &info)
+	return info, err
+}
+
+// Runs lists the run ids present in the store, sorted.
+func (rs *RunStore) Runs() ([]int, error) {
+	entries, err := os.ReadDir(filepath.Join(rs.Dir, "runs"))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var out []int
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if n, err := strconv.Atoi(e.Name()); err == nil {
+			out = append(out, n)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// RunNodes lists the node directories of a run, sorted.
+func (rs *RunStore) RunNodes(run int) ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(rs.Dir, "runs", strconv.Itoa(run)))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func (rs *RunStore) appendJSONL(path string, items []any) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	enc := json.NewEncoder(w)
+	for _, it := range items {
+		if err := enc.Encode(it); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+func (rs *RunStore) readJSONL(path string, fn func(line []byte) error) error {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if err := fn(line); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	return sc.Err()
+}
+
+func toAny[T any](in []T) []any {
+	out := make([]any, len(in))
+	for i, v := range in {
+		out[i] = v
+	}
+	return out
+}
+
+// MarkRunDone records that a run completed, enabling resume-after-abort:
+// a restarted experiment skips runs marked done (§VII: ExCovery "recovers
+// from failures by resuming aborted runs").
+func (rs *RunStore) MarkRunDone(run int) error {
+	dir := filepath.Join(rs.Dir, "runs", strconv.Itoa(run))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "done"), []byte("done\n"), 0o644)
+}
+
+// RunDone reports whether a run was marked done.
+func (rs *RunStore) RunDone(run int) bool {
+	_, err := os.Stat(filepath.Join(rs.Dir, "runs", strconv.Itoa(run), "done"))
+	return err == nil
+}

@@ -1,0 +1,330 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"excovery/internal/eventlog"
+	"excovery/internal/store/reldb"
+	"excovery/internal/timesync"
+)
+
+// EEVersion is the ExCovery implementation version recorded in
+// ExperimentInfo (Table I).
+const EEVersion = "excovery-go/1.0"
+
+// Meta is the experiment-level metadata of the ExperimentInfo table.
+type Meta struct {
+	// ExpXML is the complete level-1 description document.
+	ExpXML string
+	// Name and Comment describe the experiment.
+	Name, Comment string
+}
+
+// ExperimentDB is the level-3 single-package representation of one
+// complete experiment, using exactly the tables and attributes of Table I.
+type ExperimentDB struct {
+	DB *reldb.DB
+}
+
+// NewExperimentDB creates an empty level-3 database with the Table I
+// schema.
+func NewExperimentDB() (*ExperimentDB, error) {
+	db := reldb.New()
+	schemas := []reldb.Schema{
+		{Name: "ExperimentInfo", Columns: []reldb.Column{
+			{Name: "ExpXML", Type: reldb.Text},
+			{Name: "EEVersion", Type: reldb.Text},
+			{Name: "Name", Type: reldb.Text},
+			{Name: "Comment", Type: reldb.Text},
+		}},
+		{Name: "Logs", Columns: []reldb.Column{
+			{Name: "NodeID", Type: reldb.Text},
+			{Name: "Log", Type: reldb.Text},
+		}},
+		{Name: "EEFiles", Columns: []reldb.Column{
+			{Name: "ID", Type: reldb.Text},
+			{Name: "File", Type: reldb.Blob},
+		}},
+		{Name: "ExperimentMeasurements", Columns: []reldb.Column{
+			{Name: "ID", Type: reldb.Int64},
+			{Name: "NodeID", Type: reldb.Text},
+			{Name: "Name", Type: reldb.Text},
+			{Name: "Content", Type: reldb.Blob},
+		}},
+		{Name: "RunInfos", Columns: []reldb.Column{
+			{Name: "RunID", Type: reldb.Int64},
+			{Name: "NodeID", Type: reldb.Text},
+			{Name: "StartTime", Type: reldb.Time},
+			{Name: "TimeDiff", Type: reldb.Float64},
+		}},
+		{Name: "ExtraRunMeasurements", Columns: []reldb.Column{
+			{Name: "RunID", Type: reldb.Int64},
+			{Name: "NodeID", Type: reldb.Text},
+			{Name: "Name", Type: reldb.Text},
+			{Name: "Content", Type: reldb.Blob},
+		}},
+		{Name: "Events", Columns: []reldb.Column{
+			{Name: "RunID", Type: reldb.Int64},
+			{Name: "NodeID", Type: reldb.Text},
+			{Name: "CommonTime", Type: reldb.Time},
+			{Name: "EventType", Type: reldb.Text},
+			{Name: "Parameter", Type: reldb.Text},
+		}},
+		{Name: "Packets", Columns: []reldb.Column{
+			{Name: "RunID", Type: reldb.Int64},
+			{Name: "NodeID", Type: reldb.Text},
+			{Name: "CommonTime", Type: reldb.Time},
+			{Name: "SrcNodeID", Type: reldb.Text},
+			{Name: "Data", Type: reldb.Blob},
+		}},
+	}
+	for _, s := range schemas {
+		if err := db.CreateTable(s); err != nil {
+			return nil, err
+		}
+	}
+	for _, idx := range [][2]string{
+		{"Events", "RunID"}, {"Packets", "RunID"},
+		{"RunInfos", "RunID"}, {"ExtraRunMeasurements", "RunID"},
+	} {
+		if err := db.CreateIndex(idx[0], idx[1]); err != nil {
+			return nil, err
+		}
+	}
+	return &ExperimentDB{DB: db}, nil
+}
+
+// OpenExperimentDB loads a level-3 database file.
+func OpenExperimentDB(path string) (*ExperimentDB, error) {
+	db, err := reldb.OpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &ExperimentDB{DB: db}, nil
+}
+
+// Save writes the database to a single file.
+func (e *ExperimentDB) Save(path string) error { return e.DB.SaveFile(path) }
+
+// Condition turns the level-2 store into a level-3 database: all local
+// timestamps are mapped onto the reference time base using the per-run
+// time-sync measurements, then events, packets, logs, run infos and
+// measurements are ingested (§IV-F).
+func Condition(rs *RunStore, meta Meta) (*ExperimentDB, error) {
+	e, err := NewExperimentDB()
+	if err != nil {
+		return nil, err
+	}
+	if err := e.DB.Insert("ExperimentInfo", reldb.Row{
+		meta.ExpXML, EEVersion, meta.Name, meta.Comment,
+	}); err != nil {
+		return nil, err
+	}
+	if meta.ExpXML != "" {
+		if err := e.DB.Insert("EEFiles", reldb.Row{"description.xml", []byte(meta.ExpXML)}); err != nil {
+			return nil, err
+		}
+	}
+
+	runs, err := rs.Runs()
+	if err != nil {
+		return nil, err
+	}
+	logsByNode := map[string]string{}
+	for _, run := range runs {
+		info, err := rs.ReadRunInfo(run)
+		if err != nil {
+			return nil, fmt.Errorf("store: run %d has no runinfo: %w", run, err)
+		}
+		offsets := map[string]timesync.Measurement{}
+		for _, m := range info.Offsets {
+			offsets[m.Node] = m
+			if err := e.DB.Insert("RunInfos", reldb.Row{
+				int64(run), m.Node, info.Start.UTC(), m.Offset.Seconds(),
+			}); err != nil {
+				return nil, err
+			}
+		}
+		correct := func(node string, local time.Time) time.Time {
+			if m, ok := offsets[node]; ok {
+				return timesync.Correct(local, m).UTC()
+			}
+			return local.UTC()
+		}
+
+		nodes, err := rs.RunNodes(run)
+		if err != nil {
+			return nil, err
+		}
+		for _, node := range nodes {
+			events, err := rs.ReadEvents(run, node)
+			if err != nil {
+				return nil, err
+			}
+			for _, ev := range events {
+				if err := e.DB.Insert("Events", reldb.Row{
+					int64(run), ev.Node, correct(ev.Node, ev.Time),
+					ev.Type, encodeParams(ev.Params),
+				}); err != nil {
+					return nil, err
+				}
+			}
+			pkts, err := rs.ReadPackets(run, node)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range pkts {
+				data, err := json.Marshal(p)
+				if err != nil {
+					return nil, err
+				}
+				if err := e.DB.Insert("Packets", reldb.Row{
+					int64(run), node, correct(node, p.Time), p.Src, data,
+				}); err != nil {
+					return nil, err
+				}
+			}
+			if log, err := rs.ReadLog(run, node); err != nil {
+				return nil, err
+			} else if log != "" {
+				logsByNode[node] += log
+			}
+		}
+		extras, err := rs.ListExtras(run)
+		if err != nil {
+			return nil, err
+		}
+		for _, x := range extras {
+			if err := e.DB.Insert("ExtraRunMeasurements", reldb.Row{
+				int64(x.Run), x.Node, x.Name, x.Content,
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	nodes := make([]string, 0, len(logsByNode))
+	for n := range logsByNode {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	for _, n := range nodes {
+		if err := e.DB.Insert("Logs", reldb.Row{n, logsByNode[n]}); err != nil {
+			return nil, err
+		}
+	}
+
+	ems, err := rs.ListExperimentMeasurements()
+	if err != nil {
+		return nil, err
+	}
+	for i, m := range ems {
+		if err := e.DB.Insert("ExperimentMeasurements", reldb.Row{
+			int64(i), m.Node, m.Name, m.Content,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// encodeParams serializes event parameters for the Parameter column with
+// deterministic key order.
+func encodeParams(p map[string]string) string {
+	if len(p) == 0 {
+		return ""
+	}
+	b, _ := json.Marshal(p) // encoding/json sorts map keys
+	return string(b)
+}
+
+// DecodeParams parses a Parameter column value.
+func DecodeParams(s string) map[string]string {
+	if s == "" {
+		return nil
+	}
+	var m map[string]string
+	if err := json.Unmarshal([]byte(s), &m); err != nil {
+		return nil
+	}
+	return m
+}
+
+// Info returns the ExperimentInfo tuple.
+func (e *ExperimentDB) Info() (Meta, error) {
+	row, ok, err := e.DB.SelectOne(reldb.Query{Table: "ExperimentInfo"})
+	if err != nil || !ok {
+		return Meta{}, fmt.Errorf("store: no ExperimentInfo (%v)", err)
+	}
+	return Meta{ExpXML: row[0].(string), Name: row[2].(string), Comment: row[3].(string)}, nil
+}
+
+// RunIDs returns the distinct run ids in the Events table, sorted.
+func (e *ExperimentDB) RunIDs() ([]int, error) {
+	rows, err := e.DB.Select(reldb.Query{Table: "RunInfos"})
+	if err != nil {
+		return nil, err
+	}
+	seen := map[int]bool{}
+	var out []int
+	for _, r := range rows {
+		id := int(r[0].(int64))
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// EventsOfRun returns the conditioned events of one run ordered by common
+// time.
+func (e *ExperimentDB) EventsOfRun(run int) ([]eventlog.Event, error) {
+	rows, err := e.DB.Select(reldb.Query{
+		Table:   "Events",
+		Where:   []reldb.Pred{reldb.Eq("RunID", int64(run))},
+		OrderBy: "CommonTime",
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]eventlog.Event, len(rows))
+	for i, r := range rows {
+		out[i] = eventlog.Event{
+			Run:    int(r[0].(int64)),
+			Node:   r[1].(string),
+			Time:   r[2].(time.Time),
+			Type:   r[3].(string),
+			Params: DecodeParams(r[4].(string)),
+		}
+	}
+	return out, nil
+}
+
+// PacketsOfRun returns the conditioned packet records of one run ordered
+// by common time.
+func (e *ExperimentDB) PacketsOfRun(run int) ([]PacketRecord, error) {
+	rows, err := e.DB.Select(reldb.Query{
+		Table:   "Packets",
+		Where:   []reldb.Pred{reldb.Eq("RunID", int64(run))},
+		OrderBy: "CommonTime",
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]PacketRecord, len(rows))
+	for i, r := range rows {
+		var p PacketRecord
+		if err := json.Unmarshal(r[4].([]byte), &p); err != nil {
+			return nil, err
+		}
+		p.Time = r[2].(time.Time) // conditioned common time
+		p.Node = r[1].(string)    // capturing node
+		out[i] = p
+	}
+	return out, nil
+}

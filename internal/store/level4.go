@@ -1,0 +1,92 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Repository is the fourth storage level: an integration of multiple
+// level-3 experiment packages "to facilitate comparison and analysis
+// covering multiple experiments" (§IV-F). The paper does not realize this
+// level; this basic implementation stores one level-3 file per experiment
+// in a directory and offers enumeration and cross-experiment iteration.
+type Repository struct {
+	// Dir is the repository directory.
+	Dir string
+}
+
+// repoExt is the file extension of stored experiment packages.
+const repoExt = ".xcdb"
+
+// OpenRepository creates or opens a repository directory.
+func OpenRepository(dir string) (*Repository, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Repository{Dir: dir}, nil
+}
+
+func (r *Repository) path(name string) string {
+	return filepath.Join(r.Dir, name+repoExt)
+}
+
+// Add stores an experiment under a name; an existing package with the same
+// name is an error (experiments are immutable once stored).
+func (r *Repository) Add(name string, e *ExperimentDB) error {
+	if name == "" || strings.ContainsAny(name, "/\\") {
+		return fmt.Errorf("store: invalid experiment name %q", name)
+	}
+	p := r.path(name)
+	if _, err := os.Stat(p); err == nil {
+		return fmt.Errorf("store: experiment %q already in repository", name)
+	}
+	return e.Save(p)
+}
+
+// List returns the stored experiment names, sorted.
+func (r *Repository) List() ([]string, error) {
+	entries, err := os.ReadDir(r.Dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), repoExt) {
+			out = append(out, strings.TrimSuffix(e.Name(), repoExt))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Open loads one stored experiment.
+func (r *Repository) Open(name string) (*ExperimentDB, error) {
+	return OpenExperimentDB(r.path(name))
+}
+
+// Remove deletes a stored experiment.
+func (r *Repository) Remove(name string) error {
+	return os.Remove(r.path(name))
+}
+
+// ForEach opens every stored experiment in name order and calls fn; the
+// iteration stops at the first error.
+func (r *Repository) ForEach(fn func(name string, e *ExperimentDB) error) error {
+	names, err := r.List()
+	if err != nil {
+		return err
+	}
+	for _, n := range names {
+		e, err := r.Open(n)
+		if err != nil {
+			return fmt.Errorf("store: open %q: %w", n, err)
+		}
+		if err := fn(n, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,286 @@
+package reldb
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"time"
+)
+
+// Single-file binary format:
+//
+//	magic "XCRDB1\n"
+//	uvarint tableCount
+//	per table: name, uvarint colCount, cols (name, type byte),
+//	           uvarint rowCount, rows (per value: tag byte + payload)
+//	uint32 CRC-32 (IEEE) of everything before the trailer
+//
+// Strings and blobs are uvarint-length-prefixed. The CRC makes a truncated
+// or corrupted experiment file detectable when exchanged between
+// researchers (§IV-F: facilitating exchange of experiments).
+
+var magic = []byte("XCRDB1\n")
+
+const (
+	tagNil byte = iota
+	tagInt
+	tagFloat
+	tagText
+	tagBlob
+	tagTime
+)
+
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p)
+	return c.w.Write(p)
+}
+
+// Save writes the database to w.
+func (db *DB) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	cw := &crcWriter{w: bw}
+	if _, err := cw.Write(magic); err != nil {
+		return err
+	}
+	writeUvarint(cw, uint64(len(db.order)))
+	for _, name := range db.order {
+		t := db.tables[name]
+		writeString(cw, name)
+		writeUvarint(cw, uint64(len(t.schema.Columns)))
+		for _, c := range t.schema.Columns {
+			writeString(cw, c.Name)
+			cw.Write([]byte{byte(c.Type)})
+		}
+		writeUvarint(cw, uint64(len(t.rows)))
+		for _, row := range t.rows {
+			for _, v := range row {
+				if err := writeValue(cw, v); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], cw.crc)
+	if _, err := bw.Write(tail[:]); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Load reads a database previously written by Save.
+func Load(r io.Reader) (*DB, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < len(magic)+4 {
+		return nil, fmt.Errorf("reldb: file too short")
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return nil, fmt.Errorf("reldb: checksum mismatch (corrupted file)")
+	}
+	rd := &reader{data: body}
+	if string(rd.bytes(len(magic))) != string(magic) {
+		return nil, fmt.Errorf("reldb: bad magic")
+	}
+	db := New()
+	nTables := rd.uvarint()
+	for i := uint64(0); i < nTables && rd.err == nil; i++ {
+		name := rd.string()
+		nCols := rd.uvarint()
+		s := Schema{Name: name}
+		for c := uint64(0); c < nCols && rd.err == nil; c++ {
+			cn := rd.string()
+			ct := Type(rd.byte())
+			s.Columns = append(s.Columns, Column{Name: cn, Type: ct})
+		}
+		if rd.err != nil {
+			break
+		}
+		if err := db.CreateTable(s); err != nil {
+			return nil, err
+		}
+		nRows := rd.uvarint()
+		for r := uint64(0); r < nRows && rd.err == nil; r++ {
+			row := make(Row, len(s.Columns))
+			for c := range row {
+				row[c] = rd.value()
+			}
+			if rd.err == nil {
+				if err := db.Insert(name, row); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if rd.err != nil {
+		return nil, fmt.Errorf("reldb: parse: %w", rd.err)
+	}
+	return db, nil
+}
+
+// SaveFile writes the database to path atomically (write + rename).
+func (db *DB) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := db.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// OpenFile loads a database from path.
+func OpenFile(path string) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+func writeUvarint(w io.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n])
+}
+
+func writeString(w io.Writer, s string) {
+	writeUvarint(w, uint64(len(s)))
+	io.WriteString(w, s)
+}
+
+func writeValue(w io.Writer, v any) error {
+	switch x := v.(type) {
+	case nil:
+		w.Write([]byte{tagNil})
+	case int64:
+		w.Write([]byte{tagInt})
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], uint64(x))
+		w.Write(buf[:])
+	case float64:
+		w.Write([]byte{tagFloat})
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(x))
+		w.Write(buf[:])
+	case string:
+		w.Write([]byte{tagText})
+		writeString(w, x)
+	case []byte:
+		w.Write([]byte{tagBlob})
+		writeUvarint(w, uint64(len(x)))
+		w.Write(x)
+	case time.Time:
+		w.Write([]byte{tagTime})
+		var buf [12]byte
+		binary.LittleEndian.PutUint64(buf[:8], uint64(x.Unix()))
+		binary.LittleEndian.PutUint32(buf[8:], uint32(x.Nanosecond()))
+		w.Write(buf[:])
+	default:
+		return fmt.Errorf("reldb: cannot persist %T", v)
+	}
+	return nil
+}
+
+type reader struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func (r *reader) bytes(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.pos+n > len(r.data) {
+		r.err = io.ErrUnexpectedEOF
+		return nil
+	}
+	out := r.data[r.pos : r.pos+n]
+	r.pos += n
+	return out
+}
+
+func (r *reader) byte() byte {
+	b := r.bytes(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 {
+		r.err = io.ErrUnexpectedEOF
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *reader) string() string {
+	n := r.uvarint()
+	return string(r.bytes(int(n)))
+}
+
+func (r *reader) value() any {
+	switch r.byte() {
+	case tagNil:
+		return nil
+	case tagInt:
+		b := r.bytes(8)
+		if b == nil {
+			return nil
+		}
+		return int64(binary.LittleEndian.Uint64(b))
+	case tagFloat:
+		b := r.bytes(8)
+		if b == nil {
+			return nil
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(b))
+	case tagText:
+		return r.string()
+	case tagBlob:
+		n := r.uvarint()
+		return append([]byte(nil), r.bytes(int(n))...)
+	case tagTime:
+		b := r.bytes(12)
+		if b == nil {
+			return nil
+		}
+		sec := int64(binary.LittleEndian.Uint64(b[:8]))
+		nsec := int64(binary.LittleEndian.Uint32(b[8:]))
+		return time.Unix(sec, nsec).UTC()
+	default:
+		if r.err == nil {
+			r.err = fmt.Errorf("unknown value tag")
+		}
+		return nil
+	}
+}

@@ -1,0 +1,133 @@
+package timesync
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"excovery/internal/sched"
+	"excovery/internal/vclock"
+)
+
+// jitteryProbe simulates a control channel with request/response latency:
+// each probe sleeps a random delay, reads the node clock, and sleeps again.
+func jitteryProbe(s *sched.Scheduler, c vclock.Clock, rng *rand.Rand, maxLeg time.Duration) Probe {
+	return func() time.Time {
+		s.Sleep(time.Duration(rng.Int63n(int64(maxLeg))))
+		t := c.Now()
+		s.Sleep(time.Duration(rng.Int63n(int64(maxLeg))))
+		return t
+	}
+}
+
+func TestMeasureExactOnInstantChannel(t *testing.T) {
+	s := sched.NewVirtual()
+	node := vclock.NewSkewed(s, 123*time.Millisecond, 0)
+	est := &Estimator{Ref: vclock.Perfect{S: s}}
+	s.Go("t", func() {
+		m := est.Measure("n1", func() time.Time { return node.Now() })
+		if m.Offset != 123*time.Millisecond {
+			t.Errorf("offset = %v, want 123ms", m.Offset)
+		}
+		if m.ErrorBound != 0 {
+			t.Errorf("bound = %v, want 0 on instant channel", m.ErrorBound)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeasureWithJitterWithinBound(t *testing.T) {
+	s := sched.NewVirtual()
+	trueOffset := -40 * time.Millisecond
+	node := vclock.NewSkewed(s, trueOffset, 0)
+	rng := rand.New(rand.NewSource(7))
+	est := &Estimator{Ref: vclock.Perfect{S: s}, Samples: 9}
+	s.Go("t", func() {
+		m := est.Measure("n1", jitteryProbe(s, node, rng, 5*time.Millisecond))
+		err := m.Offset - trueOffset
+		if err < 0 {
+			err = -err
+		}
+		if err > m.ErrorBound {
+			t.Errorf("estimation error %v exceeds reported bound %v", err, m.ErrorBound)
+		}
+		if m.ErrorBound > 5*time.Millisecond {
+			t.Errorf("bound %v too loose for 5ms legs", m.ErrorBound)
+		}
+		if m.Samples != 9 {
+			t.Errorf("samples = %d", m.Samples)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMoreSamplesTightenBound(t *testing.T) {
+	bound := func(samples int) time.Duration {
+		s := sched.NewVirtual()
+		node := vclock.NewSkewed(s, time.Millisecond, 0)
+		rng := rand.New(rand.NewSource(3))
+		est := &Estimator{Ref: vclock.Perfect{S: s}, Samples: samples}
+		var b time.Duration
+		s.Go("t", func() {
+			m := est.Measure("n1", jitteryProbe(s, node, rng, 10*time.Millisecond))
+			b = m.ErrorBound
+		})
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	if b1, b20 := bound(1), bound(20); b20 > b1 {
+		t.Errorf("20 samples bound %v worse than 1 sample %v", b20, b1)
+	}
+}
+
+func TestCorrectMapsToReferenceBase(t *testing.T) {
+	s := sched.NewVirtual()
+	node := vclock.NewSkewed(s, 250*time.Millisecond, 0)
+	est := &Estimator{Ref: vclock.Perfect{S: s}}
+	s.Go("t", func() {
+		m := est.Measure("n1", func() time.Time { return node.Now() })
+		s.Sleep(10 * time.Second)
+		local := node.Now()
+		ref := Correct(local, m)
+		diff := ref.Sub(s.Now())
+		if diff < -time.Microsecond || diff > time.Microsecond {
+			t.Errorf("corrected time deviates by %v", diff)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeasureWithDrift(t *testing.T) {
+	// With drift, the measured offset is only valid near the measurement
+	// instant — exactly why the paper measures before every run.
+	s := sched.NewVirtual()
+	node := vclock.NewSkewed(s, 0, 200) // 200 ppm
+	est := &Estimator{Ref: vclock.Perfect{S: s}}
+	s.Go("t", func() {
+		s.Sleep(1000 * time.Second) // drift accumulates 0.2 s
+		m := est.Measure("n1", func() time.Time { return node.Now() })
+		want := 200 * time.Millisecond
+		diff := m.Offset - want
+		if diff < -time.Millisecond || diff > time.Millisecond {
+			t.Errorf("offset = %v, want ≈ %v", m.Offset, want)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeasurementString(t *testing.T) {
+	m := Measurement{Node: "x", Offset: time.Millisecond, ErrorBound: time.Microsecond, Samples: 5}
+	if got := m.String(); got == "" {
+		t.Fatal("empty String()")
+	}
+}

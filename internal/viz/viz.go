@@ -1,0 +1,163 @@
+// Package viz renders recorded experiment runs as text timelines — the
+// visualization feature the description enables (§I: the formal
+// description "allows for automatic checking, execution and additional
+// features, such as visualisation of experiments"). The output format
+// mirrors Fig. 11: one lane per participating node, markers at the virtual
+// times of the node's events, and a legend resolving the markers.
+package viz
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"excovery/internal/eventlog"
+)
+
+// Timeline renders the events of one run. width is the number of columns
+// of the plot area (default 72 when ≤ 0). Events are placed by their
+// timestamps relative to the run's first and last event.
+func Timeline(events []eventlog.Event, width int) string {
+	if width <= 0 {
+		width = 72
+	}
+	if len(events) == 0 {
+		return "(no events)\n"
+	}
+	sorted := append([]eventlog.Event(nil), events...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Time.Before(sorted[j].Time) })
+	t0 := sorted[0].Time
+	t1 := sorted[len(sorted)-1].Time
+	span := t1.Sub(t0)
+	if span <= 0 {
+		span = time.Nanosecond
+	}
+
+	// Assign one marker character per event type, in order of first
+	// occurrence: a, b, c, …
+	markers := map[string]byte{}
+	var order []string
+	next := byte('a')
+	for _, ev := range sorted {
+		if _, ok := markers[ev.Type]; !ok && next <= 'z' {
+			markers[ev.Type] = next
+			order = append(order, ev.Type)
+			next++
+		}
+	}
+
+	// Lane per node, sorted.
+	nodes := map[string][]eventlog.Event{}
+	for _, ev := range sorted {
+		nodes[ev.Node] = append(nodes[ev.Node], ev)
+	}
+	names := make([]string, 0, len(nodes))
+	nameW := 4
+	for n := range nodes {
+		names = append(names, n)
+		if len(n) > nameW {
+			nameW = len(n)
+		}
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%*s  t=0%s+%s\n", nameW, "", strings.Repeat(" ", width-len(fmt.Sprint(span.Round(time.Millisecond)))-3), span.Round(time.Millisecond))
+	for _, n := range names {
+		lane := []byte(strings.Repeat("-", width))
+		for _, ev := range nodes[n] {
+			pos := int(float64(ev.Time.Sub(t0)) / float64(span) * float64(width-1))
+			mk := markers[ev.Type]
+			if mk == 0 {
+				mk = '?'
+			}
+			// Collisions show the later event.
+			lane[pos] = mk
+		}
+		fmt.Fprintf(&b, "%*s  |%s|\n", nameW, n, lane)
+	}
+	b.WriteString("\nlegend:\n")
+	for _, typ := range order {
+		first := time.Duration(-1)
+		for _, ev := range sorted {
+			if ev.Type == typ {
+				first = ev.Time.Sub(t0)
+				break
+			}
+		}
+		fmt.Fprintf(&b, "  %c  %-22s first at +%s\n", markers[typ], typ, first.Round(time.Microsecond))
+	}
+	return b.String()
+}
+
+// PhaseSummary derives the Fig. 11 phase boundaries of a run from its
+// events: the preparation phase ends at the (first) sd_start_search, the
+// execution phase ends at the "done" flag (or the last sd_service_add),
+// clean-up covers the rest.
+type PhaseSummary struct {
+	Preparation time.Duration
+	Execution   time.Duration
+	Cleanup     time.Duration
+	TR          time.Duration
+	Complete    bool
+}
+
+// Phases computes the phase summary of one run's events.
+func Phases(events []eventlog.Event) PhaseSummary {
+	var s PhaseSummary
+	if len(events) == 0 {
+		return s
+	}
+	sorted := append([]eventlog.Event(nil), events...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Time.Before(sorted[j].Time) })
+	t0 := sorted[0].Time
+	tEnd := sorted[len(sorted)-1].Time
+	var searchAt, doneAt, addAt time.Time
+	for _, ev := range sorted {
+		switch ev.Type {
+		case "sd_start_search":
+			if searchAt.IsZero() {
+				searchAt = ev.Time
+			}
+		case "sd_service_add":
+			addAt = ev.Time
+		case "done":
+			if doneAt.IsZero() {
+				doneAt = ev.Time
+			}
+		}
+	}
+	if searchAt.IsZero() {
+		return s
+	}
+	s.Preparation = searchAt.Sub(t0)
+	execEnd := doneAt
+	if execEnd.IsZero() {
+		execEnd = addAt
+	}
+	if execEnd.IsZero() {
+		execEnd = tEnd
+	}
+	s.Execution = execEnd.Sub(searchAt)
+	s.Cleanup = tEnd.Sub(execEnd)
+	if !addAt.IsZero() {
+		s.TR = addAt.Sub(searchAt)
+		s.Complete = true
+	}
+	return s
+}
+
+func (s PhaseSummary) String() string {
+	if !s.Complete {
+		return fmt.Sprintf("preparation %s | execution %s (incomplete) | clean-up %s",
+			s.Preparation.Round(time.Microsecond),
+			s.Execution.Round(time.Microsecond),
+			s.Cleanup.Round(time.Microsecond))
+	}
+	return fmt.Sprintf("preparation %s | execution %s (t_R %s) | clean-up %s",
+		s.Preparation.Round(time.Microsecond),
+		s.Execution.Round(time.Microsecond),
+		s.TR.Round(time.Microsecond),
+		s.Cleanup.Round(time.Microsecond))
+}

@@ -1,0 +1,251 @@
+package xmlrpc
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// EncodeCall serializes a methodCall document.
+func EncodeCall(method string, params ...any) ([]byte, error) {
+	var b strings.Builder
+	b.WriteString(xml.Header)
+	b.WriteString("<methodCall><methodName>")
+	xml.EscapeText(&b, []byte(method))
+	b.WriteString("</methodName><params>")
+	for _, p := range params {
+		b.WriteString("<param>")
+		if err := encodeValue(&b, p); err != nil {
+			return nil, err
+		}
+		b.WriteString("</param>")
+	}
+	b.WriteString("</params></methodCall>")
+	return []byte(b.String()), nil
+}
+
+// EncodeResponse serializes a successful methodResponse carrying result.
+func EncodeResponse(result any) ([]byte, error) {
+	var b strings.Builder
+	b.WriteString(xml.Header)
+	b.WriteString("<methodResponse><params><param>")
+	if err := encodeValue(&b, result); err != nil {
+		return nil, err
+	}
+	b.WriteString("</param></params></methodResponse>")
+	return []byte(b.String()), nil
+}
+
+// EncodeFault serializes a fault methodResponse.
+func EncodeFault(f *Fault) []byte {
+	var b strings.Builder
+	b.WriteString(xml.Header)
+	b.WriteString("<methodResponse><fault>")
+	// A fault is a struct with faultCode and faultString members.
+	if err := encodeValue(&b, map[string]any{
+		"faultCode":   f.Code,
+		"faultString": f.String,
+	}); err != nil {
+		// The fault struct contains only int and string; cannot fail.
+		panic(err)
+	}
+	b.WriteString("</fault></methodResponse>")
+	return []byte(b.String())
+}
+
+type xCall struct {
+	XMLName xml.Name `xml:"methodCall"`
+	Method  string   `xml:"methodName"`
+	Params  []xValue `xml:"params>param>value"`
+}
+
+type xResponse struct {
+	XMLName xml.Name `xml:"methodResponse"`
+	Params  []xValue `xml:"params>param>value"`
+	Fault   *xValue  `xml:"fault>value"`
+}
+
+// DecodeCall parses a methodCall document into method name and parameters.
+func DecodeCall(data []byte) (method string, params []any, err error) {
+	var c xCall
+	if err := xml.Unmarshal(data, &c); err != nil {
+		return "", nil, fmt.Errorf("xmlrpc: parse call: %w", err)
+	}
+	if c.Method == "" {
+		return "", nil, fmt.Errorf("xmlrpc: missing methodName")
+	}
+	for _, p := range c.Params {
+		v, err := decodeValue(p)
+		if err != nil {
+			return "", nil, err
+		}
+		params = append(params, v)
+	}
+	return c.Method, params, nil
+}
+
+// DecodeResponse parses a methodResponse. A fault is returned as *Fault in
+// err with a nil result.
+func DecodeResponse(data []byte) (any, error) {
+	var r xResponse
+	if err := xml.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("xmlrpc: parse response: %w", err)
+	}
+	if r.Fault != nil {
+		fv, err := decodeValue(*r.Fault)
+		if err != nil {
+			return nil, err
+		}
+		m, ok := fv.(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("xmlrpc: malformed fault")
+		}
+		f := &Fault{}
+		if c, ok := m["faultCode"].(int); ok {
+			f.Code = c
+		}
+		if s, ok := m["faultString"].(string); ok {
+			f.String = s
+		}
+		return nil, f
+	}
+	if len(r.Params) == 0 {
+		return nil, fmt.Errorf("xmlrpc: empty response")
+	}
+	return decodeValue(r.Params[0])
+}
+
+// Handler is a registered server method. Returning an error produces a
+// fault response; a *Fault error preserves its code.
+type Handler func(params []any) (any, error)
+
+// Server dispatches XML-RPC calls to registered methods. It implements
+// http.Handler. Method registration is not synchronized with serving:
+// register everything before starting the HTTP server, which matches the
+// NodeManager lifecycle.
+type Server struct {
+	methods map[string]Handler
+}
+
+// NewServer creates an empty method registry with the standard
+// introspection method system.listMethods pre-registered.
+func NewServer() *Server {
+	s := &Server{methods: make(map[string]Handler)}
+	s.Register("system.listMethods", func(params []any) (any, error) {
+		names := s.Methods()
+		out := make([]any, len(names))
+		for i, n := range names {
+			out[i] = n
+		}
+		return out, nil
+	})
+	return s
+}
+
+// Register adds a method; registering a duplicate name panics.
+func (s *Server) Register(name string, h Handler) {
+	if _, dup := s.methods[name]; dup {
+		panic("xmlrpc: duplicate method " + name)
+	}
+	s.methods[name] = h
+}
+
+// Methods returns the sorted names of registered methods (introspection).
+func (s *Server) Methods() []string {
+	out := make([]string, 0, len(s.methods))
+	for m := range s.methods {
+		out = append(out, m)
+	}
+	// Sorted for stable output.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// ServeHTTP handles one XML-RPC call per POST request.
+func (s *Server) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		http.Error(w, "xmlrpc requires POST", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(req.Body, 16<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	method, params, err := DecodeCall(body)
+	if err != nil {
+		s.writeFault(w, &Fault{Code: -32700, String: err.Error()})
+		return
+	}
+	h, ok := s.methods[method]
+	if !ok {
+		s.writeFault(w, &Fault{Code: -32601, String: "method not found: " + method})
+		return
+	}
+	result, err := h(params)
+	if err != nil {
+		if f, ok := err.(*Fault); ok {
+			s.writeFault(w, f)
+		} else {
+			s.writeFault(w, &Fault{Code: 1, String: err.Error()})
+		}
+		return
+	}
+	resp, err := EncodeResponse(result)
+	if err != nil {
+		s.writeFault(w, &Fault{Code: -32603, String: "cannot encode result: " + err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "text/xml")
+	w.Write(resp)
+}
+
+func (s *Server) writeFault(w http.ResponseWriter, f *Fault) {
+	w.Header().Set("Content-Type", "text/xml")
+	w.Write(EncodeFault(f))
+}
+
+// Client calls methods on a remote XML-RPC server. Calls are synchronous,
+// mirroring the prototype's xmlrpclib usage (§VI-A).
+type Client struct {
+	// URL is the endpoint, e.g. "http://node1:8800/RPC2".
+	URL string
+	// HTTPClient defaults to a client with a 30 s timeout.
+	HTTPClient *http.Client
+}
+
+// NewClient creates a client for the endpoint URL.
+func NewClient(url string) *Client {
+	return &Client{URL: url, HTTPClient: &http.Client{Timeout: 30 * time.Second}}
+}
+
+// Call invokes method with params and returns the decoded result. Fault
+// responses surface as *Fault errors.
+func (c *Client) Call(method string, params ...any) (any, error) {
+	body, err := EncodeCall(method, params...)
+	if err != nil {
+		return nil, err
+	}
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = &http.Client{Timeout: 30 * time.Second}
+	}
+	resp, err := hc.Post(c.URL, "text/xml", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("xmlrpc: %s: %w", method, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, err
+	}
+	return DecodeResponse(data)
+}

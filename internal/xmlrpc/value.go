@@ -1,0 +1,204 @@
+// Package xmlrpc implements the XML-RPC wire protocol [23] used between
+// the ExperiMaster and the NodeManagers (§VI-A): marshalling of the XML-RPC
+// value types, an HTTP client and an HTTP server with a method registry.
+//
+// Supported value types and their Go mappings:
+//
+//	<int>/<i4>            int
+//	<boolean>             bool
+//	<string> / bare text  string
+//	<double>              float64
+//	<dateTime.iso8601>    time.Time
+//	<base64>              []byte
+//	<struct>              map[string]any
+//	<array>               []any
+//
+// Nil parameters are rejected: XML-RPC has no nil in its base spec.
+package xmlrpc
+
+import (
+	"encoding/base64"
+	"encoding/xml"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// iso8601 is the dateTime layout mandated by the XML-RPC specification.
+const iso8601 = "20060102T15:04:05"
+
+// Fault is an XML-RPC fault response.
+type Fault struct {
+	Code   int
+	String string
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("xmlrpc: fault %d: %s", f.Code, f.String)
+}
+
+// normalize widens convenience types ([]string, map[string]string) to the
+// canonical []any / map[string]any forms.
+func normalize(v any) any {
+	switch x := v.(type) {
+	case []string:
+		conv := make([]any, len(x))
+		for i, e := range x {
+			conv[i] = e
+		}
+		return conv
+	case map[string]string:
+		conv := make(map[string]any, len(x))
+		for k, e := range x {
+			conv[k] = e
+		}
+		return conv
+	default:
+		return v
+	}
+}
+
+// encodeValue writes a Go value as an XML-RPC <value> element.
+func encodeValue(b *strings.Builder, v any) error {
+	v = normalize(v)
+	b.WriteString("<value>")
+	switch x := v.(type) {
+	case int:
+		fmt.Fprintf(b, "<int>%d</int>", x)
+	case int32:
+		fmt.Fprintf(b, "<int>%d</int>", x)
+	case int64:
+		if x > 1<<31-1 || x < -(1<<31) {
+			return fmt.Errorf("xmlrpc: int64 %d overflows XML-RPC int", x)
+		}
+		fmt.Fprintf(b, "<int>%d</int>", x)
+	case bool:
+		if x {
+			b.WriteString("<boolean>1</boolean>")
+		} else {
+			b.WriteString("<boolean>0</boolean>")
+		}
+	case string:
+		b.WriteString("<string>")
+		xml.EscapeText(b, []byte(x))
+		b.WriteString("</string>")
+	case float64:
+		fmt.Fprintf(b, "<double>%v</double>", strconv.FormatFloat(x, 'g', -1, 64))
+	case float32:
+		fmt.Fprintf(b, "<double>%v</double>", strconv.FormatFloat(float64(x), 'g', -1, 32))
+	case time.Time:
+		fmt.Fprintf(b, "<dateTime.iso8601>%s</dateTime.iso8601>", x.UTC().Format(iso8601))
+	case []byte:
+		fmt.Fprintf(b, "<base64>%s</base64>", base64.StdEncoding.EncodeToString(x))
+	case map[string]any:
+		b.WriteString("<struct>")
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys) // deterministic wire format
+		for _, k := range keys {
+			b.WriteString("<member><name>")
+			xml.EscapeText(b, []byte(k))
+			b.WriteString("</name>")
+			if err := encodeValue(b, x[k]); err != nil {
+				return err
+			}
+			b.WriteString("</member>")
+		}
+		b.WriteString("</struct>")
+	case []any:
+		b.WriteString("<array><data>")
+		for _, e := range x {
+			if err := encodeValue(b, e); err != nil {
+				return err
+			}
+		}
+		b.WriteString("</data></array>")
+	case nil:
+		return fmt.Errorf("xmlrpc: cannot encode nil")
+	default:
+		return fmt.Errorf("xmlrpc: unsupported type %T", v)
+	}
+	b.WriteString("</value>")
+	return nil
+}
+
+// xValue mirrors the XML structure of an XML-RPC <value>.
+type xValue struct {
+	Int      *string  `xml:"int"`
+	I4       *string  `xml:"i4"`
+	Boolean  *string  `xml:"boolean"`
+	Str      *string  `xml:"string"`
+	Double   *string  `xml:"double"`
+	DateTime *string  `xml:"dateTime.iso8601"`
+	Base64   *string  `xml:"base64"`
+	Struct   *xStruct `xml:"struct"`
+	Array    *xArray  `xml:"array"`
+	Raw      string   `xml:",chardata"`
+}
+
+type xStruct struct {
+	Members []xMember `xml:"member"`
+}
+
+type xMember struct {
+	Name  string `xml:"name"`
+	Value xValue `xml:"value"`
+}
+
+type xArray struct {
+	Values []xValue `xml:"data>value"`
+}
+
+// decodeValue converts a parsed xValue into a Go value.
+func decodeValue(v xValue) (any, error) {
+	switch {
+	case v.Int != nil:
+		return strconv.Atoi(strings.TrimSpace(*v.Int))
+	case v.I4 != nil:
+		return strconv.Atoi(strings.TrimSpace(*v.I4))
+	case v.Boolean != nil:
+		switch strings.TrimSpace(*v.Boolean) {
+		case "1", "true":
+			return true, nil
+		case "0", "false":
+			return false, nil
+		default:
+			return nil, fmt.Errorf("xmlrpc: bad boolean %q", *v.Boolean)
+		}
+	case v.Str != nil:
+		return *v.Str, nil
+	case v.Double != nil:
+		return strconv.ParseFloat(strings.TrimSpace(*v.Double), 64)
+	case v.DateTime != nil:
+		return time.ParseInLocation(iso8601, strings.TrimSpace(*v.DateTime), time.UTC)
+	case v.Base64 != nil:
+		return base64.StdEncoding.DecodeString(strings.TrimSpace(*v.Base64))
+	case v.Struct != nil:
+		m := make(map[string]any, len(v.Struct.Members))
+		for _, mem := range v.Struct.Members {
+			dv, err := decodeValue(mem.Value)
+			if err != nil {
+				return nil, err
+			}
+			m[mem.Name] = dv
+		}
+		return m, nil
+	case v.Array != nil:
+		arr := make([]any, 0, len(v.Array.Values))
+		for _, e := range v.Array.Values {
+			dv, err := decodeValue(e)
+			if err != nil {
+				return nil, err
+			}
+			arr = append(arr, dv)
+		}
+		return arr, nil
+	default:
+		// Untyped <value>text</value> is a string per the spec.
+		return v.Raw, nil
+	}
+}

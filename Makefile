@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test check vet race bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the tier-1 gate (see ROADMAP.md): static analysis plus the
+# full suite under the race detector.
+check: vet race
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

@@ -29,13 +29,18 @@ import (
 
 func main() {
 	var (
-		hostURL  = flag.String("host", "http://127.0.0.1:8800", "node host XML-RPC endpoint")
-		listen   = flag.String("listen", ":8801", "this master's event endpoint listen address")
-		builtin  = flag.String("builtin", "", "built-in description: casestudy, oneshot, threeparty")
-		reps     = flag.Int("reps", 0, "override the replication count")
-		speed    = flag.Float64("speed", 0.01, "real-time pacing factor")
-		storeDir = flag.String("store", "", "level-2 storage directory")
-		dbPath   = flag.String("db", "", "write the level-3 database here (requires -store)")
+		hostURL    = flag.String("host", "http://127.0.0.1:8800", "node host XML-RPC endpoint")
+		listen     = flag.String("listen", ":8801", "this master's event endpoint listen address")
+		builtin    = flag.String("builtin", "", "built-in description: casestudy, oneshot, threeparty")
+		reps       = flag.Int("reps", 0, "override the replication count")
+		speed      = flag.Float64("speed", 0.01, "real-time pacing factor")
+		storeDir   = flag.String("store", "", "level-2 storage directory")
+		dbPath     = flag.String("db", "", "write the level-3 database here (requires -store)")
+		maxAtt     = flag.Int("max-attempts", 1, "run-level retry: attempts per run before it is recorded failed")
+		quarantine = flag.Int("quarantine-after", 3, "quarantine a node after this many consecutive control-channel failures (0 disables)")
+		rpcRetries = flag.Int("rpc-retries", 4, "control-channel RPC attempts per call")
+		rpcTimeout = flag.Duration("rpc-timeout", 30*time.Second, "control-channel per-attempt timeout")
+		rpcSeed    = flag.Int64("rpc-seed", 1, "seed of the retry-backoff jitter PRNG (replayable schedules)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: excovery-master [flags] [description.xml]\n")
@@ -63,7 +68,14 @@ func main() {
 	go http.Serve(ln, noderpc.MasterServer(s, bus))
 	selfURL := "http://" + ln.Addr().String()
 
-	hostClient := xmlrpc.NewClient(*hostURL)
+	rpcPolicy := xmlrpc.RetryPolicy{
+		MaxAttempts: *rpcRetries,
+		BaseBackoff: 50 * time.Millisecond,
+		MaxBackoff:  2 * time.Second,
+		Timeout:     *rpcTimeout,
+		Seed:        *rpcSeed,
+	}
+	hostClient := xmlrpc.NewRetryingClient(*hostURL, rpcPolicy)
 	if _, err := hostClient.Call("host.ping"); err != nil {
 		fatal(fmt.Errorf("node host unreachable: %w", err))
 	}
@@ -77,7 +89,8 @@ func main() {
 	handles := map[string]master.NodeHandle{}
 	for _, v := range nodesV.([]any) {
 		id := v.(string)
-		handles[id] = &noderpc.RemoteNode{NodeID: id, C: xmlrpc.NewClient(*hostURL)}
+		handles[id] = &noderpc.RemoteNode{NodeID: id,
+			C: xmlrpc.NewRetryingClient(*hostURL, rpcPolicy)}
 	}
 	fmt.Printf("excovery-master: %d remote nodes at %s, events at %s\n",
 		len(handles), *hostURL, selfURL)
@@ -92,11 +105,12 @@ func main() {
 
 	m, err := master.New(master.Config{
 		Exp: e, S: s, Bus: bus, Nodes: handles,
-		Env:   &noderpc.RemoteEnv{C: xmlrpc.NewClient(*hostURL)},
+		Env:   &noderpc.RemoteEnv{C: xmlrpc.NewRetryingClient(*hostURL, rpcPolicy)},
 		Store: st,
+		Retry: master.RetryPolicy{MaxAttempts: *maxAtt, QuarantineAfter: *quarantine},
 		OnRunDone: func(run desc.Run, rr master.RunResult) {
-			fmt.Printf("run %4d done in %s (timeouts=%d err=%v)\n",
-				run.ID, rr.Duration.Round(time.Millisecond), rr.Timeouts, rr.Err)
+			fmt.Printf("run %4d done in %s (attempts=%d timeouts=%d err=%v)\n",
+				run.ID, rr.Duration.Round(time.Millisecond), rr.Attempts, rr.Timeouts, rr.Err)
 		},
 	})
 	if err != nil {
@@ -113,6 +127,11 @@ func main() {
 		fatal(runErr)
 	}
 	fmt.Printf("experiment %q: %d/%d runs completed\n", e.Name, rep.Completed, len(rep.Results))
+	cs := metrics.ControlSummary(rep)
+	fmt.Printf("control channel: %d attempts for %d runs, %d retried, %d partial harvests, "+
+		"%d/%d health probes failed, quarantined=%v\n",
+		cs.Attempts, cs.Runs, cs.Retried, cs.Partial,
+		cs.HealthFailures, cs.HealthProbes, cs.Quarantined)
 
 	ms := metrics.FromReport(e, rep, "", "")
 	trs := metrics.TRs(ms)

@@ -37,6 +37,7 @@ func main() {
 		proto     = flag.String("proto", "", "override sd_protocol: zeroconf or scmdir")
 		seed      = flag.Int64("seed", 0, "override the experiment seed")
 		resume    = flag.Bool("resume", false, "skip runs already marked done in -store")
+		maxAtt    = flag.Int("max-attempts", 1, "run-level retry: attempts per run before it is recorded failed")
 		verbose   = flag.Bool("v", false, "print per-run results")
 	)
 	flag.Usage = func() {
@@ -61,10 +62,11 @@ func main() {
 			Jitter: time.Duration(*delayMs * 0.5 * float64(time.Millisecond)),
 			Loss:   *loss,
 		},
-		Protocol: *proto,
-		Seed:     *seed,
-		StoreDir: *storeDir,
-		Resume:   *resume,
+		Protocol:    *proto,
+		Seed:        *seed,
+		StoreDir:    *storeDir,
+		Resume:      *resume,
+		MaxAttempts: *maxAtt,
 	}
 	if *verbose {
 		opts.OnRunDone = func(run desc.Run, rr master.RunResult) {
@@ -92,6 +94,10 @@ func main() {
 	}
 	fmt.Printf("experiment %q: %d runs (%d completed, %d skipped) in %s wall time\n",
 		e.Name, len(rep.Results), rep.Completed, rep.Skipped, time.Since(wall).Round(time.Millisecond))
+	if cs := metrics.ControlSummary(rep); cs.Retried > 0 || cs.Partial > 0 {
+		fmt.Printf("recovery: %d attempts for %d runs, %d retried, %d partial harvests\n",
+			cs.Attempts, cs.Runs, cs.Retried, cs.Partial)
+	}
 
 	ms := metrics.FromReport(e, rep, "", "")
 	if len(ms) > 0 {

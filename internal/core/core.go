@@ -82,6 +82,9 @@ type Options struct {
 	MaxRunTime time.Duration
 	// Resume skips runs already marked done in StoreDir.
 	Resume bool
+	// MaxAttempts re-executes failed or aborted runs in place up to this
+	// many times (run-level retry); values <= 1 disable it.
+	MaxAttempts int
 	// SCMNode names the platform node that hosts the SCM when the
 	// scmdir protocol needs a dedicated directory node; empty picks the
 	// first environment node.
@@ -351,6 +354,7 @@ func New(e *desc.Experiment, opts Options) (*Experiment, error) {
 	m, err := master.New(master.Config{
 		Exp: e, S: s, Bus: bus, Nodes: handles, Env: x.Env, Store: st,
 		MaxRunTime: opts.MaxRunTime, Resume: opts.Resume,
+		Retry:     master.RetryPolicy{MaxAttempts: opts.MaxAttempts},
 		OnRunDone: opts.OnRunDone,
 		TopologyMeasure: func() string {
 			return formatHopMatrix(nw)

@@ -1,0 +1,95 @@
+package failpoint
+
+import (
+	"testing"
+	"time"
+)
+
+func drawSequence(seed int64, n int) []Action {
+	r := New(seed)
+	r.Enable(SiteServerRecv, Rule{Prob: 0.3, Act: Drop})
+	out := make([]Action, n)
+	for i := range out {
+		out[i] = r.Eval(SiteServerRecv).Act
+	}
+	return out
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	a := drawSequence(7, 200)
+	b := drawSequence(7, 200)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := drawSequence(8, 200)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical decision sequences")
+	}
+	fires := 0
+	for _, act := range a {
+		if act == Drop {
+			fires++
+		}
+	}
+	if fires == 0 || fires == len(a) {
+		t.Fatalf("0.3-probability rule fired %d/%d times", fires, len(a))
+	}
+}
+
+func TestSiteStreamsIndependent(t *testing.T) {
+	// Evaluating another site must not shift a site's decision stream.
+	a := drawSequence(7, 50)
+	r := New(7)
+	r.Enable(SiteServerRecv, Rule{Prob: 0.3, Act: Drop})
+	r.Enable(SiteClientSend, Rule{Prob: 0.5, Act: Drop})
+	for i := 0; i < 50; i++ {
+		r.Eval(SiteClientSend) // interleaved noise
+		if got := r.Eval(SiteServerRecv).Act; got != a[i] {
+			t.Fatalf("decision %d shifted by other-site evals: %v vs %v", i, got, a[i])
+		}
+	}
+}
+
+func TestCountLimitAndDisable(t *testing.T) {
+	r := New(1)
+	r.Enable("x", Rule{Prob: 1, Act: Error, Count: 2})
+	for i := 0; i < 2; i++ {
+		if d := r.Eval("x"); d.Act != Error || d.Code != 503 {
+			t.Fatalf("eval %d = %+v", i, d)
+		}
+	}
+	if d := r.Eval("x"); d.Act != None {
+		t.Fatalf("count-limited rule still fires: %+v", d)
+	}
+	if r.Fired("x") != 2 || r.Evals("x") != 3 {
+		t.Fatalf("fired=%d evals=%d", r.Fired("x"), r.Evals("x"))
+	}
+
+	r.Enable("x", Rule{Prob: 1, Act: Delay, Delay: time.Second})
+	if d := r.Eval("x"); d.Act != Delay || d.Delay != time.Second {
+		t.Fatalf("re-enabled rule: %+v", d)
+	}
+	r.Disable("x")
+	if d := r.Eval("x"); d.Act != None {
+		t.Fatalf("disabled site fires: %+v", d)
+	}
+}
+
+func TestNilRegistry(t *testing.T) {
+	var r *Registry
+	if d := r.Eval(SiteClientSend); d.Act != None {
+		t.Fatalf("nil registry fired: %+v", d)
+	}
+	if r.Fired("x") != 0 || r.Evals("x") != 0 {
+		t.Fatal("nil registry counts")
+	}
+}

@@ -19,6 +19,7 @@ package master
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"excovery/internal/desc"
@@ -65,6 +66,34 @@ type EnvExecutor interface {
 	Reset()
 }
 
+// HealthChecker is an optional NodeHandle extension. When implemented
+// (the XML-RPC proxy does), the master probes it before every run attempt
+// and quarantines nodes that keep failing.
+type HealthChecker interface {
+	// Health returns nil when the node is reachable and serviceable.
+	Health() error
+}
+
+// runErrorer is an optional NodeHandle extension reporting the node's
+// first control-channel error of the current run (noderpc.RemoteNode).
+// The master uses it to fail runs whose measurements silently went
+// missing and to feed quarantine accounting.
+type runErrorer interface {
+	Err() error
+}
+
+// RetryPolicy controls run-level recovery: §IV-C1's "aborted experiments
+// resume" extended from resume-on-restart to retry-in-place.
+type RetryPolicy struct {
+	// MaxAttempts is how often one run may be attempted before it is
+	// recorded as failed; values <= 1 mean a single attempt.
+	MaxAttempts int
+	// QuarantineAfter quarantines a node after this many consecutive
+	// control-channel failures (failed health probes or in-run transport
+	// errors); 0 disables quarantine.
+	QuarantineAfter int
+}
+
 // Config assembles a master.
 type Config struct {
 	// Exp is the experiment description (level 1).
@@ -88,6 +117,8 @@ type Config struct {
 	MaxRunTime time.Duration
 	// Resume skips runs already marked done in the store.
 	Resume bool
+	// Retry configures run-level retry and node quarantine.
+	Retry RetryPolicy
 	// OnRunDone, if set, observes each completed run.
 	OnRunDone func(run desc.Run, rr RunResult)
 	// TopologyMeasure, if set, returns a serialized topology snapshot;
@@ -117,6 +148,15 @@ type RunResult struct {
 	Offsets []timesync.Measurement
 	// Skipped marks a run skipped by resume.
 	Skipped bool
+	// Attempts is the number of in-place attempts this result consumed
+	// (1 without retry).
+	Attempts int
+	// Partial marks that measurements of this failed/aborted run were
+	// harvested into the store for post-mortem analysis.
+	Partial bool
+	// NodeErrs maps node ids to their first control-channel error of the
+	// final attempt.
+	NodeErrs map[string]string
 }
 
 // Report summarizes an experiment execution.
@@ -129,6 +169,13 @@ type Report struct {
 	Completed int
 	// Skipped counts runs skipped by resume.
 	Skipped int
+	// Retried counts runs that needed more than one attempt.
+	Retried int
+	// HealthProbes and HealthFailures count preflight node probes.
+	HealthProbes   int
+	HealthFailures int
+	// Quarantined lists nodes quarantined during the experiment, sorted.
+	Quarantined []string
 }
 
 // Master executes experiments.
@@ -137,6 +184,12 @@ type Master struct {
 	rec  *eventlog.Recorder // the master's own events (node "env")
 	est  *timesync.Estimator
 	plan *desc.Plan
+
+	// Control-channel health accounting (consecutive failures per node).
+	health      map[string]int
+	quarantined map[string]bool
+	probes      int
+	probeFails  int
 }
 
 // New validates the description, generates the plan and assembles a
@@ -166,7 +219,8 @@ func New(cfg Config) (*Master, error) {
 		}
 	}
 	m := &Master{cfg: cfg, plan: plan,
-		est: &timesync.Estimator{Ref: cfg.Ref, Samples: 3},
+		est:    &timesync.Estimator{Ref: cfg.Ref, Samples: 3},
+		health: map[string]int{}, quarantined: map[string]bool{},
 	}
 	m.rec = eventlog.NewRecorder("env", cfg.Ref, func(ev eventlog.Event) { cfg.Bus.Publish(ev) })
 	return m, nil
@@ -177,26 +231,89 @@ func (m *Master) Plan() *desc.Plan { return m.plan }
 
 // RunAll executes the whole experiment. It must be called from scheduler
 // task context (the facade spawns it as a task).
+//
+// With Retry.MaxAttempts > 1, failed and aborted runs are re-executed in
+// place before being recorded — the §IV-C1 recovery promise extended from
+// resume-on-restart to retry-in-place. When a run still fails after the
+// final attempt, its measurements are harvested with a partial marker
+// instead of being dropped.
 func (m *Master) RunAll() (*Report, error) {
 	rep := &Report{Plan: m.plan}
 	m.experimentInit()
+	maxAttempts := m.cfg.Retry.MaxAttempts
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
 	for _, run := range m.plan.Runs {
 		if m.cfg.Resume && m.cfg.Store != nil && m.cfg.Store.RunDone(run.ID) {
 			rep.Results = append(rep.Results, RunResult{Run: run, Skipped: true})
 			rep.Skipped++
 			continue
 		}
-		rr := m.executeRun(run)
-		rep.Results = append(rep.Results, rr)
+		var rr RunResult
+		for attempt := 1; attempt <= maxAttempts; attempt++ {
+			rr = m.executeRun(run, attempt)
+			if rr.Err == nil && !rr.Aborted {
+				break
+			}
+		}
+		if rr.Attempts > 1 {
+			rep.Retried++
+		}
 		if rr.Err == nil && !rr.Aborted {
 			rep.Completed++
+		} else {
+			m.harvestPartial(run, &rr)
 		}
+		rep.Results = append(rep.Results, rr)
 		if m.cfg.OnRunDone != nil {
 			m.cfg.OnRunDone(run, rr)
 		}
 	}
 	m.experimentExit()
+	rep.HealthProbes, rep.HealthFailures = m.probes, m.probeFails
+	for id := range m.quarantined {
+		rep.Quarantined = append(rep.Quarantined, id)
+	}
+	sort.Strings(rep.Quarantined)
 	return rep, nil
+}
+
+// preflight verifies every node's control channel before a run attempt
+// (§IV-C1 preparation, hardened). Quarantined nodes fail fast; probe
+// failures count toward quarantine.
+func (m *Master) preflight(run desc.Run) error {
+	for _, id := range m.nodeOrder() {
+		if m.quarantined[id] {
+			return fmt.Errorf("master: run %d: node %s is quarantined", run.ID, id)
+		}
+		hc, ok := m.cfg.Nodes[id].(HealthChecker)
+		if !ok {
+			continue
+		}
+		m.probes++
+		if err := hc.Health(); err != nil {
+			m.probeFails++
+			m.rec.Emit("node_health_failed", map[string]string{
+				"node": id, "err": err.Error()})
+			m.noteNodeFailure(id)
+			return fmt.Errorf("master: run %d: node %s unhealthy: %w", run.ID, id, err)
+		}
+		m.health[id] = 0
+	}
+	return nil
+}
+
+// noteNodeFailure advances a node's consecutive-failure count and
+// quarantines it once the policy threshold is crossed.
+func (m *Master) noteNodeFailure(id string) {
+	m.health[id]++
+	q := m.cfg.Retry.QuarantineAfter
+	if q > 0 && m.health[id] >= q && !m.quarantined[id] {
+		m.quarantined[id] = true
+		m.rec.Emit("node_quarantined", map[string]string{
+			"node": id, "failures": fmt.Sprint(m.health[id])})
+	}
 }
 
 // experimentInit performs the preparations before all individual runs
@@ -224,14 +341,24 @@ func (m *Master) experimentExit() {
 	m.rec.Emit("experiment_exit", nil)
 }
 
-// executeRun performs one run's three phases.
-func (m *Master) executeRun(run desc.Run) RunResult {
+// executeRun performs one run attempt's three phases.
+func (m *Master) executeRun(run desc.Run, attempt int) RunResult {
 	s := m.cfg.S
-	rr := RunResult{Run: run, Start: m.cfg.Ref.Now()}
+	rr := RunResult{Run: run, Start: m.cfg.Ref.Now(), Attempts: attempt}
 
 	// --- preparation phase ---
 	m.cfg.Bus.Reset()
 	m.rec.SetRun(run.ID)
+	if attempt > 1 {
+		m.rec.Emit("run_retry", map[string]string{
+			"run": fmt.Sprint(run.ID), "attempt": fmt.Sprint(attempt)})
+	}
+	if err := m.preflight(run); err != nil {
+		rr.Err = err
+		rr.Duration = m.cfg.Ref.Now().Sub(rr.Start)
+		rr.Events = append([]eventlog.Event(nil), m.cfg.Bus.Events()...)
+		return rr
+	}
 	if m.cfg.Env != nil {
 		m.cfg.Env.Reset()
 	}
@@ -347,22 +474,73 @@ func (m *Master) executeRun(run desc.Run) RunResult {
 	rr.Duration = m.cfg.Ref.Now().Sub(rr.Start)
 	rr.Events = append([]eventlog.Event(nil), m.cfg.Bus.Events()...)
 
+	// Control-channel accounting: a run whose node proxies swallowed
+	// transport errors (lost emits, failed harvest preludes) did not
+	// produce trustworthy measurements — surface that as a run error so
+	// the retry layer re-executes it.
+	for _, id := range m.nodeOrder() {
+		re, ok := m.cfg.Nodes[id].(runErrorer)
+		if !ok {
+			continue
+		}
+		if nerr := re.Err(); nerr != nil {
+			if rr.NodeErrs == nil {
+				rr.NodeErrs = map[string]string{}
+			}
+			rr.NodeErrs[id] = nerr.Error()
+			m.noteNodeFailure(id)
+			if rr.Err == nil {
+				rr.Err = fmt.Errorf("master: run %d: control channel to node %s: %w",
+					run.ID, id, nerr)
+			}
+		} else {
+			m.health[id] = 0
+		}
+	}
+
 	// Harvest into level 2.
 	if m.cfg.Store != nil && !rr.Aborted && rr.Err == nil {
 		st := m.cfg.Store
-		for _, id := range m.nodeOrder() {
-			h := m.cfg.Nodes[id]
-			st.WriteEvents(run.ID, id, h.HarvestEvents(run.ID))
-			st.WritePackets(run.ID, id, h.HarvestPackets())
-			for _, x := range h.HarvestExtras() {
-				st.WriteExtra(run.ID, x.Node, x.Name, x.Content)
-			}
-		}
-		st.WriteEvents(run.ID, "env", m.envEvents(run.ID))
-		st.WriteRunInfo(store.RunInfo{Run: run.ID, Start: rr.Start, Offsets: rr.Offsets})
+		m.harvestInto(st, run, &rr, false)
 		st.MarkRunDone(run.ID)
 	}
 	return rr
+}
+
+// harvestInto writes one run's measurements into the level-2 store.
+func (m *Master) harvestInto(st *store.RunStore, run desc.Run, rr *RunResult, partial bool) {
+	for _, id := range m.nodeOrder() {
+		h := m.cfg.Nodes[id]
+		st.WriteEvents(run.ID, id, h.HarvestEvents(run.ID))
+		st.WritePackets(run.ID, id, h.HarvestPackets())
+		for _, x := range h.HarvestExtras() {
+			st.WriteExtra(run.ID, x.Node, x.Name, x.Content)
+		}
+	}
+	st.WriteEvents(run.ID, "env", m.envEvents(run.ID))
+	info := store.RunInfo{Run: run.ID, Start: rr.Start, Offsets: rr.Offsets,
+		Attempts: rr.Attempts}
+	if partial {
+		info.Partial = true
+		info.Aborted = rr.Aborted
+		if rr.Err != nil {
+			info.Err = rr.Err.Error()
+		}
+	}
+	st.WriteRunInfo(info)
+}
+
+// harvestPartial salvages measurements of a run that failed all its
+// attempts: events and packets are written with a partial marker in
+// RunInfo so post-mortems are possible, but the run is NOT marked done —
+// a resumed session re-executes it.
+func (m *Master) harvestPartial(run desc.Run, rr *RunResult) {
+	if m.cfg.Store == nil {
+		return
+	}
+	m.harvestInto(m.cfg.Store, run, rr, true)
+	rr.Partial = true
+	m.rec.Emit("run_partial_harvest", map[string]string{"run": fmt.Sprint(run.ID)})
 }
 
 // envEvents extracts the master's own events of one run.
@@ -376,11 +554,7 @@ func (m *Master) nodeOrder() []string {
 	for id := range m.cfg.Nodes {
 		out = append(out, id)
 	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	sort.Strings(out)
 	return out
 }
 

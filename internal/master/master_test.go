@@ -21,6 +21,7 @@ type stubNode struct {
 	rec   *eventlog.Recorder
 	calls []string
 	fail  map[string]bool
+	failN map[string]int // fail an action the first n times, then succeed
 	hang  map[string]bool
 }
 
@@ -28,7 +29,7 @@ func newStub(id string, s *sched.Scheduler, bus *eventlog.Bus) *stubNode {
 	return &stubNode{
 		id: id, s: s,
 		rec:  eventlog.NewRecorder(id, vclock.Perfect{S: s}, func(ev eventlog.Event) { bus.Publish(ev) }),
-		fail: map[string]bool{}, hang: map[string]bool{},
+		fail: map[string]bool{}, failN: map[string]int{}, hang: map[string]bool{},
 	}
 }
 
@@ -47,6 +48,10 @@ func (n *stubNode) Execute(action string, params map[string]string) error {
 	}
 	if n.fail[action] {
 		return fmt.Errorf("stub failure in %s", action)
+	}
+	if n.failN[action] > 0 {
+		n.failN[action]--
+		return fmt.Errorf("stub transient failure in %s", action)
 	}
 	n.rec.Emit(action+"_done", params)
 	return nil

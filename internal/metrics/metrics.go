@@ -164,6 +164,46 @@ func FromDB(db *store.ExperimentDB, smActor, suActor string) ([]RunMetric, error
 	return out, nil
 }
 
+// ControlStats summarizes the control channel's resilience behaviour of
+/// one experiment execution: run-level retries, preflight health probes,
+// partial harvests and node quarantine. It complements the SD metrics —
+// a result is only as trustworthy as the control plane that produced it.
+type ControlStats struct {
+	// Runs, Completed and Skipped mirror the report's run accounting.
+	Runs, Completed, Skipped int
+	// Retried counts runs that needed more than one in-place attempt.
+	Retried int
+	// Attempts is the total number of run attempts executed.
+	Attempts int
+	// Partial counts failed runs whose measurements were still harvested.
+	Partial int
+	// HealthProbes and HealthFailures count preflight node probes.
+	HealthProbes, HealthFailures int
+	// Quarantined lists nodes quarantined during the experiment.
+	Quarantined []string
+}
+
+// ControlSummary extracts control-channel resilience counters from a
+// master report.
+func ControlSummary(rep *master.Report) ControlStats {
+	cs := ControlStats{
+		Runs:           len(rep.Results),
+		Completed:      rep.Completed,
+		Skipped:        rep.Skipped,
+		Retried:        rep.Retried,
+		HealthProbes:   rep.HealthProbes,
+		HealthFailures: rep.HealthFailures,
+		Quarantined:    append([]string(nil), rep.Quarantined...),
+	}
+	for _, rr := range rep.Results {
+		cs.Attempts += rr.Attempts
+		if rr.Partial {
+			cs.Partial++
+		}
+	}
+	return cs
+}
+
 func treatmentStrings(run desc.Run) map[string]string {
 	out := make(map[string]string, len(run.Treatment))
 	for fid, l := range run.Treatment {

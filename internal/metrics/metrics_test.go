@@ -352,3 +352,34 @@ func TestWriteCSV(t *testing.T) {
 		t.Fatalf("row 2 = %q", lines[2])
 	}
 }
+
+func TestControlSummary(t *testing.T) {
+	rep := &master.Report{
+		Completed:      2,
+		Skipped:        1,
+		Retried:        1,
+		HealthProbes:   5,
+		HealthFailures: 2,
+		Quarantined:    []string{"C"},
+		Results: []master.RunResult{
+			{Attempts: 1},
+			{Attempts: 3},
+			{Attempts: 2, Partial: true},
+		},
+	}
+	cs := ControlSummary(rep)
+	if cs.Runs != 3 || cs.Completed != 2 || cs.Skipped != 1 || cs.Retried != 1 {
+		t.Fatalf("run accounting: %+v", cs)
+	}
+	if cs.Attempts != 6 || cs.Partial != 1 {
+		t.Fatalf("attempts=%d partial=%d", cs.Attempts, cs.Partial)
+	}
+	if cs.HealthProbes != 5 || cs.HealthFailures != 2 || fmt.Sprint(cs.Quarantined) != "[C]" {
+		t.Fatalf("health: %+v", cs)
+	}
+	// The summary owns its quarantine slice.
+	cs.Quarantined[0] = "X"
+	if rep.Quarantined[0] != "C" {
+		t.Fatal("ControlSummary aliases the report's slice")
+	}
+}

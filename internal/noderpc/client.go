@@ -2,6 +2,7 @@ package noderpc
 
 import (
 	"encoding/json"
+	"sync"
 	"time"
 
 	"excovery/internal/eventlog"
@@ -11,29 +12,75 @@ import (
 )
 
 // RemoteNode is the master-process proxy of one node on a host; it
-// implements master.NodeHandle over XML-RPC. Transport errors are
-// collected in Err (first error wins) so the infallible parts of the
-// NodeHandle contract stay usable.
+// implements master.NodeHandle over XML-RPC. Transport errors of the
+// infallible parts of the NodeHandle contract are accounted per run:
+// PrepareRun clears the previous run's error, so one transient failure no
+// longer poisons the proxy for the rest of the experiment.
 type RemoteNode struct {
 	// NodeID is the platform node id on the host.
 	NodeID string
 	// C is the host's XML-RPC endpoint.
 	C *xmlrpc.Client
-	// Err records the first transport error.
-	Err error
+
+	mu        sync.Mutex
+	runErr    error
+	runErrs   int
+	totalErrs int
 }
 
 func (r *RemoteNode) fail(err error) {
-	if err != nil && r.Err == nil {
-		r.Err = err
+	if err == nil {
+		return
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.runErrs++
+	r.totalErrs++
+	if r.runErr == nil {
+		r.runErr = err
+	}
+}
+
+// Err returns the first transport error of the current run (nil when the
+// control channel has been healthy since the last PrepareRun). The master
+// reads it after each run for quarantine accounting.
+func (r *RemoteNode) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.runErr
+}
+
+// ErrCount returns the transport error count of the current run.
+func (r *RemoteNode) ErrCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.runErrs
+}
+
+// TotalErrCount returns the transport error count across all runs.
+func (r *RemoteNode) TotalErrCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.totalErrs
+}
+
+// Health implements master.HealthChecker: a node-scoped ping over the
+// control channel, used by the master's preflight check.
+func (r *RemoteNode) Health() error {
+	_, err := r.C.Call("node.ping", r.NodeID)
+	return err
 }
 
 // ID implements master.NodeHandle.
 func (r *RemoteNode) ID() string { return r.NodeID }
 
-// PrepareRun implements master.NodeHandle.
+// PrepareRun implements master.NodeHandle. It opens a fresh error-
+// accounting window before touching the wire.
 func (r *RemoteNode) PrepareRun(run int) {
+	r.mu.Lock()
+	r.runErr = nil
+	r.runErrs = 0
+	r.mu.Unlock()
 	_, err := r.C.Call("node.prepare_run", r.NodeID, run)
 	r.fail(err)
 }

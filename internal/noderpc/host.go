@@ -14,6 +14,7 @@ package noderpc
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -118,9 +119,12 @@ func (h *Host) Server() *xmlrpc.Server {
 		if !ok {
 			return nil, fmt.Errorf("host.set_master: want url string")
 		}
+		// Event pushes ride the same resilient transport as the master's
+		// calls: retried with backoff, deduplicated by idempotency key so
+		// a lost response cannot double-publish a batch.
 		h.mu.Lock()
 		first := h.master == nil
-		h.master = xmlrpc.NewClient(url)
+		h.master = xmlrpc.NewRetryingClient(url, xmlrpc.DefaultRetryPolicy())
 		h.mu.Unlock()
 		if first {
 			go h.pump()
@@ -128,6 +132,18 @@ func (h *Host) Server() *xmlrpc.Server {
 		return true, nil
 	})
 
+	// node.ping is the health probe of the master's preflight check: it
+	// verifies the control channel and that the node is served here.
+	srv.Register("node.ping", func(params []any) (any, error) {
+		id, ok := arg[string](params, 0)
+		if !ok {
+			return nil, fmt.Errorf("node.ping: want node")
+		}
+		if h.x.Managers[id] == nil {
+			return nil, fmt.Errorf("no node %q", id)
+		}
+		return "pong", nil
+	})
 	srv.Register("node.prepare_run", func(params []any) (any, error) {
 		id, run, err := nodeRunArgs(params)
 		if err != nil {
@@ -313,10 +329,6 @@ func sortedKeys[V any](m map[string]V) []string {
 	for k := range m {
 		out = append(out, k)
 	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	sort.Strings(out)
 	return out
 }

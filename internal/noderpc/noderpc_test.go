@@ -100,8 +100,8 @@ func TestDistributedOneShot(t *testing.T) {
 	}
 	// Transport must have stayed healthy.
 	for id, rn := range remotes {
-		if rn.Err != nil {
-			t.Fatalf("remote %s: %v", id, rn.Err)
+		if err := rn.Err(); err != nil {
+			t.Fatalf("remote %s: %v", id, err)
 		}
 	}
 	// Harvested events are authoritative: both lifecycle ends present.
@@ -130,7 +130,7 @@ func TestDistributedOneShot(t *testing.T) {
 func TestRemoteNodeErrorCollection(t *testing.T) {
 	rn := &RemoteNode{NodeID: "x", C: xmlrpc.NewClient("http://127.0.0.1:1/nope")}
 	rn.PrepareRun(0)
-	if rn.Err == nil {
+	if rn.Err() == nil {
 		t.Fatal("expected transport error")
 	}
 	if evs := rn.HarvestEvents(0); evs != nil {
@@ -138,6 +138,12 @@ func TestRemoteNodeErrorCollection(t *testing.T) {
 	}
 	if err := rn.Execute("sd_init", nil); err == nil {
 		t.Fatal("Execute against dead host succeeded")
+	}
+	if rn.ErrCount() < 2 || rn.TotalErrCount() < 2 {
+		t.Fatalf("err counts = %d/%d", rn.ErrCount(), rn.TotalErrCount())
+	}
+	if err := rn.Health(); err == nil {
+		t.Fatal("Health against dead host succeeded")
 	}
 }
 

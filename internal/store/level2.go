@@ -267,6 +267,15 @@ type RunInfo struct {
 	Run     int                    `json:"run"`
 	Start   time.Time              `json:"start"`
 	Offsets []timesync.Measurement `json:"offsets"`
+	// Attempts is the number of in-place attempts the run consumed.
+	Attempts int `json:"attempts,omitempty"`
+	// Partial marks measurements harvested from a run that failed or was
+	// aborted: usable for post-mortems, but the run is not marked done,
+	// so a resumed session re-executes it.
+	Partial bool `json:"partial,omitempty"`
+	// Aborted and Err describe why a partial run ended.
+	Aborted bool   `json:"aborted,omitempty"`
+	Err     string `json:"err,omitempty"`
 }
 
 // WriteRunInfo stores the run metadata and time-sync measurements.

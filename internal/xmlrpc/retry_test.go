@@ -1,0 +1,188 @@
+package xmlrpc
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"excovery/internal/failpoint"
+)
+
+// testPolicy retries fast so tests don't sleep for real.
+func testPolicy(seed int64) RetryPolicy {
+	return RetryPolicy{MaxAttempts: 5, BaseBackoff: time.Millisecond,
+		MaxBackoff: 4 * time.Millisecond, Seed: seed}
+}
+
+func newEchoServer(t *testing.T, fp *failpoint.Registry) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := NewServer()
+	srv.FP = fp
+	srv.Register("echo", func(params []any) (any, error) {
+		if len(params) == 0 {
+			return "nothing", nil
+		}
+		return params[0], nil
+	})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func TestRetryTransientThenSuccess(t *testing.T) {
+	fp := failpoint.New(1)
+	fp.Enable(failpoint.SiteServerRecv, failpoint.Rule{Prob: 1, Act: failpoint.Error, Count: 2})
+	_, ts := newEchoServer(t, fp)
+	c := NewRetryingClient(ts.URL, testPolicy(1))
+	v, err := c.Call("echo", "hi")
+	if err != nil || v != "hi" {
+		t.Fatalf("Call = %v, %v", v, err)
+	}
+	st := c.Stats()
+	if st.Calls != 1 || st.Attempts != 3 || st.Retries != 2 || st.Failures != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRetryExhausted(t *testing.T) {
+	fp := failpoint.New(1)
+	fp.Enable(failpoint.SiteServerRecv, failpoint.Rule{Prob: 1, Act: failpoint.Error})
+	_, ts := newEchoServer(t, fp)
+	c := NewRetryingClient(ts.URL, testPolicy(1))
+	_, err := c.Call("echo", "hi")
+	if err == nil {
+		t.Fatal("call against always-failing server succeeded")
+	}
+	if !Retryable(err) {
+		t.Fatalf("exhausted error not a retryable transport error: %v", err)
+	}
+	st := c.Stats()
+	if st.Attempts != 5 || st.Retries != 4 || st.Failures != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRetryDropAtEverySite(t *testing.T) {
+	// One drop at each site in turn; the call must still land.
+	fp := failpoint.New(1)
+	fp.Enable(failpoint.SiteClientSend, failpoint.Rule{Prob: 1, Act: failpoint.Drop, Count: 1})
+	fp.Enable(failpoint.SiteServerRecv, failpoint.Rule{Prob: 1, Act: failpoint.Drop, Count: 1})
+	fp.Enable(failpoint.SiteServerSend, failpoint.Rule{Prob: 1, Act: failpoint.Drop, Count: 1})
+	srv, ts := newEchoServer(t, fp)
+	c := NewRetryingClient(ts.URL, testPolicy(1))
+	c.FP = fp
+	v, err := c.Call("echo", "through")
+	if err != nil || v != "through" {
+		t.Fatalf("Call = %v, %v", v, err)
+	}
+	if c.Stats().Retries != 3 {
+		t.Fatalf("stats = %+v", c.Stats())
+	}
+	// The server-send drop lost a response after execution; the retry must
+	// have been served from the idempotency cache, not re-executed.
+	if srv.Stats().DedupReplays == 0 {
+		t.Fatalf("no dedup replay: %+v", srv.Stats())
+	}
+}
+
+func TestFaultsAreNotRetried(t *testing.T) {
+	srv := NewServer()
+	calls := 0
+	srv.Register("boom", func(params []any) (any, error) {
+		calls++
+		return nil, fmt.Errorf("boom %d", calls)
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := NewRetryingClient(ts.URL, testPolicy(1))
+	_, err := c.Call("boom")
+	if _, ok := err.(*Fault); !ok {
+		t.Fatalf("err = %v", err)
+	}
+	if Retryable(err) {
+		t.Fatal("fault classified retryable")
+	}
+	if calls != 1 || c.Stats().Attempts != 1 {
+		t.Fatalf("calls=%d stats=%+v", calls, c.Stats())
+	}
+}
+
+func TestIdempotencyDedupSuppressesDuplicateExecution(t *testing.T) {
+	srv := NewServer()
+	execs := 0
+	srv.Register("bump", func(params []any) (any, error) {
+		execs++
+		return execs, nil
+	})
+	fp := failpoint.New(1)
+	// Lose the response of the first execution and of the first replay:
+	// the client retries twice, the handler must still run exactly once.
+	fp.Enable(failpoint.SiteServerSend, failpoint.Rule{Prob: 1, Act: failpoint.Drop, Count: 2})
+	srv.FP = fp
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	c := NewRetryingClient(ts.URL, testPolicy(1))
+	v, err := c.Call("bump")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 || execs != 1 {
+		t.Fatalf("result=%v execs=%d (duplicate execution)", v, execs)
+	}
+	st := srv.Stats()
+	if st.HandlerCalls != 1 || st.DedupReplays != 2 {
+		t.Fatalf("server stats = %+v", st)
+	}
+	// A fresh call gets a fresh key and executes again.
+	if v, err := c.Call("bump"); err != nil || v != 2 {
+		t.Fatalf("second call = %v, %v", v, err)
+	}
+}
+
+func TestRetryScheduleDeterministicPerSeed(t *testing.T) {
+	schedule := func(seed int64) []time.Duration {
+		fp := failpoint.New(seed)
+		fp.Enable(failpoint.SiteServerRecv, failpoint.Rule{Prob: 0.5, Act: failpoint.Error})
+		_, ts := newEchoServer(t, fp)
+		c := NewRetryingClient(ts.URL, testPolicy(seed))
+		c.Sleep = func(time.Duration) {}
+		var out []time.Duration
+		c.OnRetry = func(method string, attempt int, backoff time.Duration, err error) {
+			out = append(out, backoff)
+		}
+		for i := 0; i < 40; i++ {
+			c.Call("echo", i) // errors expected; the schedule is the subject
+		}
+		return out
+	}
+	a, b := schedule(42), schedule(42)
+	if len(a) == 0 {
+		t.Fatal("no retries happened")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("schedule lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("backoff %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := schedule(43)
+	if fmt.Sprint(a) == fmt.Sprint(c) {
+		t.Fatal("different seeds produced identical retry schedules")
+	}
+}
+
+func TestNilHTTPClientReusesSharedPool(t *testing.T) {
+	_, ts := newEchoServer(t, nil)
+	// A zero-value client (nil HTTPClient) must work and go through the
+	// shared pooled transport rather than allocating one per call.
+	c := &Client{URL: ts.URL}
+	for i := 0; i < 3; i++ {
+		if v, err := c.Call("echo", i); err != nil || v != i {
+			t.Fatalf("call %d = %v, %v", i, v, err)
+		}
+	}
+}

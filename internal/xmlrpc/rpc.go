@@ -2,12 +2,22 @@ package xmlrpc
 
 import (
 	"bytes"
+	"context"
+	cryptorand "crypto/rand"
+	"encoding/hex"
 	"encoding/xml"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
+
+	"excovery/internal/failpoint"
 )
 
 // EncodeCall serializes a methodCall document.
@@ -123,18 +133,61 @@ func DecodeResponse(data []byte) (any, error) {
 // fault response; a *Fault error preserves its code.
 type Handler func(params []any) (any, error)
 
+// IdempotencyHeader carries the client's per-call idempotency key. A
+// server replays the cached response for a key it has already executed, so
+// a retried call is applied at most once.
+const IdempotencyHeader = "X-Excovery-Idempotency-Key"
+
+// ServerStats counts server-side dispatch outcomes.
+type ServerStats struct {
+	// Requests counts accepted POST requests (after failpoint drops).
+	Requests int64
+	// HandlerCalls counts actual handler executions.
+	HandlerCalls int64
+	// DedupReplays counts responses replayed from the idempotency cache
+	// instead of re-executing the handler.
+	DedupReplays int64
+	// Injected counts failpoint decisions that fired on the serving path.
+	Injected int64
+}
+
+// dedupEntry caches the response of one idempotent call. done is closed
+// once the response bytes are available, so a duplicate arriving while the
+// first execution is still in flight waits instead of re-executing.
+type dedupEntry struct {
+	done chan struct{}
+	resp []byte
+}
+
+// dedupCap bounds the idempotency cache; retries arrive within seconds,
+// so FIFO eviction of old keys is safe long before the cache cycles.
+const dedupCap = 4096
+
 // Server dispatches XML-RPC calls to registered methods. It implements
 // http.Handler. Method registration is not synchronized with serving:
 // register everything before starting the HTTP server, which matches the
 // NodeManager lifecycle.
 type Server struct {
 	methods map[string]Handler
+
+	// FP, if set, injects deterministic faults on the serving path
+	// (SiteServerRecv before the handler, SiteServerSend after).
+	FP *failpoint.Registry
+	// OnDispatch, if set, observes every handler execution with the
+	// call's idempotency key ("" when the client sent none). Replays from
+	// the idempotency cache do not dispatch. Set before serving.
+	OnDispatch func(method, idemKey string)
+
+	mu    sync.Mutex
+	dedup map[string]*dedupEntry
+	order []string
+	stats ServerStats
 }
 
 // NewServer creates an empty method registry with the standard
 // introspection method system.listMethods pre-registered.
 func NewServer() *Server {
-	s := &Server{methods: make(map[string]Handler)}
+	s := &Server{methods: make(map[string]Handler), dedup: map[string]*dedupEntry{}}
 	s.Register("system.listMethods", func(params []any) (any, error) {
 		names := s.Methods()
 		out := make([]any, len(names))
@@ -144,6 +197,13 @@ func NewServer() *Server {
 		return out, nil
 	})
 	return s
+}
+
+// Stats returns a snapshot of the dispatch counters.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
 }
 
 // Register adds a method; registering a duplicate name panics.
@@ -160,92 +220,393 @@ func (s *Server) Methods() []string {
 	for m := range s.methods {
 		out = append(out, m)
 	}
-	// Sorted for stable output.
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	sort.Strings(out)
 	return out
 }
 
-// ServeHTTP handles one XML-RPC call per POST request.
+// ServeHTTP handles one XML-RPC call per POST request. Requests carrying
+// an idempotency key are executed at most once: duplicates (retries of a
+// call whose response was lost) replay the cached response.
 func (s *Server) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 	if req.Method != http.MethodPost {
 		http.Error(w, "xmlrpc requires POST", http.StatusMethodNotAllowed)
 		return
 	}
+	if !s.inject(w, failpoint.SiteServerRecv) {
+		return
+	}
+	s.mu.Lock()
+	s.stats.Requests++
+	s.mu.Unlock()
 	body, err := io.ReadAll(io.LimitReader(req.Body, 16<<20))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+
+	key := req.Header.Get(IdempotencyHeader)
+	if key != "" {
+		s.mu.Lock()
+		if e, dup := s.dedup[key]; dup {
+			s.stats.DedupReplays++
+			s.mu.Unlock()
+			<-e.done
+			s.deliver(w, e.resp)
+			return
+		}
+		e := &dedupEntry{done: make(chan struct{})}
+		s.dedup[key] = e
+		s.order = append(s.order, key)
+		if len(s.order) > dedupCap {
+			delete(s.dedup, s.order[0])
+			s.order = s.order[1:]
+		}
+		s.mu.Unlock()
+		resp := s.dispatch(body, key)
+		e.resp = resp
+		close(e.done)
+		s.deliver(w, resp)
+		return
+	}
+	s.deliver(w, s.dispatch(body, ""))
+}
+
+// dispatch decodes and executes one call, returning the encoded response
+// document (success or fault).
+func (s *Server) dispatch(body []byte, key string) []byte {
 	method, params, err := DecodeCall(body)
 	if err != nil {
-		s.writeFault(w, &Fault{Code: -32700, String: err.Error()})
-		return
+		return EncodeFault(&Fault{Code: -32700, String: err.Error()})
 	}
 	h, ok := s.methods[method]
 	if !ok {
-		s.writeFault(w, &Fault{Code: -32601, String: "method not found: " + method})
-		return
+		return EncodeFault(&Fault{Code: -32601, String: "method not found: " + method})
+	}
+	s.mu.Lock()
+	s.stats.HandlerCalls++
+	s.mu.Unlock()
+	if s.OnDispatch != nil {
+		s.OnDispatch(method, key)
 	}
 	result, err := h(params)
 	if err != nil {
 		if f, ok := err.(*Fault); ok {
-			s.writeFault(w, f)
-		} else {
-			s.writeFault(w, &Fault{Code: 1, String: err.Error()})
+			return EncodeFault(f)
 		}
-		return
+		return EncodeFault(&Fault{Code: 1, String: err.Error()})
 	}
 	resp, err := EncodeResponse(result)
 	if err != nil {
-		s.writeFault(w, &Fault{Code: -32603, String: "cannot encode result: " + err.Error()})
+		return EncodeFault(&Fault{Code: -32603, String: "cannot encode result: " + err.Error()})
+	}
+	return resp
+}
+
+// deliver writes the response, subject to the server-send failpoint: a
+// Drop here loses a response whose handler already executed — exactly the
+// case idempotency dedup recovers from.
+func (s *Server) deliver(w http.ResponseWriter, resp []byte) {
+	if !s.inject(w, failpoint.SiteServerSend) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/xml")
 	w.Write(resp)
 }
 
-func (s *Server) writeFault(w http.ResponseWriter, f *Fault) {
-	w.Header().Set("Content-Type", "text/xml")
-	w.Write(EncodeFault(f))
+// inject evaluates a failpoint site; it reports whether serving should
+// continue.
+func (s *Server) inject(w http.ResponseWriter, site string) bool {
+	d := s.FP.Eval(site)
+	if d.Act == failpoint.None {
+		return true
+	}
+	s.mu.Lock()
+	s.stats.Injected++
+	s.mu.Unlock()
+	switch d.Act {
+	case failpoint.Drop:
+		// Sever the connection without a response; net/http suppresses
+		// ErrAbortHandler, the client sees a transport error.
+		panic(http.ErrAbortHandler)
+	case failpoint.Delay:
+		time.Sleep(d.Delay)
+	case failpoint.Error:
+		http.Error(w, "failpoint: injected server error", d.Code)
+		return false
+	}
+	return true
 }
 
+// RetryPolicy configures Call's retry behaviour. Retries apply only to
+// transport errors (network failures, 5xx/429 responses) — an XML-RPC
+// fault is an answer, not a failure, and is never retried.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts per call; values <= 1
+	// disable retry.
+	MaxAttempts int
+	// BaseBackoff is the backoff before the first retry; it doubles per
+	// attempt. 0 means 50 ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth. 0 means 2 s.
+	MaxBackoff time.Duration
+	// Timeout bounds each attempt (request deadline); 0 uses the HTTP
+	// client's own timeout.
+	Timeout time.Duration
+	// Seed feeds the jitter PRNG so a retry schedule replays exactly
+	// under the same seed (like the treatment planner's PRNGs); 0 means
+	// seed 1.
+	Seed int64
+}
+
+// DefaultRetryPolicy is a sane policy for the control channel: four
+// attempts with 50 ms–2 s equal-jitter backoff and a 30 s per-attempt
+// deadline.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, BaseBackoff: 50 * time.Millisecond,
+		MaxBackoff: 2 * time.Second, Timeout: 30 * time.Second, Seed: 1}
+}
+
+// TransportError wraps a failed HTTP exchange: the request never produced
+// a decodable XML-RPC response. These — and only these — are candidates
+// for retry.
+type TransportError struct {
+	// Method is the XML-RPC method of the failed call.
+	Method string
+	// Status is the received HTTP status; 0 when the failure was below
+	// HTTP (connection refused, reset, timeout, injected drop).
+	Status int
+	// Err is the underlying error.
+	Err error
+}
+
+func (e *TransportError) Error() string {
+	if e.Status != 0 {
+		return fmt.Sprintf("xmlrpc: %s: http %d: %v", e.Method, e.Status, e.Err)
+	}
+	return fmt.Sprintf("xmlrpc: %s: %v", e.Method, e.Err)
+}
+
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// Retryable reports whether err is a transport error worth retrying:
+// network-level failures and 5xx/429 statuses. Faults and other
+// application errors are final.
+func Retryable(err error) bool {
+	var te *TransportError
+	if !errors.As(err, &te) {
+		return false
+	}
+	return te.Status == 0 || te.Status >= 500 || te.Status == 429
+}
+
+// errInjectedDrop is the synthetic failure of a client-send failpoint.
+var errInjectedDrop = errors.New("failpoint: injected request drop")
+
+// ClientStats counts call outcomes.
+type ClientStats struct {
+	// Calls counts Call invocations.
+	Calls int64
+	// Attempts counts HTTP exchanges (>= Calls under retry).
+	Attempts int64
+	// Retries counts re-attempts after retryable transport errors.
+	Retries int64
+	// Failures counts calls that returned an error after all attempts.
+	Failures int64
+}
+
+// defaultHTTPClient is shared by every Client without an explicit
+// HTTPClient, so TCP connections pool across calls and clients instead of
+// being torn down per request.
+var defaultHTTPClient = &http.Client{Timeout: 30 * time.Second}
+
+// keyBase makes idempotency keys unique across processes: a master
+// restarted mid-experiment must not collide with keys a long-lived node
+// host has already cached.
+var keyBase = func() string {
+	var b [8]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		return fmt.Sprintf("t%x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}()
+
+var clientSeq atomic.Int64
+
 // Client calls methods on a remote XML-RPC server. Calls are synchronous,
-// mirroring the prototype's xmlrpclib usage (§VI-A).
+// mirroring the prototype's xmlrpclib usage (§VI-A). With a RetryPolicy,
+// transport failures are retried with seeded exponential-jitter backoff;
+// every call carries an idempotency key so retries are applied at most
+// once by the server.
 type Client struct {
 	// URL is the endpoint, e.g. "http://node1:8800/RPC2".
 	URL string
-	// HTTPClient defaults to a client with a 30 s timeout.
+	// HTTPClient defaults to a shared client with a 30 s timeout.
 	HTTPClient *http.Client
+	// Retry is the retry policy; the zero value performs single attempts.
+	Retry RetryPolicy
+	// FP, if set, injects deterministic faults before requests are sent
+	// (SiteClientSend).
+	FP *failpoint.Registry
+	// OnRetry, if set, observes every retry decision with the backoff
+	// about to be slept.
+	OnRetry func(method string, attempt int, backoff time.Duration, err error)
+	// Sleep replaces time.Sleep between attempts (test hook).
+	Sleep func(time.Duration)
+
+	id  string
+	seq atomic.Int64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	calls, attempts, retries, failures atomic.Int64
 }
 
-// NewClient creates a client for the endpoint URL.
+// NewClient creates a client for the endpoint URL using the shared pooled
+// HTTP transport.
 func NewClient(url string) *Client {
-	return &Client{URL: url, HTTPClient: &http.Client{Timeout: 30 * time.Second}}
+	return &Client{URL: url, HTTPClient: defaultHTTPClient,
+		id: fmt.Sprintf("%s-%d", keyBase, clientSeq.Add(1))}
+}
+
+// NewRetryingClient creates a client with a retry policy.
+func NewRetryingClient(url string, p RetryPolicy) *Client {
+	c := NewClient(url)
+	c.Retry = p
+	return c
+}
+
+// Stats returns a snapshot of the call counters.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{Calls: c.calls.Load(), Attempts: c.attempts.Load(),
+		Retries: c.retries.Load(), Failures: c.failures.Load()}
+}
+
+// nextKey derives a fresh idempotency key for one logical call; all
+// attempts of the call reuse it.
+func (c *Client) nextKey() string {
+	c.mu.Lock()
+	if c.id == "" {
+		// Zero-value clients (no NewClient) still get unique keys.
+		c.id = fmt.Sprintf("%s-%d", keyBase, clientSeq.Add(1))
+	}
+	id := c.id
+	c.mu.Unlock()
+	return fmt.Sprintf("%s-%d", id, c.seq.Add(1))
+}
+
+// backoff computes the jittered delay before retry number attempt.
+// Equal-jitter: half deterministic exponential, half drawn from the
+// seeded PRNG, so schedules are bounded below and replayable.
+func (c *Client) backoff(attempt int) time.Duration {
+	base := c.Retry.BaseBackoff
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	max := c.Retry.MaxBackoff
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	c.mu.Lock()
+	if c.rng == nil {
+		seed := c.Retry.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		c.rng = rand.New(rand.NewSource(seed))
+	}
+	jit := time.Duration(c.rng.Int63n(int64(d)/2 + 1))
+	c.mu.Unlock()
+	return d/2 + jit
+}
+
+func (c *Client) sleep(d time.Duration) {
+	if c.Sleep != nil {
+		c.Sleep(d)
+		return
+	}
+	time.Sleep(d)
 }
 
 // Call invokes method with params and returns the decoded result. Fault
-// responses surface as *Fault errors.
+// responses surface as *Fault errors. Transport failures are retried per
+// the client's RetryPolicy under a per-call idempotency key.
 func (c *Client) Call(method string, params ...any) (any, error) {
 	body, err := EncodeCall(method, params...)
 	if err != nil {
 		return nil, err
 	}
+	c.calls.Add(1)
+	key := c.nextKey()
+	max := c.Retry.MaxAttempts
+	if max < 1 {
+		max = 1
+	}
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		c.attempts.Add(1)
+		res, err := c.do(method, body, key)
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+		if !Retryable(err) || attempt >= max {
+			break
+		}
+		backoff := c.backoff(attempt)
+		c.retries.Add(1)
+		if c.OnRetry != nil {
+			c.OnRetry(method, attempt, backoff, err)
+		}
+		c.sleep(backoff)
+	}
+	c.failures.Add(1)
+	return nil, lastErr
+}
+
+// do performs one HTTP exchange.
+func (c *Client) do(method string, body []byte, key string) (any, error) {
+	switch d := c.FP.Eval(failpoint.SiteClientSend); d.Act {
+	case failpoint.Drop:
+		return nil, &TransportError{Method: method, Err: errInjectedDrop}
+	case failpoint.Delay:
+		c.sleep(d.Delay)
+	}
 	hc := c.HTTPClient
 	if hc == nil {
-		hc = &http.Client{Timeout: 30 * time.Second}
+		hc = defaultHTTPClient
 	}
-	resp, err := hc.Post(c.URL, "text/xml", bytes.NewReader(body))
+	ctx := context.Background()
+	if c.Retry.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.Retry.Timeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.URL, bytes.NewReader(body))
 	if err != nil {
 		return nil, fmt.Errorf("xmlrpc: %s: %w", method, err)
+	}
+	req.Header.Set("Content-Type", "text/xml")
+	req.Header.Set(IdempotencyHeader, key)
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, &TransportError{Method: method, Err: err}
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
 	if err != nil {
-		return nil, err
+		return nil, &TransportError{Method: method, Err: err}
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, &TransportError{Method: method, Status: resp.StatusCode,
+			Err: fmt.Errorf("%s", strings.TrimSpace(string(data)))}
 	}
 	return DecodeResponse(data)
 }

@@ -1,6 +1,7 @@
 GO ?= go
+DATE := $(shell date +%Y%m%d)
 
-.PHONY: build test check vet race bench
+.PHONY: build test check vet race bench fmt
 
 build:
 	$(GO) build ./...
@@ -14,9 +15,17 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# check is the tier-1 gate (see ROADMAP.md): static analysis plus the
-# full suite under the race detector.
-check: vet race
+# fmt fails when any file is not gofmt-clean, printing the offenders.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
+# check is the tier-1 gate (see ROADMAP.md): formatting, static analysis,
+# plus the full suite under the race detector.
+check: fmt vet race
+
+# bench records all benchmarks (with allocations) as a dated JSON stream
+# of go test events, comparable across sessions with benchstat-style
+# tooling or plain jq.
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -json -run='^$$' -bench=. -benchmem ./... | tee BENCH_$(DATE).json

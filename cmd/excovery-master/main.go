@@ -22,6 +22,7 @@ import (
 	"excovery/internal/master"
 	"excovery/internal/metrics"
 	"excovery/internal/noderpc"
+	"excovery/internal/obs"
 	"excovery/internal/sched"
 	"excovery/internal/store"
 	"excovery/internal/xmlrpc"
@@ -41,6 +42,7 @@ func main() {
 		rpcRetries = flag.Int("rpc-retries", 4, "control-channel RPC attempts per call")
 		rpcTimeout = flag.Duration("rpc-timeout", 30*time.Second, "control-channel per-attempt timeout")
 		rpcSeed    = flag.Int64("rpc-seed", 1, "seed of the retry-backoff jitter PRNG (replayable schedules)")
+		obsAddr    = flag.String("obs-addr", "", "serve /metrics, /healthz, /status and pprof on this address (empty disables)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: excovery-master [flags] [description.xml]\n")
@@ -60,6 +62,22 @@ func main() {
 	s.SetSpeed(*speed)
 	bus := eventlog.NewBus(s)
 
+	// Observability: metrics registry, live status and execution tracer.
+	// All are active regardless of -obs-addr (the tracer feeds the per-run
+	// trace.json artifact); the flag only controls the HTTP listener.
+	reg := obs.NewRegistry()
+	status := obs.NewStatus(nil)
+	tracer := obs.NewTracer(s.Now)
+	bus.Instrument(reg)
+	if *obsAddr != "" {
+		osrv, err := obs.Serve(*obsAddr, reg, func() any { return status.Snapshot() })
+		if err != nil {
+			fatal(err)
+		}
+		defer osrv.Close()
+		fmt.Printf("excovery-master: observability endpoints at http://%s\n", osrv.Addr())
+	}
+
 	// Event endpoint for node pushes.
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -75,7 +93,12 @@ func main() {
 		Timeout:     *rpcTimeout,
 		Seed:        *rpcSeed,
 	}
-	hostClient := xmlrpc.NewRetryingClient(*hostURL, rpcPolicy)
+	newClient := func() *xmlrpc.Client {
+		c := xmlrpc.NewRetryingClient(*hostURL, rpcPolicy)
+		c.Obs = reg
+		return c
+	}
+	hostClient := newClient()
 	if _, err := hostClient.Call("host.ping"); err != nil {
 		fatal(fmt.Errorf("node host unreachable: %w", err))
 	}
@@ -89,8 +112,7 @@ func main() {
 	handles := map[string]master.NodeHandle{}
 	for _, v := range nodesV.([]any) {
 		id := v.(string)
-		handles[id] = &noderpc.RemoteNode{NodeID: id,
-			C: xmlrpc.NewRetryingClient(*hostURL, rpcPolicy)}
+		handles[id] = &noderpc.RemoteNode{NodeID: id, C: newClient()}
 	}
 	fmt.Printf("excovery-master: %d remote nodes at %s, events at %s\n",
 		len(handles), *hostURL, selfURL)
@@ -105,9 +127,10 @@ func main() {
 
 	m, err := master.New(master.Config{
 		Exp: e, S: s, Bus: bus, Nodes: handles,
-		Env:   &noderpc.RemoteEnv{C: xmlrpc.NewRetryingClient(*hostURL, rpcPolicy)},
-		Store: st,
-		Retry: master.RetryPolicy{MaxAttempts: *maxAtt, QuarantineAfter: *quarantine},
+		Env:    &noderpc.RemoteEnv{C: newClient()},
+		Store:  st,
+		Retry:  master.RetryPolicy{MaxAttempts: *maxAtt, QuarantineAfter: *quarantine},
+		Tracer: tracer, Status: status, Metrics: reg,
 		OnRunDone: func(run desc.Run, rr master.RunResult) {
 			fmt.Printf("run %4d done in %s (attempts=%d timeouts=%d err=%v)\n",
 				run.ID, rr.Duration.Round(time.Millisecond), rr.Attempts, rr.Timeouts, rr.Err)

@@ -19,6 +19,7 @@ import (
 	"excovery/internal/desc"
 	"excovery/internal/eventlog"
 	"excovery/internal/noderpc"
+	"excovery/internal/obs"
 )
 
 func main() {
@@ -27,6 +28,7 @@ func main() {
 		builtin = flag.String("builtin", "", "host a built-in description: casestudy, oneshot, threeparty")
 		speed   = flag.Float64("speed", 0.01, "real-time pacing factor (wall seconds per virtual second)")
 		seed    = flag.Int64("seed", 0, "override the experiment seed")
+		obsAddr = flag.String("obs-addr", "", "serve /metrics, /healthz, /status and pprof on this address (empty disables)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: excovery-node [flags] [description.xml]\n")
@@ -51,6 +53,17 @@ func main() {
 	}
 	host = noderpc.NewHost(x)
 	x.S.SetKeepAlive(true)
+
+	reg := obs.NewRegistry()
+	host.Instrument(reg)
+	if *obsAddr != "" {
+		osrv, err := obs.Serve(*obsAddr, reg, func() any { return host.Status() })
+		if err != nil {
+			fatal(err)
+		}
+		defer osrv.Close()
+		fmt.Printf("excovery-node: observability endpoints at http://%s\n", osrv.Addr())
+	}
 
 	srv := host.Server()
 	fmt.Printf("excovery-node: hosting %q (%d nodes) on %s, speed %.3f\n",

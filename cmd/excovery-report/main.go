@@ -7,6 +7,7 @@
 //	excovery-report exp1.xcdb
 //	excovery-report -group fact_bw -deadlines 0.5,1,5 exp1.xcdb
 //	excovery-report -events -run 3 exp1.xcdb
+//	excovery-report -trace trace3.json -run 3 exp1.xcdb
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"time"
 
 	"excovery/internal/metrics"
+	"excovery/internal/obs"
 	"excovery/internal/store"
 	"excovery/internal/viz"
 )
@@ -28,7 +30,8 @@ func main() {
 		group     = flag.String("group", "", "group metrics by this factor id")
 		deadlines = flag.String("deadlines", "1,5,30", "responsiveness deadlines in seconds, comma separated")
 		events    = flag.Bool("events", false, "dump the event list of -run")
-		run       = flag.Int("run", 0, "run id for -events/-timeline/-packets")
+		run       = flag.Int("run", 0, "run id for -events/-timeline/-packets/-trace")
+		traceOut  = flag.String("trace", "", "export the execution trace of -run as Chrome trace_event JSON to this file (- for stdout)")
 		packets   = flag.Bool("packets", false, "print packet statistics of -run")
 		timeline  = flag.Bool("timeline", false, "render the Fig. 11 style timeline of -run")
 		repo      = flag.Bool("repo", false, "treat the argument as a level-4 repository directory and summarize all experiments")
@@ -50,6 +53,14 @@ func main() {
 	db, err := store.OpenExperimentDB(flag.Arg(0))
 	if err != nil {
 		fatal(err)
+	}
+	// Trace export runs before the banner: with `-trace -` stdout must
+	// carry nothing but the Chrome trace JSON.
+	if *traceOut != "" {
+		if err := exportTrace(db, *run, *traceOut); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	info, err := db.Info()
 	if err != nil {
@@ -176,6 +187,42 @@ func main() {
 	for _, k := range keys {
 		printGroup(*group+"="+k, groups[k])
 	}
+}
+
+// exportTrace converts one run's trace.json level-2 artifact (recorded by
+// the master's tracer, stored as an extra run measurement) into Chrome
+// trace_event JSON loadable in chrome://tracing or Perfetto.
+func exportTrace(db *store.ExperimentDB, run int, path string) error {
+	extras, err := db.ExtrasOfRun(run)
+	if err != nil {
+		return err
+	}
+	var spans []obs.Span
+	found := false
+	for _, x := range extras {
+		if x.Name != "trace.json" {
+			continue
+		}
+		s, err := obs.UnmarshalSpans(x.Content)
+		if err != nil {
+			return fmt.Errorf("run %d: bad trace artifact from node %s: %w", run, x.Node, err)
+		}
+		spans = append(spans, s...)
+		found = true
+	}
+	if !found {
+		return fmt.Errorf("run %d has no trace.json artifact (master ran without a tracer?)", run)
+	}
+	out := obs.ChromeTrace(spans)
+	if path == "-" {
+		_, err := os.Stdout.Write(out)
+		return err
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d spans of run %d to %s\n", len(spans), run, path)
+	return nil
 }
 
 // reportRepository summarizes a level-4 repository: one line per stored

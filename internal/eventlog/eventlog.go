@@ -15,6 +15,7 @@ import (
 	"strings"
 	"time"
 
+	"excovery/internal/obs"
 	"excovery/internal/sched"
 	"excovery/internal/vclock"
 )
@@ -196,11 +197,32 @@ type Bus struct {
 	events []Event
 	seq    uint64
 	epoch  uint64 // incremented by CancelWaiters; pending waits give up
+
+	// Throughput instrumentation (nil-safe: unset without Instrument).
+	// The counters are atomic, so the obs HTTP handlers read them from
+	// foreign goroutines while the bus mutates in scheduler context.
+	mPublished *obs.Counter
+	mResets    *obs.Counter
+	mCancels   *obs.Counter
+	mLen       *obs.Gauge
 }
 
 // NewBus creates an empty bus on the scheduler.
 func NewBus(s *sched.Scheduler) *Bus {
 	return &Bus{s: s, cond: s.NewCond("eventbus")}
+}
+
+// Instrument registers the bus's throughput metrics in reg. Call before
+// execution starts; a nil registry keeps the bus uninstrumented.
+func (b *Bus) Instrument(reg *obs.Registry) {
+	b.mPublished = reg.Counter("excovery_eventbus_published_total",
+		"events published to the master's bus")
+	b.mResets = reg.Counter("excovery_eventbus_resets_total",
+		"bus resets (one per run preparation)")
+	b.mCancels = reg.Counter("excovery_eventbus_cancel_waiters_total",
+		"CancelWaiters broadcasts (run aborts)")
+	b.mLen = reg.Gauge("excovery_eventbus_len",
+		"events currently held by the bus (current run)")
 }
 
 // Publish stores the event, assigns its global sequence number and wakes all
@@ -209,6 +231,8 @@ func (b *Bus) Publish(ev Event) Event {
 	b.seq++
 	ev.Seq = b.seq
 	b.events = append(b.events, ev)
+	b.mPublished.Inc()
+	b.mLen.Set(int64(len(b.events)))
 	b.cond.Broadcast()
 	return ev
 }
@@ -228,6 +252,8 @@ func (b *Bus) Len() int { return len(b.events) }
 func (b *Bus) Reset() {
 	b.events = nil
 	b.seq = 0
+	b.mResets.Inc()
+	b.mLen.Set(0)
 }
 
 // CancelWaiters aborts every pending WaitFor/WaitForDistinct: the waits
@@ -235,6 +261,7 @@ func (b *Bus) Reset() {
 // run is aborted so orphaned process tasks cannot linger into later runs.
 func (b *Bus) CancelWaiters() {
 	b.epoch++
+	b.mCancels.Inc()
 	b.cond.Broadcast()
 }
 

@@ -1,0 +1,89 @@
+package eventlog
+
+import (
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"excovery/internal/obs"
+	"excovery/internal/sched"
+)
+
+// TestBusConcurrentPublishersWithMetricsReaders drives the bus from several
+// foreign goroutines (each injecting publishes into scheduler context, the
+// way node hosts deliver reported events) while an unsynchronized reader
+// goroutine continuously samples the instrumentation — exactly what the obs
+// HTTP listener does to a live master. Run under -race, it proves the
+// atomic counters make that concurrent read safe.
+func TestBusConcurrentPublishersWithMetricsReaders(t *testing.T) {
+	s := sched.New(sched.RealTime, time.Unix(0, 0))
+	s.SetSpeed(0.0001)
+	s.SetKeepAlive(true)
+	bus := NewBus(s)
+	reg := obs.NewRegistry()
+	bus.Instrument(reg)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- s.Run() }()
+
+	const publishers = 4
+	const perPublisher = 50
+
+	// Reader: hammer the counters and the full exposition concurrently
+	// with the publishes, like a scraped /metrics endpoint.
+	stopRead := make(chan struct{})
+	readDone := make(chan struct{})
+	go func() {
+		defer close(readDone)
+		for {
+			select {
+			case <-stopRead:
+				return
+			default:
+			}
+			reg.CounterTotal("excovery_eventbus_published_total")
+			if err := reg.WritePrometheus(io.Discard); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			node := string(rune('A' + p))
+			for i := 0; i < perPublisher; i++ {
+				s.InjectWait("publish", func() {
+					bus.Publish(Event{Run: 0, Node: node, Type: "tick"})
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	close(stopRead)
+	<-readDone
+
+	const want = publishers * perPublisher
+	if got := reg.CounterTotal("excovery_eventbus_published_total"); got != want {
+		t.Fatalf("published counter = %d, want %d", got, want)
+	}
+	s.InjectWait("check", func() {
+		if bus.Len() != want {
+			t.Errorf("bus holds %d events, want %d", bus.Len(), want)
+		}
+		bus.Reset()
+	})
+	if got := reg.CounterTotal("excovery_eventbus_resets_total"); got != 1 {
+		t.Fatalf("resets counter = %d, want 1", got)
+	}
+
+	s.Stop()
+	if err := <-errCh; err != nil && err != sched.ErrStopped {
+		t.Fatal(err)
+	}
+}

@@ -24,6 +24,7 @@ import (
 
 	"excovery/internal/desc"
 	"excovery/internal/eventlog"
+	"excovery/internal/obs"
 	"excovery/internal/process"
 	"excovery/internal/sched"
 	"excovery/internal/store"
@@ -124,6 +125,16 @@ type Config struct {
 	// TopologyMeasure, if set, returns a serialized topology snapshot;
 	// it is recorded before and after the experiment (§IV-B4).
 	TopologyMeasure func() string
+	// Tracer, if set, records the hierarchical execution trace
+	// (experiment → run → phase → action); per-run spans are harvested
+	// into the level-2 store as trace.json.
+	Tracer *obs.Tracer
+	// Status, if set, tracks the live execution state served on the obs
+	// /status endpoint.
+	Status *obs.Status
+	// Metrics, if set, receives the run loop's counters (runs
+	// completed/retried/partial, health probes, quarantine).
+	Metrics *obs.Registry
 }
 
 // RunResult summarizes one executed run.
@@ -190,6 +201,9 @@ type Master struct {
 	quarantined map[string]bool
 	probes      int
 	probeFails  int
+
+	// Observability: the open experiment span (parent of all run spans).
+	expSpan uint64
 }
 
 // New validates the description, generates the plan and assembles a
@@ -248,6 +262,8 @@ func (m *Master) RunAll() (*Report, error) {
 		if m.cfg.Resume && m.cfg.Store != nil && m.cfg.Store.RunDone(run.ID) {
 			rep.Results = append(rep.Results, RunResult{Run: run, Skipped: true})
 			rep.Skipped++
+			m.counter("excovery_runs_skipped_total", "runs skipped by resume").Inc()
+			m.cfg.Status.RunFinished("skipped", false)
 			continue
 		}
 		var rr RunResult
@@ -257,13 +273,25 @@ func (m *Master) RunAll() (*Report, error) {
 				break
 			}
 		}
-		if rr.Attempts > 1 {
+		retried := rr.Attempts > 1
+		if retried {
 			rep.Retried++
+			m.counter("excovery_runs_retried_total",
+				"runs that needed more than one attempt").Inc()
 		}
 		if rr.Err == nil && !rr.Aborted {
 			rep.Completed++
+			m.counter("excovery_runs_completed_total", "successfully executed runs").Inc()
+			m.cfg.Status.RunFinished("completed", retried)
 		} else {
 			m.harvestPartial(run, &rr)
+			m.counter("excovery_runs_failed_total",
+				"runs that failed all attempts").Inc()
+			if rr.Partial {
+				m.counter("excovery_runs_partial_total",
+					"failed runs whose measurements were salvaged").Inc()
+			}
+			m.cfg.Status.RunFinished("failed", retried)
 		}
 		rep.Results = append(rep.Results, rr)
 		if m.cfg.OnRunDone != nil {
@@ -292,34 +320,50 @@ func (m *Master) preflight(run desc.Run) error {
 			continue
 		}
 		m.probes++
+		m.counter("excovery_health_probes_total", "preflight node health probes").Inc()
 		if err := hc.Health(); err != nil {
 			m.probeFails++
+			m.counter("excovery_health_probe_failures_total",
+				"failed preflight node health probes").Inc()
 			m.rec.Emit("node_health_failed", map[string]string{
 				"node": id, "err": err.Error()})
-			m.noteNodeFailure(id)
+			m.noteNodeFailure(id, err.Error())
 			return fmt.Errorf("master: run %d: node %s unhealthy: %w", run.ID, id, err)
 		}
 		m.health[id] = 0
+		m.cfg.Status.NodeHealthy(id)
 	}
 	return nil
 }
 
 // noteNodeFailure advances a node's consecutive-failure count and
 // quarantines it once the policy threshold is crossed.
-func (m *Master) noteNodeFailure(id string) {
+func (m *Master) noteNodeFailure(id, errStr string) {
 	m.health[id]++
+	m.cfg.Status.NodeFailed(id, errStr, m.health[id])
 	q := m.cfg.Retry.QuarantineAfter
 	if q > 0 && m.health[id] >= q && !m.quarantined[id] {
 		m.quarantined[id] = true
+		m.cfg.Status.NodeQuarantined(id)
+		m.counter("excovery_nodes_quarantined_total",
+			"nodes quarantined for repeated control-channel failures").Inc()
 		m.rec.Emit("node_quarantined", map[string]string{
 			"node": id, "failures": fmt.Sprint(m.health[id])})
 	}
+}
+
+// counter is a nil-safe shortcut into the configured metrics registry.
+func (m *Master) counter(name, help string) *obs.Counter {
+	return m.cfg.Metrics.Counter(name, help)
 }
 
 // experimentInit performs the preparations before all individual runs
 // (§IV-C1 experiment_init) and records the initial topology.
 func (m *Master) experimentInit() {
 	m.rec.SetRun(-1)
+	m.cfg.Status.ExperimentStarted(m.cfg.Exp.Name, len(m.plan.Runs))
+	m.expSpan = m.cfg.Tracer.Begin(0, "master", "experiment", m.cfg.Exp.Name,
+		-1, 0, map[string]string{"seed": fmt.Sprint(m.cfg.Exp.Seed)})
 	m.rec.Emit("experiment_init", map[string]string{"name": m.cfg.Exp.Name})
 	if m.cfg.Store != nil {
 		if xml, err := desc.EncodeString(m.cfg.Exp); err == nil {
@@ -339,6 +383,21 @@ func (m *Master) experimentExit() {
 			[]byte(m.cfg.TopologyMeasure()))
 	}
 	m.rec.Emit("experiment_exit", nil)
+	m.cfg.Tracer.End(m.expSpan)
+	m.cfg.Status.ExperimentFinished()
+}
+
+// rawTreatment flattens a run's treatment into factor → raw value for
+// status and trace annotation. Actor-map levels have no scalar value and
+// are skipped.
+func rawTreatment(run desc.Run) map[string]string {
+	out := map[string]string{}
+	for fid, l := range run.Treatment {
+		if l.Raw != "" {
+			out[fid] = l.Raw
+		}
+	}
+	return out
 }
 
 // executeRun performs one run attempt's three phases.
@@ -346,7 +405,35 @@ func (m *Master) executeRun(run desc.Run, attempt int) RunResult {
 	s := m.cfg.S
 	rr := RunResult{Run: run, Start: m.cfg.Ref.Now(), Attempts: attempt}
 
+	// Observability: one span per attempt (experiment → run), annotated
+	// with the derived run seed and the applied treatment so a trace is
+	// self-describing.
+	treat := rawTreatment(run)
+	m.counter("excovery_run_attempts_total",
+		"run attempts, including in-place retries").Inc()
+	m.cfg.Status.RunStarted(run.ID, attempt, treat)
+	runArgs := map[string]string{
+		"seed": fmt.Sprint(desc.RunSeed(m.cfg.Exp.Seed, run.ID)),
+	}
+	for fid, v := range treat {
+		runArgs[fid] = v
+	}
+	runSpan := m.cfg.Tracer.Begin(m.expSpan, "master", "run",
+		fmt.Sprintf("run %d", run.ID), run.ID, attempt, runArgs)
+	endRun := func() {
+		if rr.Err != nil {
+			m.cfg.Tracer.EndWith(runSpan, map[string]string{"err": rr.Err.Error()})
+		} else if rr.Aborted {
+			m.cfg.Tracer.EndWith(runSpan, map[string]string{"aborted": "true"})
+		} else {
+			m.cfg.Tracer.End(runSpan)
+		}
+	}
+
 	// --- preparation phase ---
+	m.cfg.Status.PhaseChanged("prepare")
+	prepSpan := m.cfg.Tracer.Begin(runSpan, "master", "phase", "prepare",
+		run.ID, attempt, nil)
 	m.cfg.Bus.Reset()
 	m.rec.SetRun(run.ID)
 	if attempt > 1 {
@@ -357,21 +444,33 @@ func (m *Master) executeRun(run desc.Run, attempt int) RunResult {
 		rr.Err = err
 		rr.Duration = m.cfg.Ref.Now().Sub(rr.Start)
 		rr.Events = append([]eventlog.Event(nil), m.cfg.Bus.Events()...)
+		m.cfg.Tracer.EndWith(prepSpan, map[string]string{"err": err.Error()})
+		endRun()
 		return rr
 	}
 	if m.cfg.Env != nil {
 		m.cfg.Env.Reset()
 	}
 	for _, id := range m.nodeOrder() {
+		sp := m.cfg.Tracer.Begin(prepSpan, "master", "rpc",
+			"prepare "+id, run.ID, attempt, nil)
 		m.cfg.Nodes[id].PrepareRun(run.ID)
+		m.cfg.Tracer.End(sp)
 	}
 	// Preliminary measurements: per-node clock offsets (§IV-B3).
 	for _, id := range m.nodeOrder() {
 		h := m.cfg.Nodes[id]
+		sp := m.cfg.Tracer.Begin(prepSpan, "master", "rpc",
+			"timesync "+id, run.ID, attempt, nil)
 		rr.Offsets = append(rr.Offsets, m.est.Measure(id, h.LocalTime))
+		m.cfg.Tracer.End(sp)
 	}
+	m.cfg.Tracer.End(prepSpan)
 
 	// --- execution phase ---
+	m.cfg.Status.PhaseChanged("execute")
+	execSpan := m.cfg.Tracer.Begin(runSpan, "master", "phase", "execute",
+		run.ID, attempt, nil)
 	roles := desc.RolesFor(m.cfg.Exp, run)
 	wg := s.NewWaitGroup(fmt.Sprintf("run %d", run.ID))
 	var firstErr error
@@ -380,6 +479,10 @@ func (m *Master) executeRun(run desc.Run, attempt int) RunResult {
 
 	launch := func(name string, ctx *process.Ctx, actions []desc.Action) {
 		ctx.Canceled = func() bool { return canceled }
+		ctx.Trace = m.cfg.Tracer
+		ctx.SpanParent = execSpan
+		ctx.Track = name
+		ctx.Attempt = attempt
 		wg.Add(1)
 		s.Go(name, func() {
 			defer wg.Done()
@@ -453,6 +556,8 @@ func (m *Master) executeRun(run desc.Run, attempt int) RunResult {
 
 	if !wg.WaitTimeout(m.cfg.MaxRunTime) {
 		rr.Aborted = true
+		m.counter("excovery_runs_aborted_total",
+			"run attempts aborted by MaxRunTime").Inc()
 		m.rec.Emit("run_aborted", map[string]string{"run": fmt.Sprint(run.ID)})
 		// Cancel leftover process tasks: waiters on the bus give up at
 		// their next wake-up and the cancel flag stops further actions,
@@ -463,14 +568,26 @@ func (m *Master) executeRun(run desc.Run, attempt int) RunResult {
 	}
 	rr.Timeouts = timeouts
 	rr.Err = firstErr
+	if rr.Aborted {
+		m.cfg.Tracer.EndWith(execSpan, map[string]string{"aborted": "true"})
+	} else {
+		m.cfg.Tracer.End(execSpan)
+	}
 
 	// --- clean-up phase ---
+	m.cfg.Status.PhaseChanged("cleanup")
+	cleanSpan := m.cfg.Tracer.Begin(runSpan, "master", "phase", "cleanup",
+		run.ID, attempt, nil)
 	if m.cfg.Env != nil {
 		m.cfg.Env.Reset()
 	}
 	for _, id := range m.nodeOrder() {
+		sp := m.cfg.Tracer.Begin(cleanSpan, "master", "rpc",
+			"cleanup "+id, run.ID, attempt, nil)
 		m.cfg.Nodes[id].CleanupRun(run.ID)
+		m.cfg.Tracer.End(sp)
 	}
+	m.cfg.Tracer.End(cleanSpan)
 	rr.Duration = m.cfg.Ref.Now().Sub(rr.Start)
 	rr.Events = append([]eventlog.Event(nil), m.cfg.Bus.Events()...)
 
@@ -488,15 +605,20 @@ func (m *Master) executeRun(run desc.Run, attempt int) RunResult {
 				rr.NodeErrs = map[string]string{}
 			}
 			rr.NodeErrs[id] = nerr.Error()
-			m.noteNodeFailure(id)
+			m.noteNodeFailure(id, nerr.Error())
 			if rr.Err == nil {
 				rr.Err = fmt.Errorf("master: run %d: control channel to node %s: %w",
 					run.ID, id, nerr)
 			}
 		} else {
 			m.health[id] = 0
+			m.cfg.Status.NodeHealthy(id)
 		}
 	}
+
+	// The run span must close before harvesting so trace.json contains
+	// the complete attempt.
+	endRun()
 
 	// Harvest into level 2.
 	if m.cfg.Store != nil && !rr.Aborted && rr.Err == nil {
@@ -518,6 +640,13 @@ func (m *Master) harvestInto(st *store.RunStore, run desc.Run, rr *RunResult, pa
 		}
 	}
 	st.WriteEvents(run.ID, "env", m.envEvents(run.ID))
+	// Level-2 trace artifact: the run's closed spans (all attempts so
+	// far), exportable as a Chrome trace by excovery-report.
+	if m.cfg.Tracer != nil {
+		if spans := m.cfg.Tracer.RunSpans(run.ID); len(spans) > 0 {
+			st.WriteExtra(run.ID, "master", "trace.json", obs.MarshalSpans(spans))
+		}
+	}
 	info := store.RunInfo{Run: run.ID, Start: rr.Start, Offsets: rr.Offsets,
 		Attempts: rr.Attempts}
 	if partial {

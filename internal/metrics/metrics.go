@@ -165,7 +165,7 @@ func FromDB(db *store.ExperimentDB, smActor, suActor string) ([]RunMetric, error
 }
 
 // ControlStats summarizes the control channel's resilience behaviour of
-/// one experiment execution: run-level retries, preflight health probes,
+// one experiment execution: run-level retries, preflight health probes,
 // partial harvests and node quarantine. It complements the SD metrics —
 // a result is only as trustworthy as the control plane that produced it.
 type ControlStats struct {

@@ -383,3 +383,38 @@ func TestControlSummary(t *testing.T) {
 		t.Fatal("ControlSummary aliases the report's slice")
 	}
 }
+
+func TestControlSummaryMixedOutcomeAggregation(t *testing.T) {
+	// Attempts and Partial must aggregate correctly over a report mixing
+	// first-try successes, retried successes, skipped runs (resume;
+	// zero attempts) and exhausted runs with partial harvests.
+	rep := &master.Report{
+		Completed: 2,
+		Skipped:   2,
+		Retried:   2,
+		Results: []master.RunResult{
+			{Attempts: 1},                 // clean success
+			{Skipped: true},               // resume skip: no attempts consumed
+			{Attempts: 2},                 // retried success
+			{Skipped: true},               // second resume skip
+			{Attempts: 3, Partial: true},  // all attempts failed, salvaged
+			{Attempts: 3, Partial: false}, // all attempts failed, no store
+		},
+	}
+	cs := ControlSummary(rep)
+	if cs.Runs != 6 {
+		t.Fatalf("Runs = %d, want 6", cs.Runs)
+	}
+	if cs.Attempts != 9 {
+		t.Fatalf("Attempts = %d, want 9 (skipped runs add none)", cs.Attempts)
+	}
+	if cs.Partial != 1 {
+		t.Fatalf("Partial = %d, want 1", cs.Partial)
+	}
+	if cs.Completed != 2 || cs.Skipped != 2 || cs.Retried != 2 {
+		t.Fatalf("pass-through fields: %+v", cs)
+	}
+	if cs.HealthProbes != 0 || cs.HealthFailures != 0 || len(cs.Quarantined) != 0 {
+		t.Fatalf("zero-value health fields: %+v", cs)
+	}
+}

@@ -20,6 +20,7 @@ import (
 
 	"excovery/internal/core"
 	"excovery/internal/eventlog"
+	"excovery/internal/obs"
 	"excovery/internal/xmlrpc"
 )
 
@@ -34,6 +35,13 @@ type Host struct {
 	kick   chan struct{}
 	master *xmlrpc.Client
 	stop   chan struct{}
+
+	// Event-pump instrumentation (nil-safe without Instrument).
+	obs        *obs.Registry
+	mForwarded *obs.Counter
+	mBatches   *obs.Counter
+	mPushErrs  *obs.Counter
+	mOutbox    *obs.Gauge
 }
 
 // NewHost wraps an assembled experiment.
@@ -41,12 +49,55 @@ func NewHost(x *core.Experiment) *Host {
 	return &Host{x: x, kick: make(chan struct{}, 1), stop: make(chan struct{})}
 }
 
+// Instrument registers the host's event-pump metrics in reg and passes the
+// registry on to clients the host creates (the master-push client). Call
+// before serving.
+func (h *Host) Instrument(reg *obs.Registry) {
+	h.obs = reg
+	h.mForwarded = reg.Counter("excovery_host_events_forwarded_total",
+		"node events queued for push to the master")
+	h.mBatches = reg.Counter("excovery_host_event_batches_total",
+		"event batches delivered to the master endpoint")
+	h.mPushErrs = reg.Counter("excovery_host_event_push_errors_total",
+		"failed event pushes (batch requeued for redelivery)")
+	h.mOutbox = reg.Gauge("excovery_host_outbox_len",
+		"events waiting in the push outbox")
+}
+
+// HostStatus is the /status document of a node host.
+type HostStatus struct {
+	// Nodes are the platform node ids served by this host.
+	Nodes []string `json:"nodes"`
+	// MasterSet reports whether a master registered its event endpoint.
+	MasterSet bool `json:"master_set"`
+	// OutboxLen is the number of events awaiting push.
+	OutboxLen int `json:"outbox_len"`
+	// VirtualTime is the host scheduler's current time.
+	VirtualTime time.Time `json:"virtual_time"`
+}
+
+// Status returns a live snapshot for the obs /status endpoint. Safe to
+// call from any goroutine.
+func (h *Host) Status() HostStatus {
+	h.mu.Lock()
+	st := HostStatus{
+		MasterSet: h.master != nil,
+		OutboxLen: len(h.outbox),
+	}
+	h.mu.Unlock()
+	st.Nodes = sortedKeys(h.x.Managers)
+	st.VirtualTime = h.x.S.Now()
+	return st
+}
+
 // ForwardEvent queues an event for asynchronous delivery to the master.
 // It is safe to call from scheduler task context: queuing never blocks.
 func (h *Host) ForwardEvent(ev eventlog.Event) {
 	h.mu.Lock()
 	h.outbox = append(h.outbox, ev)
+	h.mOutbox.Set(int64(len(h.outbox)))
 	h.mu.Unlock()
+	h.mForwarded.Inc()
 	select {
 	case h.kick <- struct{}{}:
 	default:
@@ -70,6 +121,7 @@ func (h *Host) pump() {
 			}
 			batch := h.outbox
 			h.outbox = nil
+			h.mOutbox.Set(0)
 			c := h.master
 			h.mu.Unlock()
 			data, err := json.Marshal(batch)
@@ -80,8 +132,10 @@ func (h *Host) pump() {
 				// Redeliver on the next kick; the control channel is
 				// expected to be reliable (§IV-A1), so transient HTTP
 				// errors only delay events.
+				h.mPushErrs.Inc()
 				h.mu.Lock()
 				h.outbox = append(batch, h.outbox...)
+				h.mOutbox.Set(int64(len(h.outbox)))
 				h.mu.Unlock()
 				time.Sleep(50 * time.Millisecond)
 				select {
@@ -90,6 +144,7 @@ func (h *Host) pump() {
 				}
 				break
 			}
+			h.mBatches.Inc()
 		}
 	}
 }
@@ -100,6 +155,7 @@ func (h *Host) Close() { close(h.stop) }
 // Server builds the XML-RPC method registry for this host.
 func (h *Host) Server() *xmlrpc.Server {
 	srv := xmlrpc.NewServer()
+	srv.Obs = h.obs
 	s := h.x.S
 
 	srv.Register("host.ping", func(params []any) (any, error) {
@@ -125,6 +181,7 @@ func (h *Host) Server() *xmlrpc.Server {
 		h.mu.Lock()
 		first := h.master == nil
 		h.master = xmlrpc.NewRetryingClient(url, xmlrpc.DefaultRetryPolicy())
+		h.master.Obs = h.obs
 		h.mu.Unlock()
 		if first {
 			go h.pump()

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewMux builds the observability endpoint set:
+//
+//	/metrics       Prometheus text exposition of reg
+//	/healthz       liveness probe ("ok")
+//	/status        JSON snapshot from status (may be nil)
+//	/debug/pprof/  net/http/pprof profiles
+//
+// Both reg and status may be nil; the endpoints then serve empty documents
+// so probes keep working before instrumentation is wired.
+func NewMux(reg *Registry, status func() any) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var doc any = struct{}{}
+		if status != nil {
+			doc = status()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		enc.Encode(doc)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running observability listener.
+type Server struct {
+	ln net.Listener
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener.
+func (s *Server) Close() error { return s.ln.Close() }
+
+// Serve starts the observability endpoints on addr in a background
+// goroutine. It is the -obs-addr implementation shared by the master and
+// node CLIs.
+func Serve(addr string, reg *Registry, status func() any) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	go http.Serve(ln, NewMux(reg, status))
+	return &Server{ln: ln}, nil
+}

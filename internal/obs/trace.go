@@ -1,0 +1,267 @@
+package obs
+
+import (
+	"encoding/json"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Span is one node of the hierarchical execution trace: the experiment
+// spans runs, a run spans its phases (prepare, execute, clean-up), a phase
+// spans actions and control-channel calls.
+type Span struct {
+	// ID identifies the span within its tracer; Parent is 0 for roots.
+	ID     uint64 `json:"id"`
+	Parent uint64 `json:"parent,omitempty"`
+	// Track groups spans that execute sequentially (one process, the
+	// master loop); the Chrome export maps each track to its own thread
+	// lane so concurrent processes render side by side.
+	Track string `json:"track,omitempty"`
+	// Cat is the span category: "experiment", "run", "phase", "action",
+	// "rpc".
+	Cat  string `json:"cat"`
+	Name string `json:"name"`
+	// Run is the run the span belongs to (-1 for experiment scope);
+	// Attempt is the run attempt (1-based, 0 for experiment scope).
+	Run     int `json:"run"`
+	Attempt int `json:"attempt,omitempty"`
+	// Start and End are tracer-clock timestamps; End is zero while the
+	// span is open.
+	Start time.Time `json:"start"`
+	End   time.Time `json:"end,omitempty"`
+	// Args carries span attributes (seed, treatment, error, ...).
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// Duration returns End−Start (0 for open spans).
+func (s Span) Duration() time.Duration {
+	if s.End.IsZero() {
+		return 0
+	}
+	return s.End.Sub(s.Start)
+}
+
+// traceCap bounds tracer memory; long campaigns keep the most recent spans
+// (older runs have already been harvested into the level-2 store).
+const traceCap = 1 << 17
+
+// Tracer records spans. It is safe for concurrent use and, like every obs
+// type, a nil *Tracer turns all calls into no-ops (Begin returns 0, which
+// is in turn a valid no-op parent).
+type Tracer struct {
+	now func() time.Time
+
+	mu    sync.Mutex
+	next  uint64
+	spans []Span
+	open  map[uint64]int // span id → index in spans
+}
+
+// NewTracer creates a tracer on the given clock (the master passes its
+// reference clock so span times line up with event timestamps; nil means
+// wall time).
+func NewTracer(now func() time.Time) *Tracer {
+	if now == nil {
+		now = time.Now
+	}
+	return &Tracer{now: now, open: map[uint64]int{}}
+}
+
+// Begin opens a span and returns its id. parent 0 makes a root span.
+func (t *Tracer) Begin(parent uint64, track, cat, name string, run, attempt int, args map[string]string) uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.next++
+	id := t.next
+	var copied map[string]string
+	if len(args) > 0 {
+		copied = make(map[string]string, len(args))
+		for k, v := range args {
+			copied[k] = v
+		}
+	}
+	t.spans = append(t.spans, Span{
+		ID: id, Parent: parent, Track: track, Cat: cat, Name: name,
+		Run: run, Attempt: attempt, Start: t.now(), Args: copied,
+	})
+	t.open[id] = len(t.spans) - 1
+	if len(t.spans) > traceCap {
+		t.compactLocked()
+	}
+	return id
+}
+
+// End closes a span.
+func (t *Tracer) End(id uint64) { t.EndWith(id, nil) }
+
+// EndWith closes a span and merges extra args (e.g. an error).
+func (t *Tracer) EndWith(id uint64, args map[string]string) {
+	if t == nil || id == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	i, ok := t.open[id]
+	if !ok {
+		return
+	}
+	delete(t.open, id)
+	sp := &t.spans[i]
+	sp.End = t.now()
+	if len(args) > 0 {
+		if sp.Args == nil {
+			sp.Args = make(map[string]string, len(args))
+		}
+		for k, v := range args {
+			sp.Args[k] = v
+		}
+	}
+}
+
+// compactLocked drops the oldest closed spans to stay under traceCap.
+func (t *Tracer) compactLocked() {
+	keep := make([]Span, 0, len(t.spans))
+	drop := len(t.spans) - traceCap/2
+	for i, sp := range t.spans {
+		if i < drop && !sp.End.IsZero() {
+			continue
+		}
+		keep = append(keep, sp)
+	}
+	t.spans = keep
+	for i := range t.spans {
+		if t.spans[i].End.IsZero() {
+			t.open[t.spans[i].ID] = i
+		}
+	}
+}
+
+// Spans returns a snapshot of all recorded spans in begin order.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// RunSpans returns the closed spans of one run (all attempts), in begin
+// order — the per-run level-2 trace artifact.
+func (t *Tracer) RunSpans(run int) []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []Span
+	for _, sp := range t.spans {
+		if sp.Run == run && !sp.End.IsZero() {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// MarshalSpans serializes spans as indented JSON (the trace.json level-2
+// artifact format).
+func MarshalSpans(spans []Span) []byte {
+	b, err := json.MarshalIndent(spans, "", " ")
+	if err != nil {
+		return []byte("[]")
+	}
+	return b
+}
+
+// UnmarshalSpans parses a trace.json artifact.
+func UnmarshalSpans(data []byte) ([]Span, error) {
+	var spans []Span
+	if err := json.Unmarshal(data, &spans); err != nil {
+		return nil, err
+	}
+	return spans, nil
+}
+
+// chromeEvent is one entry of the Chrome trace_event format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU).
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	TS   int64             `json:"ts"`            // microseconds
+	Dur  int64             `json:"dur,omitempty"` // microseconds
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// ChromeTrace exports spans as a Chrome trace_event JSON document
+// (loadable in chrome://tracing and Perfetto). Each distinct track becomes
+// a named thread lane; timestamps are microseconds since the earliest
+// span.
+func ChromeTrace(spans []Span) []byte {
+	tids := map[string]int{}
+	var tracks []string
+	for _, sp := range spans {
+		if _, ok := tids[sp.Track]; !ok {
+			tids[sp.Track] = 0
+			tracks = append(tracks, sp.Track)
+		}
+	}
+	sort.Strings(tracks)
+	for i, tr := range tracks {
+		tids[tr] = i
+	}
+	var epoch time.Time
+	for _, sp := range spans {
+		if epoch.IsZero() || sp.Start.Before(epoch) {
+			epoch = sp.Start
+		}
+	}
+	doc := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	for _, tr := range tracks {
+		name := tr
+		if name == "" {
+			name = "main"
+		}
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: tids[tr],
+			Args: map[string]string{"name": name},
+		})
+	}
+	for _, sp := range spans {
+		end := sp.End
+		if end.IsZero() {
+			end = sp.Start
+		}
+		args := sp.Args
+		if sp.Attempt > 0 {
+			args = make(map[string]string, len(sp.Args)+1)
+			for k, v := range sp.Args {
+				args[k] = v
+			}
+			args["attempt"] = strconv.Itoa(sp.Attempt)
+		}
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: sp.Name, Cat: sp.Cat, Ph: "X",
+			TS:  sp.Start.Sub(epoch).Microseconds(),
+			Dur: end.Sub(sp.Start).Microseconds(),
+			PID: 1, TID: tids[sp.Track], Args: args,
+		})
+	}
+	b, err := json.MarshalIndent(doc, "", " ")
+	if err != nil {
+		return []byte(`{"traceEvents":[]}`)
+	}
+	return b
+}

@@ -18,6 +18,7 @@ import (
 
 	"excovery/internal/desc"
 	"excovery/internal/eventlog"
+	"excovery/internal/obs"
 	"excovery/internal/sched"
 )
 
@@ -59,6 +60,17 @@ type Ctx struct {
 	// clean-up must not race with leftover process tasks).
 	Canceled func() bool
 
+	// Trace, if set, records one span per action on the Track lane,
+	// parented under SpanParent (the run's execute-phase span). A nil
+	// tracer keeps the sequence uninstrumented.
+	Trace *obs.Tracer
+	// SpanParent is the parent span id for action spans.
+	SpanParent uint64
+	// Track is the trace lane name, e.g. "proc sm@A".
+	Track string
+	// Attempt is the run attempt number stamped on action spans.
+	Attempt int
+
 	// marker is the wait_marker position consumed by the next
 	// wait_for_event (§IV-C2).
 	marker    uint64
@@ -92,41 +104,77 @@ func (ctx *Ctx) RunSequence(actions []desc.Action) (Result, error) {
 		if ctx.Canceled != nil && ctx.Canceled() {
 			return res, ErrCanceled
 		}
+		sp := ctx.beginActionSpan(a)
 		switch a.Name {
 		case "wait_for_time":
 			secs, err := strconv.ParseFloat(a.Param("seconds", "0"), 64)
 			if err != nil {
+				ctx.Trace.EndWith(sp, map[string]string{"err": "bad seconds"})
 				return res, fmt.Errorf("process: action %d wait_for_time: bad seconds %q", i, a.Param("seconds", ""))
 			}
 			ctx.S.Sleep(time.Duration(secs * float64(time.Second)))
+			ctx.Trace.End(sp)
 
 		case "wait_marker":
 			ctx.marker = ctx.Bus.Marker()
 			ctx.hasMarker = true
+			ctx.Trace.End(sp)
 
 		case "event_flag":
 			ctx.Emit(ctx.Node, a.Value, nil)
+			ctx.Trace.End(sp)
 
 		case "wait_for_event":
 			if a.Wait == nil {
+				ctx.Trace.EndWith(sp, map[string]string{"err": "missing spec"})
 				return res, fmt.Errorf("process: action %d: wait_for_event without spec", i)
 			}
 			if to := ctx.waitForEvent(*a.Wait); to != nil {
 				res.Timeouts = append(res.Timeouts, *to)
+				ctx.Trace.EndWith(sp, map[string]string{"timeout": "true"})
+			} else {
+				ctx.Trace.End(sp)
 			}
 
 		default:
 			params, err := ctx.resolveParams(a)
 			if err != nil {
+				ctx.Trace.EndWith(sp, map[string]string{"err": err.Error()})
 				return res, fmt.Errorf("process: action %d (%s): %w", i, a.Name, err)
 			}
 			if err := ctx.Exec.Execute(ctx.Node, a.Name, params); err != nil {
+				ctx.Trace.EndWith(sp, map[string]string{"err": err.Error()})
 				return res, fmt.Errorf("process: action %d (%s) on %q: %w", i, a.Name, ctx.Node, err)
 			}
 			res.Executed++
+			ctx.Trace.End(sp)
 		}
 	}
 	return res, nil
+}
+
+// beginActionSpan opens one span per action. The span name carries the
+// action's discriminating detail (the flagged event name for event_flag,
+// the awaited event for wait_for_event) so the trace reads like the
+// description.
+func (ctx *Ctx) beginActionSpan(a desc.Action) uint64 {
+	if ctx.Trace == nil {
+		return 0
+	}
+	name := a.Name
+	var args map[string]string
+	switch a.Name {
+	case "event_flag":
+		args = map[string]string{"event": a.Value}
+	case "wait_for_event":
+		if a.Wait != nil {
+			args = map[string]string{"event": a.Wait.Event}
+		}
+	case "wait_for_time":
+		args = map[string]string{"seconds": a.Param("seconds", "0")}
+	}
+	return ctx.Trace.Begin(ctx.SpanParent, ctx.Track, "action", name,
+		ctx.Run.ID, ctx.Attempt, args)
 }
 
 // resolveParams merges literal parameters with factor-referenced values

@@ -305,6 +305,28 @@ func (e *ExperimentDB) EventsOfRun(run int) ([]eventlog.Event, error) {
 	return out, nil
 }
 
+// ExtrasOfRun returns the plugin/extra measurements of one run (e.g. the
+// master's trace.json execution trace).
+func (e *ExperimentDB) ExtrasOfRun(run int) ([]ExtraMeasurement, error) {
+	rows, err := e.DB.Select(reldb.Query{
+		Table: "ExtraRunMeasurements",
+		Where: []reldb.Pred{reldb.Eq("RunID", int64(run))},
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ExtraMeasurement, len(rows))
+	for i, r := range rows {
+		out[i] = ExtraMeasurement{
+			Run:     int(r[0].(int64)),
+			Node:    r[1].(string),
+			Name:    r[2].(string),
+			Content: r[3].([]byte),
+		}
+	}
+	return out, nil
+}
+
 // PacketsOfRun returns the conditioned packet records of one run ordered
 // by common time.
 func (e *ExperimentDB) PacketsOfRun(run int) ([]PacketRecord, error) {

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"excovery/internal/failpoint"
+	"excovery/internal/obs"
 )
 
 // EncodeCall serializes a methodCall document.
@@ -177,6 +178,9 @@ type Server struct {
 	// call's idempotency key ("" when the client sent none). Replays from
 	// the idempotency cache do not dispatch. Set before serving.
 	OnDispatch func(method, idemKey string)
+	// Obs, if set, records dispatch counters and per-method handler
+	// latency histograms into the registry. Set before serving.
+	Obs *obs.Registry
 
 	mu    sync.Mutex
 	dedup map[string]*dedupEntry
@@ -238,6 +242,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 	s.mu.Lock()
 	s.stats.Requests++
 	s.mu.Unlock()
+	s.Obs.Counter("excovery_rpc_server_requests_total",
+		"accepted XML-RPC POST requests (after failpoint drops)").Inc()
 	body, err := io.ReadAll(io.LimitReader(req.Body, 16<<20))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -250,6 +256,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 		if e, dup := s.dedup[key]; dup {
 			s.stats.DedupReplays++
 			s.mu.Unlock()
+			s.Obs.Counter("excovery_rpc_server_dedup_replays_total",
+				"responses replayed from the idempotency cache").Inc()
 			<-e.done
 			s.deliver(w, e.resp)
 			return
@@ -285,10 +293,16 @@ func (s *Server) dispatch(body []byte, key string) []byte {
 	s.mu.Lock()
 	s.stats.HandlerCalls++
 	s.mu.Unlock()
+	s.Obs.Counter("excovery_rpc_server_handler_calls_total",
+		"handler executions by method", "method", method).Inc()
 	if s.OnDispatch != nil {
 		s.OnDispatch(method, key)
 	}
+	start := time.Now()
 	result, err := h(params)
+	s.Obs.Histogram("excovery_rpc_server_handler_latency_seconds",
+		"handler execution latency by method", nil, "method", method).
+		ObserveDuration(time.Since(start))
 	if err != nil {
 		if f, ok := err.(*Fault); ok {
 			return EncodeFault(f)
@@ -323,6 +337,8 @@ func (s *Server) inject(w http.ResponseWriter, site string) bool {
 	s.mu.Lock()
 	s.stats.Injected++
 	s.mu.Unlock()
+	s.Obs.Counter("excovery_rpc_server_failpoint_injections_total",
+		"failpoint decisions fired on the serving path", "site", site).Inc()
 	switch d.Act {
 	case failpoint.Drop:
 		// Sever the connection without a response; net/http suppresses
@@ -450,6 +466,9 @@ type Client struct {
 	// OnRetry, if set, observes every retry decision with the backoff
 	// about to be slept.
 	OnRetry func(method string, attempt int, backoff time.Duration, err error)
+	// Obs, if set, records per-method call/attempt/retry/error counters
+	// and call latency histograms into the registry.
+	Obs *obs.Registry
 	// Sleep replaces time.Sleep between attempts (test hook).
 	Sleep func(time.Duration)
 
@@ -544,6 +563,14 @@ func (c *Client) Call(method string, params ...any) (any, error) {
 		return nil, err
 	}
 	c.calls.Add(1)
+	c.Obs.Counter("excovery_rpc_client_calls_total",
+		"logical XML-RPC calls by method", "method", method).Inc()
+	start := time.Now()
+	defer func() {
+		c.Obs.Histogram("excovery_rpc_client_latency_seconds",
+			"XML-RPC call latency (all attempts and backoffs) by method",
+			nil, "method", method).ObserveDuration(time.Since(start))
+	}()
 	key := c.nextKey()
 	max := c.Retry.MaxAttempts
 	if max < 1 {
@@ -552,6 +579,8 @@ func (c *Client) Call(method string, params ...any) (any, error) {
 	var lastErr error
 	for attempt := 1; ; attempt++ {
 		c.attempts.Add(1)
+		c.Obs.Counter("excovery_rpc_client_attempts_total",
+			"HTTP exchanges by method (>= calls under retry)", "method", method).Inc()
 		res, err := c.do(method, body, key)
 		if err == nil {
 			return res, nil
@@ -562,12 +591,16 @@ func (c *Client) Call(method string, params ...any) (any, error) {
 		}
 		backoff := c.backoff(attempt)
 		c.retries.Add(1)
+		c.Obs.Counter("excovery_rpc_client_retries_total",
+			"re-attempts after retryable transport errors by method", "method", method).Inc()
 		if c.OnRetry != nil {
 			c.OnRetry(method, attempt, backoff, err)
 		}
 		c.sleep(backoff)
 	}
 	c.failures.Add(1)
+	c.Obs.Counter("excovery_rpc_client_errors_total",
+		"calls failed after all attempts by method", "method", method).Inc()
 	return nil, lastErr
 }
 

@@ -19,6 +19,7 @@ import (
 
 	"excovery/internal/desc"
 	"excovery/internal/eventlog"
+	"excovery/internal/failpoint"
 	"excovery/internal/master"
 	"excovery/internal/metrics"
 	"excovery/internal/noderpc"
@@ -37,8 +38,14 @@ func main() {
 		speed      = flag.Float64("speed", 0.01, "real-time pacing factor")
 		storeDir   = flag.String("store", "", "level-2 storage directory")
 		dbPath     = flag.String("db", "", "write the level-3 database here (requires -store)")
+		resume     = flag.Bool("resume", false, "skip runs already marked done in -store; with -journal, crashed runs are discarded and re-executed")
+		journal    = flag.Bool("journal", true, "write-ahead run journal in -store (requires -store; ignored without one)")
 		maxAtt     = flag.Int("max-attempts", 1, "run-level retry: attempts per run before it is recorded failed")
 		quarantine = flag.Int("quarantine-after", 3, "quarantine a node after this many consecutive control-channel failures (0 disables)")
+		probation  = flag.Int("probation", 0, "re-admit a quarantined node after this many consecutive healthy probes (0: quarantine is permanent)")
+		leaseTTL   = flag.Duration("lease-ttl", 15*time.Second, "session lease granted to the node host, renewed from a heartbeat; 0 registers without a lease")
+		crashAt    = flag.Int("crash-after", 0, "crash the process (exit 3) at the Nth run attempt, after its journal record — durability testing (0 disables)")
+		allowFail  = flag.Bool("allow-failed", false, "exit zero even when runs failed or aborted")
 		rpcRetries = flag.Int("rpc-retries", 4, "control-channel RPC attempts per call")
 		rpcTimeout = flag.Duration("rpc-timeout", 30*time.Second, "control-channel per-attempt timeout")
 		rpcSeed    = flag.Int64("rpc-seed", 1, "seed of the retry-backoff jitter PRNG (replayable schedules)")
@@ -102,7 +109,22 @@ func main() {
 	if _, err := hostClient.Call("host.ping"); err != nil {
 		fatal(fmt.Errorf("node host unreachable: %w", err))
 	}
-	if _, err := hostClient.Call("host.set_master", selfURL); err != nil {
+	// Register under a fresh session id. With a lease TTL the host tracks
+	// this master's liveness: a heartbeat renews the lease, a silent master
+	// is dropped at the deadline, and a restarted master (new session id)
+	// simply re-adopts the host — no manual node restart needed. The
+	// heartbeat also heals a restarted node host: its refused renewal
+	// triggers re-registration.
+	if *leaseTTL > 0 {
+		lease := &noderpc.Lease{C: hostClient, MasterURL: selfURL,
+			Session: noderpc.NewSessionID(), TTL: *leaseTTL, Obs: reg}
+		if err := lease.Register(); err != nil {
+			fatal(err)
+		}
+		lease.Start()
+		defer lease.Stop()
+		fmt.Printf("excovery-master: session %s, lease ttl %s\n", lease.Session, *leaseTTL)
+	} else if _, err := hostClient.Call("host.set_master", selfURL); err != nil {
 		fatal(err)
 	}
 	nodesV, err := hostClient.Call("host.nodes")
@@ -118,18 +140,41 @@ func main() {
 		len(handles), *hostURL, selfURL)
 
 	var st *store.RunStore
+	var jnl *store.Journal
 	if *storeDir != "" {
 		st, err = store.NewRunStore(*storeDir)
 		if err != nil {
 			fatal(err)
 		}
+		if *journal {
+			jnl, err = store.OpenJournal(*storeDir)
+			if err != nil {
+				fatal(err)
+			}
+			defer jnl.Close()
+		}
+	}
+
+	var fp *failpoint.Registry
+	if *crashAt > 0 {
+		fp = failpoint.New(1)
+		fp.Enable(failpoint.SiteMasterAttempt, failpoint.Rule{
+			Prob: 1, Act: failpoint.Crash, Skip: *crashAt - 1, Count: 1})
 	}
 
 	m, err := master.New(master.Config{
 		Exp: e, S: s, Bus: bus, Nodes: handles,
-		Env:    &noderpc.RemoteEnv{C: newClient()},
-		Store:  st,
-		Retry:  master.RetryPolicy{MaxAttempts: *maxAtt, QuarantineAfter: *quarantine},
+		Env:        &noderpc.RemoteEnv{C: newClient()},
+		Store:      st,
+		Journal:    jnl,
+		Resume:     *resume,
+		Failpoints: fp,
+		Retry: master.RetryPolicy{MaxAttempts: *maxAtt,
+			QuarantineAfter: *quarantine, ProbationProbes: *probation},
+		CrashFn: func() {
+			fmt.Fprintln(os.Stderr, "excovery-master: crash failpoint fired, exiting hard")
+			os.Exit(3)
+		},
 		Tracer: tracer, Status: status, Metrics: reg,
 		OnRunDone: func(run desc.Run, rr master.RunResult) {
 			fmt.Printf("run %4d done in %s (attempts=%d timeouts=%d err=%v)\n",
@@ -149,12 +194,13 @@ func main() {
 	if runErr != nil {
 		fatal(runErr)
 	}
-	fmt.Printf("experiment %q: %d/%d runs completed\n", e.Name, rep.Completed, len(rep.Results))
+	fmt.Printf("experiment %q: %d/%d runs completed (%d skipped, %d failed, %d recovered)\n",
+		e.Name, rep.Completed, len(rep.Results), rep.Skipped, rep.Failed, rep.Recovered)
 	cs := metrics.ControlSummary(rep)
 	fmt.Printf("control channel: %d attempts for %d runs, %d retried, %d partial harvests, "+
-		"%d/%d health probes failed, quarantined=%v\n",
+		"%d/%d health probes failed, quarantined=%v readmitted=%v\n",
 		cs.Attempts, cs.Runs, cs.Retried, cs.Partial,
-		cs.HealthFailures, cs.HealthProbes, cs.Quarantined)
+		cs.HealthFailures, cs.HealthProbes, cs.Quarantined, cs.Readmitted)
 
 	ms := metrics.FromReport(e, rep, "", "")
 	trs := metrics.TRs(ms)
@@ -171,6 +217,22 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("level-3 database written to %s\n", *dbPath)
+	}
+
+	// Like excovery-run: incomplete data fails the invocation unless the
+	// caller explicitly accepts it.
+	if !*allowFail {
+		aborted := 0
+		for _, rr := range rep.Results {
+			if rr.Aborted {
+				aborted++
+			}
+		}
+		if rep.Failed > 0 || aborted > 0 {
+			fmt.Fprintf(os.Stderr, "error: %d runs failed (%d aborted); pass -allow-failed to exit zero anyway\n",
+				rep.Failed, aborted)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -24,11 +24,12 @@ import (
 
 func main() {
 	var (
-		listen  = flag.String("listen", ":8800", "XML-RPC listen address")
-		builtin = flag.String("builtin", "", "host a built-in description: casestudy, oneshot, threeparty")
-		speed   = flag.Float64("speed", 0.01, "real-time pacing factor (wall seconds per virtual second)")
-		seed    = flag.Int64("seed", 0, "override the experiment seed")
-		obsAddr = flag.String("obs-addr", "", "serve /metrics, /healthz, /status and pprof on this address (empty disables)")
+		listen   = flag.String("listen", ":8800", "XML-RPC listen address")
+		builtin  = flag.String("builtin", "", "host a built-in description: casestudy, oneshot, threeparty")
+		speed    = flag.Float64("speed", 0.01, "real-time pacing factor (wall seconds per virtual second)")
+		seed     = flag.Int64("seed", 0, "override the experiment seed")
+		leaseTTL = flag.Duration("lease-ttl", 0, "lease imposed on session-aware masters that register without a TTL; a silent master is dropped at the deadline (0 disables)")
+		obsAddr  = flag.String("obs-addr", "", "serve /metrics, /healthz, /status and pprof on this address (empty disables)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: excovery-node [flags] [description.xml]\n")
@@ -52,6 +53,7 @@ func main() {
 		fatal(err)
 	}
 	host = noderpc.NewHost(x)
+	host.SetDefaultLeaseTTL(*leaseTTL)
 	x.S.SetKeepAlive(true)
 
 	reg := obs.NewRegistry()

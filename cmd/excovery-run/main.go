@@ -19,6 +19,7 @@ import (
 
 	"excovery/internal/core"
 	"excovery/internal/desc"
+	"excovery/internal/failpoint"
 	"excovery/internal/master"
 	"excovery/internal/metrics"
 	"excovery/internal/netem"
@@ -37,7 +38,11 @@ func main() {
 		proto     = flag.String("proto", "", "override sd_protocol: zeroconf or scmdir")
 		seed      = flag.Int64("seed", 0, "override the experiment seed")
 		resume    = flag.Bool("resume", false, "skip runs already marked done in -store")
+		journal   = flag.Bool("journal", true, "write-ahead run journal in -store: crashed runs are detected and re-executed on -resume (requires -store; ignored without one)")
 		maxAtt    = flag.Int("max-attempts", 1, "run-level retry: attempts per run before it is recorded failed")
+		probation = flag.Int("probation", 0, "re-admit a quarantined node after this many consecutive healthy probes (0: quarantine is permanent)")
+		crashAt   = flag.Int("crash-after", 0, "crash the process (exit 3) at the Nth run attempt, after its journal record — durability testing (0 disables)")
+		allowFail = flag.Bool("allow-failed", false, "exit zero even when runs failed or aborted")
 		verbose   = flag.Bool("v", false, "print per-run results")
 	)
 	flag.Usage = func() {
@@ -62,11 +67,23 @@ func main() {
 			Jitter: time.Duration(*delayMs * 0.5 * float64(time.Millisecond)),
 			Loss:   *loss,
 		},
-		Protocol:    *proto,
-		Seed:        *seed,
-		StoreDir:    *storeDir,
-		Resume:      *resume,
-		MaxAttempts: *maxAtt,
+		Protocol:        *proto,
+		Seed:            *seed,
+		StoreDir:        *storeDir,
+		Resume:          *resume,
+		Journal:         *journal && *storeDir != "",
+		MaxAttempts:     *maxAtt,
+		ProbationProbes: *probation,
+	}
+	if *crashAt > 0 {
+		fp := failpoint.New(1)
+		fp.Enable(failpoint.SiteMasterAttempt, failpoint.Rule{
+			Prob: 1, Act: failpoint.Crash, Skip: *crashAt - 1, Count: 1})
+		opts.Failpoints = fp
+		opts.CrashFn = func() {
+			fmt.Fprintln(os.Stderr, "excovery-run: crash failpoint fired, exiting hard")
+			os.Exit(3)
+		}
 	}
 	if *verbose {
 		opts.OnRunDone = func(run desc.Run, rr master.RunResult) {
@@ -87,16 +104,21 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	defer x.Close()
 	wall := time.Now()
 	rep, err := x.Run()
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("experiment %q: %d runs (%d completed, %d skipped) in %s wall time\n",
-		e.Name, len(rep.Results), rep.Completed, rep.Skipped, time.Since(wall).Round(time.Millisecond))
-	if cs := metrics.ControlSummary(rep); cs.Retried > 0 || cs.Partial > 0 {
-		fmt.Printf("recovery: %d attempts for %d runs, %d retried, %d partial harvests\n",
-			cs.Attempts, cs.Runs, cs.Retried, cs.Partial)
+	fmt.Printf("experiment %q: %d runs (%d completed, %d skipped, %d failed) in %s wall time\n",
+		e.Name, len(rep.Results), rep.Completed, rep.Skipped, rep.Failed,
+		time.Since(wall).Round(time.Millisecond))
+	if cs := metrics.ControlSummary(rep); cs.Retried > 0 || cs.Partial > 0 || cs.Recovered > 0 {
+		fmt.Printf("recovery: %d attempts for %d runs, %d retried, %d partial harvests, %d crashed runs re-executed\n",
+			cs.Attempts, cs.Runs, cs.Retried, cs.Partial, cs.Recovered)
+	}
+	if len(rep.Readmitted) > 0 || len(rep.Quarantined) > 0 {
+		fmt.Printf("nodes: readmitted=%v quarantined=%v\n", rep.Readmitted, rep.Quarantined)
 	}
 
 	ms := metrics.FromReport(e, rep, "", "")
@@ -131,6 +153,23 @@ func main() {
 		nEv, _ := db.DB.Count("Events")
 		nPk, _ := db.DB.Count("Packets")
 		fmt.Printf("level-3 database: %s (%d events, %d packets)\n", *dbPath, nEv, nPk)
+	}
+
+	// Exit status tells CI and shell scripts whether the data is complete:
+	// any failed or aborted run means the level-3 database is missing
+	// measurements, which must not pass silently.
+	if !*allowFail {
+		aborted := 0
+		for _, rr := range rep.Results {
+			if rr.Aborted {
+				aborted++
+			}
+		}
+		if rep.Failed > 0 || aborted > 0 {
+			fmt.Fprintf(os.Stderr, "error: %d runs failed (%d aborted); pass -allow-failed to exit zero anyway\n",
+				rep.Failed, aborted)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -25,6 +25,7 @@ import (
 
 	"excovery/internal/desc"
 	"excovery/internal/eventlog"
+	"excovery/internal/failpoint"
 	"excovery/internal/master"
 	"excovery/internal/netem"
 	"excovery/internal/node"
@@ -82,9 +83,26 @@ type Options struct {
 	MaxRunTime time.Duration
 	// Resume skips runs already marked done in StoreDir.
 	Resume bool
+	// Journal opens a write-ahead run journal in StoreDir: every attempt
+	// is recorded before it executes, and Resume replays the journal to
+	// discard and re-execute runs that died mid-attempt in a crashed
+	// session. Requires StoreDir.
+	Journal bool
 	// MaxAttempts re-executes failed or aborted runs in place up to this
 	// many times (run-level retry); values <= 1 disable it.
 	MaxAttempts int
+	// QuarantineAfter quarantines a node after this many consecutive
+	// control-channel failures; 0 disables quarantine.
+	QuarantineAfter int
+	// ProbationProbes re-admits a quarantined node after this many
+	// consecutive healthy preflight probes; 0 keeps quarantine permanent.
+	ProbationProbes int
+	// Failpoints, if set, is consulted at the master's failpoint sites
+	// (crash injection for durability tests).
+	Failpoints *failpoint.Registry
+	// CrashFn is invoked when a crash failpoint fires; it must not
+	// return. Nil makes the run return master.ErrCrashed instead.
+	CrashFn func()
 	// SCMNode names the platform node that hosts the SCM when the
 	// scmdir protocol needs a dedicated directory node; empty picks the
 	// first environment node.
@@ -117,6 +135,7 @@ type Experiment struct {
 
 	opts Options
 	st   *store.RunStore
+	j    *store.Journal
 }
 
 // handle adapts node.Manager to master.NodeHandle.
@@ -350,22 +369,52 @@ func New(e *desc.Experiment, opts Options) (*Experiment, error) {
 		}
 	}
 	x.st = st
+	if opts.Journal {
+		if st == nil {
+			return nil, fmt.Errorf("core: Journal requires StoreDir")
+		}
+		var err error
+		x.j, err = store.OpenJournal(opts.StoreDir)
+		if err != nil {
+			return nil, err
+		}
+	}
 
 	m, err := master.New(master.Config{
 		Exp: e, S: s, Bus: bus, Nodes: handles, Env: x.Env, Store: st,
-		MaxRunTime: opts.MaxRunTime, Resume: opts.Resume,
-		Retry:     master.RetryPolicy{MaxAttempts: opts.MaxAttempts},
-		OnRunDone: opts.OnRunDone,
+		Journal:      x.j,
+		PlatformSeed: seed,
+		MaxRunTime:   opts.MaxRunTime, Resume: opts.Resume,
+		Retry: master.RetryPolicy{
+			MaxAttempts:     opts.MaxAttempts,
+			QuarantineAfter: opts.QuarantineAfter,
+			ProbationProbes: opts.ProbationProbes,
+		},
+		Failpoints: opts.Failpoints,
+		CrashFn:    opts.CrashFn,
+		OnRunDone:  opts.OnRunDone,
 		TopologyMeasure: func() string {
 			return formatHopMatrix(nw)
 		},
 	})
 	if err != nil {
+		if x.j != nil {
+			x.j.Close()
+		}
 		return nil, err
 	}
 	x.Master = m
 	return x, nil
 }
+
+// Close releases resources held outside the scheduler (currently the
+// write-ahead journal's file handle). Safe to call on any Experiment.
+func (x *Experiment) Close() error {
+	return x.j.Close()
+}
+
+// Journal returns the open write-ahead journal (nil unless Options.Journal).
+func (x *Experiment) Journal() *store.Journal { return x.j }
 
 // Run executes the experiment to completion and returns the report.
 func (x *Experiment) Run() (*master.Report, error) {

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"errors"
 	"testing"
 	"time"
 
 	"excovery/internal/desc"
 	"excovery/internal/eventlog"
+	"excovery/internal/failpoint"
 	"excovery/internal/master"
 	"excovery/internal/metrics"
 	"excovery/internal/sd"
@@ -207,6 +209,53 @@ func TestResumeSkipsCompletedRuns(t *testing.T) {
 	}
 	if rep2.Skipped != 3 || rep2.Completed != 0 {
 		t.Fatalf("resume: skipped=%d completed=%d", rep2.Skipped, rep2.Completed)
+	}
+}
+
+func TestJournaledCrashResumeThroughFacade(t *testing.T) {
+	// The facade wiring of the durability layer: a journaled session
+	// crashes (in-process) at run 1's attempt, a resumed session skips
+	// run 0, recovers run 1 and finishes the experiment.
+	dir := t.TempDir()
+	e := desc.OneShot(10)
+	e.Repl.Count = 3
+	fp := failpoint.New(1)
+	fp.Enable(failpoint.SiteMasterAttempt, failpoint.Rule{
+		Prob: 1, Act: failpoint.Crash, Skip: 1, Count: 1})
+	x1, err := New(e, Options{StoreDir: dir, Journal: true, Failpoints: fp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep1, err := x1.Run()
+	if !errors.Is(err, master.ErrCrashed) || rep1.Completed != 1 {
+		t.Fatalf("crash session: rep=%+v err=%v", rep1, err)
+	}
+	x1.Close()
+
+	x2, err := New(e, Options{StoreDir: dir, Journal: true, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer x2.Close()
+	rep2, err := x2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Skipped != 1 || rep2.Recovered != 1 || rep2.Completed != 2 {
+		t.Fatalf("resume: %+v", rep2)
+	}
+	db, err := x2.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ids, err := db.RunIDs(); err != nil || len(ids) != 3 {
+		t.Fatalf("level-3 runs = %v (%v)", ids, err)
+	}
+}
+
+func TestJournalRequiresStoreDir(t *testing.T) {
+	if _, err := New(desc.OneShot(10), Options{Journal: true}); err == nil {
+		t.Fatal("Journal without StoreDir accepted")
 	}
 }
 

@@ -31,6 +31,10 @@ const (
 	Delay
 	// Error answers with an HTTP server error (rule Code, default 503).
 	Error
+	// Crash hard-stops the process at the site (crash-recovery drills).
+	// Transport sites ignore it; the master run loop honors it between
+	// the write-ahead journal record and the attempt's execution.
+	Crash
 )
 
 func (a Action) String() string {
@@ -43,6 +47,8 @@ func (a Action) String() string {
 		return "delay"
 	case Error:
 		return "error"
+	case Crash:
+		return "crash"
 	}
 	return "unknown"
 }
@@ -60,6 +66,11 @@ const (
 	// idempotency deduplication exists for: the action was applied but the
 	// caller never learns of it.
 	SiteServerSend = "rpc.server.send"
+	// SiteMasterAttempt is evaluated by the master between writing the
+	// run_attempt_begin journal record and executing the attempt. Crash
+	// here simulates a master process killed mid-run: the journal holds a
+	// dangling attempt that resume must detect and re-execute.
+	SiteMasterAttempt = "master.run.attempt"
 )
 
 // Rule is one enabled fault at a site.
@@ -74,6 +85,10 @@ type Rule struct {
 	Code int
 	// Count limits how often the rule fires; 0 means unlimited.
 	Count int
+	// Skip suppresses the rule's first matches: the rule only starts
+	// firing after it would have fired Skip times. With Prob 1 this pins
+	// a fault to an exact evaluation ("crash at the Nth attempt").
+	Skip int
 }
 
 // Decision is the outcome of one site evaluation.
@@ -84,11 +99,12 @@ type Decision struct {
 }
 
 type site struct {
-	rng   *rand.Rand
-	rules []Rule
-	fired []int // per-rule firing count
-	evals int
-	hits  int
+	rng     *rand.Rand
+	rules   []Rule
+	fired   []int // per-rule firing count
+	skipped []int // per-rule matches suppressed by Rule.Skip
+	evals   int
+	hits    int
 }
 
 // Registry holds the enabled rules. The zero registry pointer is valid:
@@ -124,6 +140,7 @@ func (r *Registry) Enable(name string, rule Rule) {
 	s := r.site(name)
 	s.rules = append(s.rules, rule)
 	s.fired = append(s.fired, 0)
+	s.skipped = append(s.skipped, 0)
 }
 
 // Disable removes all rules at a site. The site's PRNG stream is kept so
@@ -132,7 +149,7 @@ func (r *Registry) Disable(name string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if s := r.sites[name]; s != nil {
-		s.rules, s.fired = nil, nil
+		s.rules, s.fired, s.skipped = nil, nil, nil
 	}
 }
 
@@ -154,6 +171,10 @@ func (r *Registry) Eval(name string) Decision {
 			continue
 		}
 		if s.rng.Float64() >= rule.Prob {
+			continue
+		}
+		if s.skipped[i] < rule.Skip {
+			s.skipped[i]++
 			continue
 		}
 		s.fired[i]++

@@ -93,3 +93,30 @@ func TestNilRegistry(t *testing.T) {
 		t.Fatal("nil registry counts")
 	}
 }
+
+func TestSkipDelaysFirstFire(t *testing.T) {
+	r := New(1)
+	// Prob 1 with Skip 2: evaluations 1 and 2 match but are suppressed,
+	// evaluation 3 fires, and Count 1 stops it afterwards — "crash at
+	// exactly the third attempt".
+	r.Enable(SiteMasterAttempt, Rule{Prob: 1, Act: Crash, Skip: 2, Count: 1})
+	var acts []Action
+	for i := 0; i < 5; i++ {
+		acts = append(acts, r.Eval(SiteMasterAttempt).Act)
+	}
+	want := []Action{None, None, Crash, None, None}
+	for i := range want {
+		if acts[i] != want[i] {
+			t.Fatalf("eval %d = %v, want %v (all: %v)", i+1, acts[i], want[i], acts)
+		}
+	}
+	if got := r.Fired(SiteMasterAttempt); got != 1 {
+		t.Fatalf("fired = %d, want 1", got)
+	}
+}
+
+func TestCrashActionString(t *testing.T) {
+	if Crash.String() != "crash" {
+		t.Fatalf("Crash.String() = %q", Crash.String())
+	}
+}

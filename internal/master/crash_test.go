@@ -1,0 +1,204 @@
+package master
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"excovery/internal/failpoint"
+	"excovery/internal/store"
+)
+
+// crashFixture assembles a journaled, store-backed master over the stub
+// platform, optionally resuming and optionally armed with failpoints.
+func crashFixture(t *testing.T, dir string, reps int, resume bool, fp *failpoint.Registry) (*Master, *fixture, *store.Journal) {
+	t.Helper()
+	st, err := store.NewRunStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := store.OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { j.Close() })
+	m, f := newFixture(t, twoNodeExp(reps), func(c *Config) {
+		c.Store = st
+		c.Journal = j
+		c.Resume = resume
+		c.Failpoints = fp
+	})
+	return m, f, j
+}
+
+// runToCrash drives RunAll expecting it to die on the crash failpoint.
+func runToCrash(t *testing.T, m *Master, f *fixture) *Report {
+	t.Helper()
+	var rep *Report
+	var err error
+	f.s.Go("experimaster", func() { rep, err = m.RunAll() })
+	if rerr := f.s.Run(); rerr != nil {
+		t.Fatal(rerr)
+	}
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("RunAll err = %v, want ErrCrashed", err)
+	}
+	return rep
+}
+
+// TestCrashRecoveryReexecutesInFlightRun is the end-to-end durability
+// scenario of the journal: the master is killed by the crash failpoint
+// between a run's run_attempt_begin record and its execution, restarted
+// with resume, and must re-execute exactly that run — once — with no
+// duplicate or lost measurements in the final level-3 database.
+func TestCrashRecoveryReexecutesInFlightRun(t *testing.T) {
+	dir := t.TempDir()
+
+	// Session 1: crash at the second run's first attempt (Skip: 1 lets
+	// run 0 attempt 1 through; run 1 attempt 1 crashes).
+	fp := failpoint.New(1)
+	fp.Enable(failpoint.SiteMasterAttempt, failpoint.Rule{
+		Prob: 1, Act: failpoint.Crash, Skip: 1, Count: 1})
+	m1, f1, _ := crashFixture(t, dir, 3, false, fp)
+	rep1 := runToCrash(t, m1, f1)
+	if rep1.Completed != 1 {
+		t.Fatalf("session 1 completed = %d, want 1", rep1.Completed)
+	}
+
+	// The crash left a dangling journal attempt for run 1; plant the
+	// half-written run dir a crashed harvest would have left, so the
+	// discard path is exercised too.
+	if err := os.MkdirAll(filepath.Join(dir, "runs", "1", "A"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	junk := filepath.Join(dir, "runs", "1", "A", "events.jsonl")
+	if err := os.WriteFile(junk, []byte(`{"type":"stale"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Session 2: resume. Run 0 skips, run 1 recovers and re-executes,
+	// run 2 executes normally.
+	m2, f2, j2 := crashFixture(t, dir, 3, true, nil)
+	if rp := j2.Replay(); !rp.Done[0] || !rp.Dangling[1] || rp.InDoubt(0) || !rp.InDoubt(1) {
+		t.Fatalf("journal replay = %+v", rp)
+	}
+	rep2 := runMaster(t, m2, f2.s)
+	if rep2.Skipped != 1 || rep2.Recovered != 1 || rep2.Completed != 2 {
+		t.Fatalf("session 2: skipped=%d recovered=%d completed=%d",
+			rep2.Skipped, rep2.Recovered, rep2.Completed)
+	}
+	// The planted partial state was discarded; the path now holds only the
+	// re-executed run's fresh harvest.
+	if data, err := os.ReadFile(junk); err != nil || strings.Contains(string(data), "stale") {
+		t.Fatalf("stale partial state survived resume: %q (%v)", data, err)
+	}
+
+	// No duplicate and no lost measurements in the conditioned level-3
+	// database: every plan run is present and the re-executed run's
+	// events appear exactly once (one alpha_done from node A per run).
+	db, err := m2.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := db.RunIDs()
+	if err != nil || len(ids) != 3 {
+		t.Fatalf("level-3 runs = %v (%v)", ids, err)
+	}
+	for _, run := range ids {
+		evs, err := db.EventsOfRun(run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alphaDone := 0
+		for _, ev := range evs {
+			if ev.Type == "alpha_done" && ev.Node == "A" {
+				alphaDone++
+			}
+		}
+		if alphaDone != 1 {
+			t.Fatalf("run %d has %d alpha_done events, want exactly 1", run, alphaDone)
+		}
+	}
+
+	// A third session has nothing left to do: the journal proves every
+	// run durably complete.
+	m3, f3, j3 := crashFixture(t, dir, 3, true, nil)
+	rp := j3.Replay()
+	for run := 0; run < 3; run++ {
+		if !rp.Done[run] || rp.InDoubt(run) {
+			t.Fatalf("run %d not durably done after session 2: %+v", run, rp)
+		}
+	}
+	rep3 := runMaster(t, m3, f3.s)
+	if rep3.Skipped != 3 || rep3.Completed != 0 || rep3.Recovered != 0 {
+		t.Fatalf("session 3: %+v", rep3)
+	}
+}
+
+// TestJournalDoneAloneSkipsRun: the journal's run_done record is an
+// independent completion witness — even if the store's done marker is
+// lost, replay prevents re-executing a durably recorded run.
+func TestJournalDoneAloneSkipsRun(t *testing.T) {
+	dir := t.TempDir()
+	m1, f1, _ := crashFixture(t, dir, 2, false, nil)
+	if rep := runMaster(t, m1, f1.s); rep.Completed != 2 {
+		t.Fatalf("completed = %d", rep.Completed)
+	}
+	if err := os.Remove(filepath.Join(dir, "runs", "0", "done")); err != nil {
+		t.Fatal(err)
+	}
+	m2, f2, _ := crashFixture(t, dir, 2, true, nil)
+	rep := runMaster(t, m2, f2.s)
+	if rep.Skipped != 2 {
+		t.Fatalf("journal done record ignored: %+v", rep)
+	}
+	if len(f2.a.calls) != 0 {
+		t.Fatalf("skipped runs still executed: %v", f2.a.calls)
+	}
+}
+
+// TestResumeRefusesMismatchedPlan: the manifest pins a store to one
+// description+seed+plan identity; resuming with anything else must fail
+// loudly instead of silently mixing incompatible measurements.
+func TestResumeRefusesMismatchedPlan(t *testing.T) {
+	dir := t.TempDir()
+	m1, f1, _ := crashFixture(t, dir, 2, false, nil)
+	runMaster(t, m1, f1.s)
+
+	st, err := store.NewRunStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := twoNodeExp(2)
+	e.Seed = 99 // different seed → different plan identity
+	m2, f2 := newFixture(t, e, func(c *Config) {
+		c.Store = st
+		c.Resume = true
+	})
+	var runErr error
+	f2.s.Go("experimaster", func() { _, runErr = m2.RunAll() })
+	if err := f2.s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if runErr == nil || !errors.Is(runErr, store.ErrResumeRefused) {
+		t.Fatalf("mismatched seed resumed: err = %v", runErr)
+	}
+}
+
+// TestCrashFnIsInvoked: with a CrashFn configured (the daemons pass
+// os.Exit), the failpoint invokes it before the in-process fallback.
+func TestCrashFnIsInvoked(t *testing.T) {
+	fp := failpoint.New(1)
+	fp.Enable(failpoint.SiteMasterAttempt, failpoint.Rule{Prob: 1, Act: failpoint.Crash, Count: 1})
+	called := 0
+	m, f := newFixture(t, twoNodeExp(1), func(c *Config) {
+		c.Failpoints = fp
+		c.CrashFn = func() { called++ }
+	})
+	rep := runToCrash(t, m, f)
+	if called != 1 || rep.Completed != 0 {
+		t.Fatalf("called=%d rep=%+v", called, rep)
+	}
+}

@@ -18,12 +18,15 @@
 package master
 
 import (
+	"errors"
 	"fmt"
+	"os"
 	"sort"
 	"time"
 
 	"excovery/internal/desc"
 	"excovery/internal/eventlog"
+	"excovery/internal/failpoint"
 	"excovery/internal/obs"
 	"excovery/internal/process"
 	"excovery/internal/sched"
@@ -31,6 +34,12 @@ import (
 	"excovery/internal/timesync"
 	"excovery/internal/vclock"
 )
+
+// ErrCrashed is returned by RunAll when a crash failpoint fired and no
+// CrashFn is configured: the run loop stops dead without any clean-up or
+// journaling, leaving on-disk state exactly as a process kill would.
+// In-process crash-recovery tests run to this error, then resume.
+var ErrCrashed = errors.New("master: crash failpoint fired")
 
 // NodeHandle is the master's view of one participating node. The emulated
 // platform backs it with an in-process node.Manager; the distributed
@@ -93,6 +102,11 @@ type RetryPolicy struct {
 	// control-channel failures (failed health probes or in-run transport
 	// errors); 0 disables quarantine.
 	QuarantineAfter int
+	// ProbationProbes converts quarantine from a permanent exclusion into
+	// probation: a quarantined node is re-probed at each preflight and
+	// re-admitted after this many consecutive healthy probes. 0 keeps the
+	// pre-probation behaviour (quarantined forever).
+	ProbationProbes int
 }
 
 // Config assembles a master.
@@ -120,6 +134,23 @@ type Config struct {
 	Resume bool
 	// Retry configures run-level retry and node quarantine.
 	Retry RetryPolicy
+	// Journal, if set, is the write-ahead run journal: the master records
+	// every attempt's begin/end and every durable completion, and on
+	// Resume replays it to discard and re-execute runs that died
+	// mid-attempt in a crashed session.
+	Journal *store.Journal
+	// PlatformSeed, if non-zero, records the emulated platform's
+	// effective seed in the plan manifest; resume refuses a store taken
+	// under a different one. The distributed master leaves it zero (its
+	// platform lives on the node host).
+	PlatformSeed int64
+	// Failpoints, if set, is consulted at the master's failpoint sites
+	// (currently failpoint.SiteMasterAttempt for crash injection).
+	Failpoints *failpoint.Registry
+	// CrashFn is invoked when a crash failpoint fires; it must not
+	// return. Nil makes RunAll return ErrCrashed instead (in-process
+	// crash simulation for tests). The daemons pass os.Exit.
+	CrashFn func()
 	// OnRunDone, if set, observes each completed run.
 	OnRunDone func(run desc.Run, rr RunResult)
 	// TopologyMeasure, if set, returns a serialized topology snapshot;
@@ -180,13 +211,23 @@ type Report struct {
 	Completed int
 	// Skipped counts runs skipped by resume.
 	Skipped int
+	// Failed counts runs that failed or aborted all their attempts.
+	Failed int
 	// Retried counts runs that needed more than one attempt.
 	Retried int
+	// Recovered counts runs whose partial state from a crashed session
+	// was discarded (journal replay) before they were re-executed.
+	Recovered int
 	// HealthProbes and HealthFailures count preflight node probes.
 	HealthProbes   int
 	HealthFailures int
-	// Quarantined lists nodes quarantined during the experiment, sorted.
+	// Quarantined lists nodes still quarantined at experiment end,
+	// sorted. Nodes that served probation and returned are in Readmitted
+	// instead.
 	Quarantined []string
+	// Readmitted lists nodes that were quarantined and later re-admitted
+	// after ProbationProbes consecutive healthy probes, sorted.
+	Readmitted []string
 }
 
 // Master executes experiments.
@@ -199,6 +240,8 @@ type Master struct {
 	// Control-channel health accounting (consecutive failures per node).
 	health      map[string]int
 	quarantined map[string]bool
+	probation   map[string]int // consecutive healthy probes while quarantined
+	readmitted  map[string]bool
 	probes      int
 	probeFails  int
 
@@ -235,6 +278,7 @@ func New(cfg Config) (*Master, error) {
 	m := &Master{cfg: cfg, plan: plan,
 		est:    &timesync.Estimator{Ref: cfg.Ref, Samples: 3},
 		health: map[string]int{}, quarantined: map[string]bool{},
+		probation: map[string]int{}, readmitted: map[string]bool{},
 	}
 	m.rec = eventlog.NewRecorder("env", cfg.Ref, func(ev eventlog.Event) { cfg.Bus.Publish(ev) })
 	return m, nil
@@ -253,22 +297,48 @@ func (m *Master) Plan() *desc.Plan { return m.plan }
 // instead of being dropped.
 func (m *Master) RunAll() (*Report, error) {
 	rep := &Report{Plan: m.plan}
+	replay, err := m.prepareDurability()
+	if err != nil {
+		return nil, err
+	}
 	m.experimentInit()
 	maxAttempts := m.cfg.Retry.MaxAttempts
 	if maxAttempts < 1 {
 		maxAttempts = 1
 	}
 	for _, run := range m.plan.Runs {
-		if m.cfg.Resume && m.cfg.Store != nil && m.cfg.Store.RunDone(run.ID) {
+		if m.cfg.Resume && (m.cfg.Store != nil && m.cfg.Store.RunDone(run.ID) ||
+			replay.Done[run.ID]) {
 			rep.Results = append(rep.Results, RunResult{Run: run, Skipped: true})
 			rep.Skipped++
 			m.counter("excovery_runs_skipped_total", "runs skipped by resume").Inc()
 			m.cfg.Status.RunFinished("skipped", false)
 			continue
 		}
+		// Journal replay: this run has lifecycle records but no durable
+		// completion — the previous session died mid-attempt (or right
+		// before commit). Whatever level-2 state it left is
+		// untrustworthy; discard it and re-execute from scratch.
+		if m.cfg.Resume && m.cfg.Store != nil && replay.InDoubt(run.ID) {
+			if err := m.cfg.Store.DiscardRun(run.ID); err != nil {
+				return nil, fmt.Errorf("master: run %d: discarding crashed state: %w", run.ID, err)
+			}
+			rep.Recovered++
+			m.counter("excovery_runs_recovered_total",
+				"crashed runs whose partial state was discarded and re-executed").Inc()
+			m.rec.Emit("run_recovered", map[string]string{
+				"run": fmt.Sprint(run.ID), "attempts": fmt.Sprint(replay.Attempts[run.ID])})
+		}
 		var rr RunResult
 		for attempt := 1; attempt <= maxAttempts; attempt++ {
+			m.journalAppend(m.cfg.Journal.Begin(run.ID, attempt,
+				desc.RunSeed(m.cfg.Exp.Seed, run.ID), run.TreatmentIndex))
+			if d := m.cfg.Failpoints.Eval(failpoint.SiteMasterAttempt); d.Act == failpoint.Crash {
+				m.crash()
+				return rep, ErrCrashed
+			}
 			rr = m.executeRun(run, attempt)
+			m.journalAppend(m.cfg.Journal.End(run.ID, attempt, outcomeOf(rr), errStringOf(rr)))
 			if rr.Err == nil && !rr.Aborted {
 				break
 			}
@@ -280,11 +350,25 @@ func (m *Master) RunAll() (*Report, error) {
 				"runs that needed more than one attempt").Inc()
 		}
 		if rr.Err == nil && !rr.Aborted {
+			// Commit the run durably: staged harvest renamed into place,
+			// fsync'd done marker, then the journal's completion record.
+			if m.cfg.Store != nil {
+				if err := m.harvest(run, &rr, false); err == nil {
+					m.cfg.Store.MarkRunDone(run.ID)
+					m.journalAppend(m.cfg.Journal.Done(run.ID))
+				} else {
+					m.rec.Emit("run_harvest_failed", map[string]string{
+						"run": fmt.Sprint(run.ID), "err": err.Error()})
+				}
+			} else {
+				m.journalAppend(m.cfg.Journal.Done(run.ID))
+			}
 			rep.Completed++
 			m.counter("excovery_runs_completed_total", "successfully executed runs").Inc()
 			m.cfg.Status.RunFinished("completed", retried)
 		} else {
 			m.harvestPartial(run, &rr)
+			rep.Failed++
 			m.counter("excovery_runs_failed_total",
 				"runs that failed all attempts").Inc()
 			if rr.Partial {
@@ -300,20 +384,122 @@ func (m *Master) RunAll() (*Report, error) {
 	}
 	m.experimentExit()
 	rep.HealthProbes, rep.HealthFailures = m.probes, m.probeFails
-	for id := range m.quarantined {
-		rep.Quarantined = append(rep.Quarantined, id)
+	for id, q := range m.quarantined {
+		if q {
+			rep.Quarantined = append(rep.Quarantined, id)
+		}
 	}
 	sort.Strings(rep.Quarantined)
+	for id := range m.readmitted {
+		rep.Readmitted = append(rep.Readmitted, id)
+	}
+	sort.Strings(rep.Readmitted)
 	return rep, nil
 }
 
+// journalAppend accounts one write-ahead journal append (no-op without a
+// journal). Append errors — a full or vanished disk — surface as events
+// and a counter rather than aborting the experiment: the journal degrades
+// to the pre-journal done-marker guarantees.
+func (m *Master) journalAppend(err error) {
+	if m.cfg.Journal == nil {
+		return
+	}
+	if err != nil {
+		m.counter("excovery_journal_write_errors_total",
+			"failed write-ahead journal appends").Inc()
+		m.rec.Emit("journal_write_failed", map[string]string{"err": err.Error()})
+		return
+	}
+	m.counter("excovery_journal_records_total",
+		"write-ahead journal records appended").Inc()
+}
+
+// outcomeOf maps a run result to its journal outcome string.
+func outcomeOf(rr RunResult) string {
+	switch {
+	case rr.Aborted:
+		return "aborted"
+	case rr.Err != nil:
+		return "failed"
+	}
+	return "ok"
+}
+
+func errStringOf(rr RunResult) string {
+	if rr.Err != nil {
+		return rr.Err.Error()
+	}
+	return ""
+}
+
+// crash honors a fired crash failpoint. The configured CrashFn must not
+// return (the daemons pass a hard os.Exit); without one the caller
+// unwinds with ErrCrashed, which skips all clean-up and journaling — the
+// in-process equivalent of a kill.
+func (m *Master) crash() {
+	m.counter("excovery_crash_failpoints_total", "crash failpoints fired").Inc()
+	if m.cfg.CrashFn != nil {
+		m.cfg.CrashFn()
+		return
+	}
+	if m.cfg.Journal == nil && m.cfg.Store == nil {
+		// A crash without durable state would silently lose runs; make
+		// the misconfiguration loud in development.
+		fmt.Fprintln(os.Stderr, "master: crash failpoint fired without journal or store")
+	}
+}
+
+// prepareDurability verifies (on resume) or records the plan manifest and
+// surfaces the journal's replay state: which runs completed durably and
+// which died mid-attempt in a crashed session.
+func (m *Master) prepareDurability() (store.Replay, error) {
+	replay := m.cfg.Journal.Replay()
+	if m.cfg.Store == nil {
+		return replay, nil
+	}
+	xml, err := desc.EncodeString(m.cfg.Exp)
+	if err != nil {
+		return replay, err
+	}
+	manifest := store.PlanManifest{
+		DescriptionHash: store.HashDescription(xml),
+		Seed:            m.cfg.Exp.Seed,
+		PlanLen:         len(m.plan.Runs),
+		PlatformSeed:    m.cfg.PlatformSeed,
+		Flags: map[string]string{
+			"max_attempts": fmt.Sprint(m.cfg.Retry.MaxAttempts),
+			"max_run_time": m.cfg.MaxRunTime.String(),
+		},
+	}
+	if m.cfg.Resume {
+		if err := m.cfg.Store.VerifyManifest(manifest); err != nil {
+			return replay, err
+		}
+	}
+	if err := m.cfg.Store.WriteManifest(manifest); err != nil {
+		return replay, err
+	}
+	if replay.Records > 0 {
+		m.counter("excovery_journal_replayed_records_total",
+			"journal records replayed at session start").Add(int64(replay.Records))
+	}
+	return replay, nil
+}
+
 // preflight verifies every node's control channel before a run attempt
-// (§IV-C1 preparation, hardened). Quarantined nodes fail fast; probe
-// failures count toward quarantine.
+// (§IV-C1 preparation, hardened). Quarantined nodes fail fast — unless
+// ProbationProbes grants them a probation probe, through which they earn
+// re-admission; probe failures count toward quarantine.
 func (m *Master) preflight(run desc.Run) error {
 	for _, id := range m.nodeOrder() {
 		if m.quarantined[id] {
-			return fmt.Errorf("master: run %d: node %s is quarantined", run.ID, id)
+			if err := m.probeProbation(run, id); err != nil {
+				return err
+			}
+			// The node served probation and is re-admitted; its probe
+			// already succeeded, so move on to the next node.
+			continue
 		}
 		hc, ok := m.cfg.Nodes[id].(HealthChecker)
 		if !ok {
@@ -336,6 +522,48 @@ func (m *Master) preflight(run desc.Run) error {
 	return nil
 }
 
+// probeProbation gives a quarantined node its probation probe: with
+// ProbationProbes > 0, each preflight re-probes the node; after that many
+// consecutive healthy probes it is re-admitted. Returns nil exactly when
+// the node was re-admitted; otherwise the run fails fast as before, but
+// the probe advanced (or reset) the node's probation progress.
+func (m *Master) probeProbation(run desc.Run, id string) error {
+	need := m.cfg.Retry.ProbationProbes
+	hc, isChecker := m.cfg.Nodes[id].(HealthChecker)
+	if need <= 0 || !isChecker {
+		return fmt.Errorf("master: run %d: node %s is quarantined", run.ID, id)
+	}
+	m.probes++
+	m.counter("excovery_health_probes_total", "preflight node health probes").Inc()
+	if err := hc.Health(); err != nil {
+		m.probeFails++
+		m.counter("excovery_health_probe_failures_total",
+			"failed preflight node health probes").Inc()
+		m.probation[id] = 0
+		m.cfg.Status.NodeProbation(id, 0, need)
+		return fmt.Errorf("master: run %d: node %s is quarantined (probe failed: %v)",
+			run.ID, id, err)
+	}
+	m.probation[id]++
+	if m.probation[id] < need {
+		m.cfg.Status.NodeProbation(id, m.probation[id], need)
+		m.rec.Emit("node_probation", map[string]string{
+			"node": id, "healthy": fmt.Sprint(m.probation[id]), "need": fmt.Sprint(need)})
+		return fmt.Errorf("master: run %d: node %s on probation (%d/%d healthy probes)",
+			run.ID, id, m.probation[id], need)
+	}
+	delete(m.quarantined, id)
+	m.probation[id] = 0
+	m.health[id] = 0
+	m.readmitted[id] = true
+	m.counter("excovery_nodes_readmitted_total",
+		"quarantined nodes re-admitted after probation").Inc()
+	m.rec.Emit("node_readmitted", map[string]string{
+		"node": id, "probes": fmt.Sprint(need)})
+	m.cfg.Status.NodeReadmitted(id)
+	return nil
+}
+
 // noteNodeFailure advances a node's consecutive-failure count and
 // quarantines it once the policy threshold is crossed.
 func (m *Master) noteNodeFailure(id, errStr string) {
@@ -344,6 +572,7 @@ func (m *Master) noteNodeFailure(id, errStr string) {
 	q := m.cfg.Retry.QuarantineAfter
 	if q > 0 && m.health[id] >= q && !m.quarantined[id] {
 		m.quarantined[id] = true
+		m.probation[id] = 0
 		m.cfg.Status.NodeQuarantined(id)
 		m.counter("excovery_nodes_quarantined_total",
 			"nodes quarantined for repeated control-channel failures").Inc()
@@ -617,16 +846,27 @@ func (m *Master) executeRun(run desc.Run, attempt int) RunResult {
 	}
 
 	// The run span must close before harvesting so trace.json contains
-	// the complete attempt.
+	// the complete attempt. Harvest itself happens in RunAll, where the
+	// staged level-2 commit and journal completion are sequenced.
 	endRun()
-
-	// Harvest into level 2.
-	if m.cfg.Store != nil && !rr.Aborted && rr.Err == nil {
-		st := m.cfg.Store
-		m.harvestInto(st, run, &rr, false)
-		st.MarkRunDone(run.ID)
-	}
 	return rr
+}
+
+// harvest writes one run's measurements through an atomic stage-and-commit:
+// everything lands in a staging directory first and is renamed into the
+// level-2 hierarchy in one step, so a crash mid-harvest can never leave a
+// half-written run directory for conditioning to ingest.
+func (m *Master) harvest(run desc.Run, rr *RunResult, partial bool) error {
+	sr, err := m.cfg.Store.StageRun(run.ID)
+	if err != nil {
+		return err
+	}
+	m.harvestInto(sr.Store(), run, rr, partial)
+	if err := sr.Commit(); err != nil {
+		sr.Abort()
+		return err
+	}
+	return nil
 }
 
 // harvestInto writes one run's measurements into the level-2 store.
@@ -667,7 +907,11 @@ func (m *Master) harvestPartial(run desc.Run, rr *RunResult) {
 	if m.cfg.Store == nil {
 		return
 	}
-	m.harvestInto(m.cfg.Store, run, rr, true)
+	if err := m.harvest(run, rr, true); err != nil {
+		m.rec.Emit("run_harvest_failed", map[string]string{
+			"run": fmt.Sprint(run.ID), "err": err.Error()})
+		return
+	}
 	rr.Partial = true
 	m.rec.Emit("run_partial_harvest", map[string]string{"run": fmt.Sprint(run.ID)})
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"excovery/internal/eventlog"
+	"excovery/internal/obs"
 	"excovery/internal/sched"
 	"excovery/internal/store"
 )
@@ -223,6 +224,87 @@ func TestAbortedRunPartialHarvest(t *testing.T) {
 	}
 	if st.RunDone(0) {
 		t.Fatal("aborted run marked done")
+	}
+}
+
+func TestQuarantinedNodeServesProbationAndReturns(t *testing.T) {
+	// Run 0: the probe fails and node A is quarantined on the spot
+	// (QuarantineAfter: 1). With ProbationProbes: 2 the node is re-probed
+	// at every later preflight: run 1 is its first healthy probe (1/2,
+	// run still fails fast), run 2 its second — A is re-admitted and the
+	// run completes, as do runs 3 and 4.
+	e := twoNodeExp(5)
+	s, bus := newFixtureParts()
+	sick := &sickNode{stubNode: newStub("A", s, bus), healthFail: 1}
+	b := newStub("B", s, bus)
+	status := obs.NewStatus(s.Now)
+	m, err := New(Config{Exp: e, S: s, Bus: bus,
+		Nodes:  map[string]NodeHandle{"A": sick, "B": b},
+		Env:    &stubEnv{},
+		Status: status,
+		Retry:  RetryPolicy{MaxAttempts: 1, QuarantineAfter: 1, ProbationProbes: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := runMaster(t, m, s)
+	if rep.Completed != 3 || rep.Failed != 2 {
+		t.Fatalf("completed=%d failed=%d, want 3/2", rep.Completed, rep.Failed)
+	}
+	if fmt.Sprint(rep.Readmitted) != "[A]" || len(rep.Quarantined) != 0 {
+		t.Fatalf("readmitted=%v quarantined=%v", rep.Readmitted, rep.Quarantined)
+	}
+	// One probe per run: the quarantined node keeps being probed instead
+	// of being written off forever.
+	if sick.probes != 5 {
+		t.Fatalf("probes = %d, want 5", sick.probes)
+	}
+	// Run 1 failed with a probation progress message, not a permanent
+	// quarantine verdict.
+	if err := rep.Results[1].Err; err == nil || !strings.Contains(err.Error(), "on probation (1/2") {
+		t.Fatalf("run 1 err = %v", err)
+	}
+	// The node_readmitted event landed in the re-admitting run's trail.
+	readmitted := false
+	for _, ev := range rep.Results[2].Events {
+		if ev.Type == "node_readmitted" && ev.Param("node") == "A" {
+			readmitted = true
+		}
+	}
+	if !readmitted {
+		t.Fatalf("no node_readmitted event in run 2 trail: %v", rep.Results[2].Events)
+	}
+	// /status reflects the journey's end state.
+	ns := status.Snapshot().Nodes["A"]
+	if ns.Health != "ok" || !ns.Readmitted {
+		t.Fatalf("status node A = %+v", ns)
+	}
+}
+
+func TestFailedProbationProbeResetsProgress(t *testing.T) {
+	// The probe sequence for A is fail, fail, ok, ok, ok: run 0
+	// quarantines it, run 1's probation probe fails (progress stays 0),
+	// runs 2 and 3 serve probation, run 3 re-admits. Probation demands
+	// *consecutive* healthy probes from the start.
+	e := twoNodeExp(5)
+	s, bus := newFixtureParts()
+	sick := &sickNode{stubNode: newStub("A", s, bus), healthFail: 2}
+	b := newStub("B", s, bus)
+	m, err := New(Config{Exp: e, S: s, Bus: bus,
+		Nodes: map[string]NodeHandle{"A": sick, "B": b},
+		Env:   &stubEnv{},
+		Retry: RetryPolicy{MaxAttempts: 1, QuarantineAfter: 1, ProbationProbes: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := runMaster(t, m, s)
+	if rep.Completed != 2 || rep.Failed != 3 {
+		t.Fatalf("completed=%d failed=%d, want 2/3", rep.Completed, rep.Failed)
+	}
+	if fmt.Sprint(rep.Readmitted) != "[A]" {
+		t.Fatalf("readmitted = %v", rep.Readmitted)
+	}
+	if err := rep.Results[1].Err; err == nil || !strings.Contains(err.Error(), "probe failed") {
+		t.Fatalf("run 1 err = %v", err)
 	}
 }
 

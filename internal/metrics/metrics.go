@@ -171,16 +171,23 @@ func FromDB(db *store.ExperimentDB, smActor, suActor string) ([]RunMetric, error
 type ControlStats struct {
 	// Runs, Completed and Skipped mirror the report's run accounting.
 	Runs, Completed, Skipped int
+	// Failed counts runs that failed or aborted all their attempts.
+	Failed int
 	// Retried counts runs that needed more than one in-place attempt.
 	Retried int
+	// Recovered counts crashed runs whose partial state was discarded via
+	// journal replay before re-execution.
+	Recovered int
 	// Attempts is the total number of run attempts executed.
 	Attempts int
 	// Partial counts failed runs whose measurements were still harvested.
 	Partial int
 	// HealthProbes and HealthFailures count preflight node probes.
 	HealthProbes, HealthFailures int
-	// Quarantined lists nodes quarantined during the experiment.
+	// Quarantined lists nodes still quarantined at experiment end.
 	Quarantined []string
+	// Readmitted lists nodes that served probation and returned.
+	Readmitted []string
 }
 
 // ControlSummary extracts control-channel resilience counters from a
@@ -190,10 +197,13 @@ func ControlSummary(rep *master.Report) ControlStats {
 		Runs:           len(rep.Results),
 		Completed:      rep.Completed,
 		Skipped:        rep.Skipped,
+		Failed:         rep.Failed,
 		Retried:        rep.Retried,
+		Recovered:      rep.Recovered,
 		HealthProbes:   rep.HealthProbes,
 		HealthFailures: rep.HealthFailures,
 		Quarantined:    append([]string(nil), rep.Quarantined...),
+		Readmitted:     append([]string(nil), rep.Readmitted...),
 	}
 	for _, rr := range rep.Results {
 		cs.Attempts += rr.Attempts

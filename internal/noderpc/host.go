@@ -36,18 +36,41 @@ type Host struct {
 	master *xmlrpc.Client
 	stop   chan struct{}
 
+	// Master session lease (§IV-A1 control channel, hardened): the host
+	// tracks which master session owns it and until when. A master that
+	// stops renewing loses the binding at the deadline; a new (or
+	// restarted) master re-adopts the host by registering again.
+	session      string
+	leaseTTL     time.Duration
+	leaseExpires time.Time
+	adoptions    int
+	expiries     int
+	watching     bool
+	defaultTTL   time.Duration
+	now          func() time.Time // wall clock; overridable in tests
+
 	// Event-pump instrumentation (nil-safe without Instrument).
 	obs        *obs.Registry
 	mForwarded *obs.Counter
 	mBatches   *obs.Counter
 	mPushErrs  *obs.Counter
 	mOutbox    *obs.Gauge
+	mAdopt     *obs.Counter
+	mRenew     *obs.Counter
+	mExpire    *obs.Counter
 }
 
 // NewHost wraps an assembled experiment.
 func NewHost(x *core.Experiment) *Host {
-	return &Host{x: x, kick: make(chan struct{}, 1), stop: make(chan struct{})}
+	return &Host{x: x, kick: make(chan struct{}, 1), stop: make(chan struct{}),
+		now: time.Now}
 }
+
+// SetDefaultLeaseTTL makes the host impose a lease on session-aware
+// masters that register without one (excovery-node -lease-ttl). Sessionless
+// legacy registrations stay unleased — they have no heartbeat to renew
+// with. Call before serving.
+func (h *Host) SetDefaultLeaseTTL(ttl time.Duration) { h.defaultTTL = ttl }
 
 // Instrument registers the host's event-pump metrics in reg and passes the
 // registry on to clients the host creates (the master-push client). Call
@@ -62,6 +85,12 @@ func (h *Host) Instrument(reg *obs.Registry) {
 		"failed event pushes (batch requeued for redelivery)")
 	h.mOutbox = reg.Gauge("excovery_host_outbox_len",
 		"events waiting in the push outbox")
+	h.mAdopt = reg.Counter("excovery_host_master_adoptions_total",
+		"master sessions that registered or re-adopted this host")
+	h.mRenew = reg.Counter("excovery_host_lease_renewals_total",
+		"master lease renewals accepted")
+	h.mExpire = reg.Counter("excovery_host_lease_expiries_total",
+		"master leases that expired without renewal")
 }
 
 // HostStatus is the /status document of a node host.
@@ -70,6 +99,17 @@ type HostStatus struct {
 	Nodes []string `json:"nodes"`
 	// MasterSet reports whether a master registered its event endpoint.
 	MasterSet bool `json:"master_set"`
+	// Session is the id of the master session currently holding the
+	// lease ("" without a session-aware master).
+	Session string `json:"session,omitempty"`
+	// LeaseRemaining is how long until the master's lease expires, in
+	// seconds (absent without a lease).
+	LeaseRemaining float64 `json:"lease_remaining_s,omitempty"`
+	// Adoptions counts master registrations, including re-adoptions by a
+	// restarted master.
+	Adoptions int `json:"adoptions,omitempty"`
+	// LeaseExpiries counts leases lost to a silent master.
+	LeaseExpiries int `json:"lease_expiries,omitempty"`
 	// OutboxLen is the number of events awaiting push.
 	OutboxLen int `json:"outbox_len"`
 	// VirtualTime is the host scheduler's current time.
@@ -80,14 +120,57 @@ type HostStatus struct {
 // call from any goroutine.
 func (h *Host) Status() HostStatus {
 	h.mu.Lock()
+	h.checkLeaseLocked()
 	st := HostStatus{
-		MasterSet: h.master != nil,
-		OutboxLen: len(h.outbox),
+		MasterSet:     h.master != nil,
+		Session:       h.session,
+		Adoptions:     h.adoptions,
+		LeaseExpiries: h.expiries,
+		OutboxLen:     len(h.outbox),
+	}
+	if h.leaseTTL > 0 {
+		st.LeaseRemaining = h.leaseExpires.Sub(h.now()).Seconds()
 	}
 	h.mu.Unlock()
 	st.Nodes = sortedKeys(h.x.Managers)
 	st.VirtualTime = h.x.S.Now()
 	return st
+}
+
+// checkLeaseLocked drops the master binding when its lease deadline has
+// passed: the host stops pushing events into the void and becomes free
+// for the next master session to adopt. Events already in the outbox are
+// retained and delivered to whichever master registers next. Callers
+// hold h.mu.
+func (h *Host) checkLeaseLocked() {
+	if h.leaseTTL <= 0 || h.master == nil || h.now().Before(h.leaseExpires) {
+		return
+	}
+	h.master = nil
+	h.session = ""
+	h.leaseTTL = 0
+	h.expiries++
+	h.mExpire.Inc()
+}
+
+// watchLease expires silent masters even while the host is idle. One
+// goroutine per host, started with the first leased registration.
+func (h *Host) watchLease() {
+	for {
+		h.mu.Lock()
+		h.checkLeaseLocked()
+		ttl := h.leaseTTL
+		h.mu.Unlock()
+		interval := ttl / 3
+		if interval <= 0 {
+			interval = 100 * time.Millisecond
+		}
+		select {
+		case <-h.stop:
+			return
+		case <-time.After(interval):
+		}
+	}
 }
 
 // ForwardEvent queues an event for asynchronous delivery to the master.
@@ -169,23 +252,70 @@ func (h *Host) Server() *xmlrpc.Server {
 		return ids, nil
 	})
 	// host.set_master registers the master's event endpoint and starts
-	// the push pump.
+	// the push pump. The optional (session, ttl_ms) pair opens a lease:
+	// the registration expires unless host.renew_lease keeps it alive. A
+	// later registration — same master restarted under a new session id,
+	// or a different master — adopts the host, superseding the old
+	// binding; queued events flow to the adopter.
 	srv.Register("host.set_master", func(params []any) (any, error) {
 		url, ok := arg[string](params, 0)
 		if !ok {
 			return nil, fmt.Errorf("host.set_master: want url string")
 		}
+		session, _ := arg[string](params, 1)
+		ttlMS, _ := arg[int](params, 2)
 		// Event pushes ride the same resilient transport as the master's
 		// calls: retried with backoff, deduplicated by idempotency key so
 		// a lost response cannot double-publish a batch.
 		h.mu.Lock()
-		first := h.master == nil
+		pumpStarted := h.watching
+		h.watching = true
 		h.master = xmlrpc.NewRetryingClient(url, xmlrpc.DefaultRetryPolicy())
 		h.master.Obs = h.obs
-		h.mu.Unlock()
-		if first {
-			go h.pump()
+		h.session = session
+		h.leaseTTL = time.Duration(ttlMS) * time.Millisecond
+		if h.leaseTTL == 0 && session != "" {
+			h.leaseTTL = h.defaultTTL
 		}
+		if h.leaseTTL > 0 {
+			h.leaseExpires = h.now().Add(h.leaseTTL)
+		}
+		h.adoptions++
+		h.mu.Unlock()
+		h.mAdopt.Inc()
+		if !pumpStarted {
+			go h.pump()
+			go h.watchLease()
+		}
+		// Wake the pump: a re-adopting master must receive events queued
+		// while no master was bound.
+		select {
+		case h.kick <- struct{}{}:
+		default:
+		}
+		return true, nil
+	})
+	// host.renew_lease extends the registered master session's deadline.
+	// A session the host does not know — it restarted, its lease expired,
+	// or another master adopted it — is refused, telling the caller to
+	// re-register with host.set_master.
+	srv.Register("host.renew_lease", func(params []any) (any, error) {
+		session, ok := arg[string](params, 0)
+		if !ok {
+			return nil, fmt.Errorf("host.renew_lease: want (session, ttl_ms)")
+		}
+		ttlMS, _ := arg[int](params, 1)
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		h.checkLeaseLocked()
+		if h.session == "" || h.session != session {
+			return nil, fmt.Errorf("host.renew_lease: unknown session %q", session)
+		}
+		if ttlMS > 0 {
+			h.leaseTTL = time.Duration(ttlMS) * time.Millisecond
+		}
+		h.leaseExpires = h.now().Add(h.leaseTTL)
+		h.mRenew.Inc()
 		return true, nil
 	})
 

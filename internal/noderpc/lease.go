@@ -1,0 +1,132 @@
+package noderpc
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+
+	"excovery/internal/obs"
+	"excovery/internal/xmlrpc"
+)
+
+// NewSessionID returns a fresh master session identifier. Every master
+// process start gets its own id, so a host can tell a restarted master
+// (new session, re-adoption) from the one it already serves.
+func NewSessionID() string {
+	var b [6]byte
+	rand.Read(b[:])
+	return "m-" + hex.EncodeToString(b[:])
+}
+
+// Lease maintains one master session's claim on a node host: it registers
+// the master's event endpoint under a session id with a TTL and keeps the
+// lease alive from a background heartbeat. When the host no longer knows
+// the session — it restarted, or the lease expired while the master was
+// unreachable — the next heartbeat re-registers instead of failing, so
+// both sides converge without operator intervention.
+type Lease struct {
+	// C is the host's XML-RPC endpoint.
+	C *xmlrpc.Client
+	// MasterURL is this master's event endpoint, registered on the host.
+	MasterURL string
+	// Session identifies this master process (NewSessionID).
+	Session string
+	// TTL is the lease duration granted per renewal.
+	TTL time.Duration
+	// Obs, if set, receives the heartbeat counters.
+	Obs *obs.Registry
+
+	mu       sync.Mutex
+	renewals int
+	rebinds  int
+	errs     int
+	stop     chan struct{}
+	done     chan struct{}
+	started  bool
+}
+
+// ttlMS converts the TTL for the wire (milliseconds).
+func (l *Lease) ttlMS() int { return int(l.TTL / time.Millisecond) }
+
+// Register claims the host for this session: host.set_master with the
+// session id and TTL. Also the recovery path of a failed renewal.
+func (l *Lease) Register() error {
+	_, err := l.C.Call("host.set_master", l.MasterURL, l.Session, l.ttlMS())
+	return err
+}
+
+// Renew extends the lease once. A refused renewal (host restarted, lease
+// expired, host adopted by someone else) falls back to re-registering.
+func (l *Lease) Renew() error {
+	if _, err := l.C.Call("host.renew_lease", l.Session, l.ttlMS()); err == nil {
+		l.count(&l.renewals, "excovery_lease_renewals_total",
+			"successful host lease renewals")
+		return nil
+	}
+	if err := l.Register(); err != nil {
+		l.count(&l.errs, "excovery_lease_errors_total",
+			"heartbeats that could neither renew nor re-register")
+		return err
+	}
+	l.count(&l.rebinds, "excovery_lease_rebinds_total",
+		"heartbeats that had to re-register an unknown or expired session")
+	return nil
+}
+
+// Start launches the heartbeat goroutine, renewing at TTL/3. Safe to call
+// once; Stop tears it down.
+func (l *Lease) Start() {
+	l.mu.Lock()
+	if l.started {
+		l.mu.Unlock()
+		return
+	}
+	l.started = true
+	l.stop = make(chan struct{})
+	l.done = make(chan struct{})
+	l.mu.Unlock()
+	interval := l.TTL / 3
+	if interval <= 0 {
+		interval = time.Second
+	}
+	go func() {
+		defer close(l.done)
+		for {
+			select {
+			case <-l.stop:
+				return
+			case <-time.After(interval):
+			}
+			l.Renew()
+		}
+	}()
+}
+
+// Stop halts the heartbeat and waits for it to exit.
+func (l *Lease) Stop() {
+	l.mu.Lock()
+	if !l.started {
+		l.mu.Unlock()
+		return
+	}
+	l.started = false
+	stop, done := l.stop, l.done
+	l.mu.Unlock()
+	close(stop)
+	<-done
+}
+
+// Stats reports the heartbeat's lifetime accounting.
+func (l *Lease) Stats() (renewals, rebinds, errs int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.renewals, l.rebinds, l.errs
+}
+
+func (l *Lease) count(field *int, name, help string) {
+	l.mu.Lock()
+	*field++
+	l.mu.Unlock()
+	l.Obs.Counter(name, help).Inc()
+}

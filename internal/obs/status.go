@@ -7,13 +7,19 @@ import (
 
 // NodeState is the live control-channel view of one participating node.
 type NodeState struct {
-	// Health is "ok", "failing" or "quarantined".
+	// Health is "ok", "failing", "quarantined" or "probation".
 	Health string `json:"health"`
 	// ConsecutiveFailures counts control-channel failures since the last
 	// success (mirrors the master's quarantine accounting).
 	ConsecutiveFailures int `json:"consecutive_failures,omitempty"`
 	// LastErr is the most recent control-channel error ("" when healthy).
 	LastErr string `json:"last_err,omitempty"`
+	// ProbationOK and ProbationNeed track a quarantined node's path back:
+	// ProbationOK consecutive healthy probes out of ProbationNeed.
+	ProbationOK   int `json:"probation_ok,omitempty"`
+	ProbationNeed int `json:"probation_need,omitempty"`
+	// Readmitted marks a node that was quarantined and later re-admitted.
+	Readmitted bool `json:"readmitted,omitempty"`
 }
 
 // Snapshot is the JSON document served on /status: what the master is
@@ -137,10 +143,10 @@ func (s *Status) NodeHealthy(id string) {
 			sn.Nodes = map[string]NodeState{}
 		}
 		ns := sn.Nodes[id]
-		if ns.Health == "quarantined" {
+		if ns.Health == "quarantined" || ns.Health == "probation" {
 			return
 		}
-		sn.Nodes[id] = NodeState{Health: "ok"}
+		sn.Nodes[id] = NodeState{Health: "ok", Readmitted: ns.Readmitted}
 	})
 }
 
@@ -151,7 +157,7 @@ func (s *Status) NodeFailed(id, errStr string, consecutive int) {
 			sn.Nodes = map[string]NodeState{}
 		}
 		ns := sn.Nodes[id]
-		if ns.Health != "quarantined" {
+		if ns.Health != "quarantined" && ns.Health != "probation" {
 			ns.Health = "failing"
 		}
 		ns.ConsecutiveFailures = consecutive
@@ -168,7 +174,33 @@ func (s *Status) NodeQuarantined(id string) {
 		}
 		ns := sn.Nodes[id]
 		ns.Health = "quarantined"
+		ns.ProbationOK = 0
 		sn.Nodes[id] = ns
+	})
+}
+
+// NodeProbation records a quarantined node's progress toward re-admission:
+// ok consecutive healthy probes out of the need required.
+func (s *Status) NodeProbation(id string, ok, need int) {
+	s.update(func(sn *Snapshot) {
+		if sn.Nodes == nil {
+			sn.Nodes = map[string]NodeState{}
+		}
+		ns := sn.Nodes[id]
+		ns.Health = "probation"
+		ns.ProbationOK = ok
+		ns.ProbationNeed = need
+		sn.Nodes[id] = ns
+	})
+}
+
+// NodeReadmitted clears a node's quarantine after it served probation.
+func (s *Status) NodeReadmitted(id string) {
+	s.update(func(sn *Snapshot) {
+		if sn.Nodes == nil {
+			sn.Nodes = map[string]NodeState{}
+		}
+		sn.Nodes[id] = NodeState{Health: "ok", Readmitted: true}
 	})
 }
 

@@ -1,0 +1,238 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// ErrResumeRefused marks a resume attempt against a store whose manifest
+// records a different experiment plan.
+var ErrResumeRefused = errors.New("store: resume refused")
+
+// PlanManifest pins a level-2 store to one experiment plan. It is written
+// at experiment init and verified on resume, so a resumed session with a
+// different description, seed or plan length fails loudly instead of
+// silently mixing measurements of two plans in one store.
+type PlanManifest struct {
+	// DescriptionHash is the hex SHA-256 of the level-1 XML document.
+	DescriptionHash string `json:"description_hash"`
+	// Seed is the experiment seed the plan derives from.
+	Seed int64 `json:"seed"`
+	// PlanLen is the number of runs in the generated plan.
+	PlanLen int `json:"plan_len"`
+	// PlatformSeed is the effective seed of the emulated platform
+	// (network and clock randomness), when one exists: a resumed session
+	// with a different platform seed would mix measurements taken under
+	// different network conditions. Zero means "no platform" (e.g. a
+	// distributed master, whose platform lives on the node host) and is
+	// not verified.
+	PlatformSeed int64 `json:"platform_seed,omitempty"`
+	// Flags records informative execution settings (not verified).
+	Flags map[string]string `json:"flags,omitempty"`
+}
+
+// HashDescription returns the manifest hash of a level-1 document.
+func HashDescription(xml string) string {
+	sum := sha256.Sum256([]byte(xml))
+	return hex.EncodeToString(sum[:])
+}
+
+func (rs *RunStore) manifestPath() string {
+	return filepath.Join(rs.Dir, "manifest.json")
+}
+
+// WriteManifest persists the plan manifest atomically (temp + rename +
+// directory fsync).
+func (rs *RunStore) WriteManifest(m PlanManifest) error {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return atomicWriteFile(rs.manifestPath(), append(b, '\n'))
+}
+
+// ReadManifest loads the plan manifest; ok is false when none exists.
+func (rs *RunStore) ReadManifest() (m PlanManifest, ok bool, err error) {
+	b, err := os.ReadFile(rs.manifestPath())
+	if os.IsNotExist(err) {
+		return m, false, nil
+	}
+	if err != nil {
+		return m, false, err
+	}
+	if err := json.Unmarshal(b, &m); err != nil {
+		return m, false, fmt.Errorf("store: manifest: %w", err)
+	}
+	return m, true, nil
+}
+
+// VerifyManifest checks a resumed store against the current plan. A store
+// without a manifest (pre-journal sessions) verifies trivially.
+func (rs *RunStore) VerifyManifest(want PlanManifest) error {
+	have, ok, err := rs.ReadManifest()
+	if err != nil || !ok {
+		return err
+	}
+	if have.DescriptionHash != want.DescriptionHash {
+		return fmt.Errorf("%w: description changed (manifest %.12s…, now %.12s…)",
+			ErrResumeRefused, have.DescriptionHash, want.DescriptionHash)
+	}
+	if have.Seed != want.Seed {
+		return fmt.Errorf("%w: seed changed (manifest %d, now %d)", ErrResumeRefused, have.Seed, want.Seed)
+	}
+	if have.PlanLen != want.PlanLen {
+		return fmt.Errorf("%w: plan length changed (manifest %d, now %d)", ErrResumeRefused, have.PlanLen, want.PlanLen)
+	}
+	if have.PlatformSeed != 0 && want.PlatformSeed != 0 && have.PlatformSeed != want.PlatformSeed {
+		return fmt.Errorf("%w: platform seed changed (manifest %d, now %d)",
+			ErrResumeRefused, have.PlatformSeed, want.PlatformSeed)
+	}
+	return nil
+}
+
+// StagedRun collects one run's harvest in a staging directory and commits
+// it into the level-2 hierarchy with a single rename, so a crash anywhere
+// during harvest leaves either the previous state or nothing — never a
+// half-written run directory that conditioning could ingest.
+type StagedRun struct {
+	rs   *RunStore
+	run  int
+	tmp  *RunStore
+	done bool
+}
+
+// StageRun opens a staging area for one run's harvest. Leftover staging
+// directories of earlier crashed harvests for the same run are discarded.
+func (rs *RunStore) StageRun(run int) (*StagedRun, error) {
+	root := filepath.Join(rs.Dir, "runs", ".staging-"+strconv.Itoa(run))
+	if err := os.RemoveAll(root); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, err
+	}
+	return &StagedRun{rs: rs, run: run, tmp: &RunStore{Dir: root}}, nil
+}
+
+// Store returns the staging store; write the run's measurements through it
+// with the normal RunStore API.
+func (sr *StagedRun) Store() *RunStore { return sr.tmp }
+
+// Commit fsyncs the staged tree and renames it into place, superseding any
+// partial directory a previous attempt (or crashed session) left behind.
+func (sr *StagedRun) Commit() error {
+	if sr.done {
+		return nil
+	}
+	src := filepath.Join(sr.tmp.Dir, "runs", strconv.Itoa(sr.run))
+	if _, err := os.Stat(src); os.IsNotExist(err) {
+		// Nothing was harvested; commit to an empty run directory so the
+		// run still appears in the store.
+		if err := os.MkdirAll(src, 0o755); err != nil {
+			return err
+		}
+	}
+	if err := syncTree(src); err != nil {
+		return err
+	}
+	dst := filepath.Join(sr.rs.Dir, "runs", strconv.Itoa(sr.run))
+	if err := os.RemoveAll(dst); err != nil {
+		return err
+	}
+	if err := os.Rename(src, dst); err != nil {
+		return err
+	}
+	if err := syncDir(filepath.Dir(dst)); err != nil {
+		return err
+	}
+	sr.done = true
+	return os.RemoveAll(sr.tmp.Dir)
+}
+
+// Abort discards the staged harvest.
+func (sr *StagedRun) Abort() {
+	if !sr.done {
+		os.RemoveAll(sr.tmp.Dir)
+		sr.done = true
+	}
+}
+
+// DiscardRun removes a run's level-2 directory (and any staging leftovers)
+// unless the run is marked done: resume calls it for runs the journal
+// proves died mid-attempt, so conditioning can never ingest their partial
+// state.
+func (rs *RunStore) DiscardRun(run int) error {
+	if rs.RunDone(run) {
+		return fmt.Errorf("store: refusing to discard completed run %d", run)
+	}
+	if err := os.RemoveAll(filepath.Join(rs.Dir, "runs", ".staging-"+strconv.Itoa(run))); err != nil {
+		return err
+	}
+	dir := filepath.Join(rs.Dir, "runs", strconv.Itoa(run))
+	if err := os.RemoveAll(dir); err != nil {
+		return err
+	}
+	return syncDir(filepath.Dir(dir))
+}
+
+// atomicWriteFile writes data to a sibling temp file, fsyncs it and
+// renames it over path.
+func atomicWriteFile(path string, data []byte) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a preceding rename/create in it is
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// syncTree fsyncs every file and directory below root (harvest trees are
+// small: a handful of JSONL files per node).
+func syncTree(root string) error {
+	return filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		serr := f.Sync()
+		f.Close()
+		return serr
+	})
+}

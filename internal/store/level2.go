@@ -396,12 +396,19 @@ func toAny[T any](in []T) []any {
 // MarkRunDone records that a run completed, enabling resume-after-abort:
 // a restarted experiment skips runs marked done (§VII: ExCovery "recovers
 // from failures by resuming aborted runs").
+//
+// The marker (and its directory entry) is fsync'd before return, making
+// completion an at-least-once guarantee: once MarkRunDone returns, no
+// crash can lose the marker, so a completed run is never re-executed; a
+// crash *during* the call may lose it, in which case a resumed session
+// re-executes the run — after the journal replay discards its partial
+// state — rather than skipping work that may not be durable.
 func (rs *RunStore) MarkRunDone(run int) error {
 	dir := filepath.Join(rs.Dir, "runs", strconv.Itoa(run))
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	return os.WriteFile(filepath.Join(dir, "done"), []byte("done\n"), 0o644)
+	return atomicWriteFile(filepath.Join(dir, "done"), []byte("done\n"))
 }
 
 // RunDone reports whether a run was marked done.

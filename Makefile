@@ -1,7 +1,7 @@
 GO ?= go
 DATE := $(shell date +%Y%m%d)
 
-.PHONY: build test check vet race bench fmt
+.PHONY: build test check vet race bench fmt lint
 
 build:
 	$(GO) build ./...
@@ -20,9 +20,15 @@ fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-# check is the tier-1 gate (see ROADMAP.md): formatting, static analysis,
-# plus the full suite under the race detector.
-check: fmt vet race
+# lint runs the repo's invariant linter (DESIGN.md §10): repeatability and
+# durability contracts as machine-checked rules. Exit 1 on any finding.
+lint:
+	$(GO) run ./cmd/excovery-lint ./...
+
+# check is the tier-1 gate (see ROADMAP.md): formatting, static analysis
+# (go vet plus the invariant linter), and the full suite under the race
+# detector.
+check: fmt vet lint race
 
 # bench records all benchmarks (with allocations) as a dated JSON stream
 # of go test events, comparable across sessions with benchstat-style

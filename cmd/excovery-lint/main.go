@@ -1,0 +1,58 @@
+// Command excovery-lint runs the repo's invariant linter (internal/lint)
+// over the module containing the working directory and reports findings as
+//
+//	file:line: [check] message
+//
+// with module-root-relative filenames. Exit status: 0 with no findings,
+// 1 with findings, 2 when the module cannot be loaded. Arguments are
+// accepted for familiarity ("excovery-lint ./...") but the tool always
+// analyzes the whole module — the invariants are module-wide contracts,
+// and partial runs would let a violation hide in an unlinted package.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"excovery/internal/lint"
+)
+
+func main() {
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "excovery-lint: %v\n", err)
+		os.Exit(2)
+	}
+	mod, err := lint.Load(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "excovery-lint: %v\n", err)
+		os.Exit(2)
+	}
+	diags := mod.Run(lint.All())
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "excovery-lint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks upward from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

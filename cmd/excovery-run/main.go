@@ -105,6 +105,7 @@ func main() {
 		fatal(err)
 	}
 	defer x.Close()
+	//lint:ignore walltime operator-facing wall duration in the CLI report, not experiment data
 	wall := time.Now()
 	rep, err := x.Run()
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 
+	"excovery/internal/eventlog"
 	"excovery/internal/fault"
 	"excovery/internal/netem"
 	"excovery/internal/sched"
@@ -39,16 +40,16 @@ func (e *EnvExec) Traffic() *fault.Traffic { return e.traffic }
 // Execute implements the environment action vocabulary.
 func (e *EnvExec) Execute(action string, params map[string]string) error {
 	switch action {
-	case "env_traffic_start":
+	case eventlog.EvEnvTrafficStart:
 		return e.trafficStart(params)
-	case "env_traffic_stop":
+	case eventlog.EvEnvTrafficStop:
 		if e.traffic != nil {
 			e.traffic.Stop()
 			e.traffic = nil
-			e.emit("env_traffic_stop", nil)
+			e.emit(eventlog.EvEnvTrafficStop, nil)
 		}
 		return nil
-	case "env_drop_all_start":
+	case eventlog.EvEnvDropAllStart:
 		if e.dropAll == nil {
 			proto := params["proto"]
 			if proto == "" {
@@ -57,12 +58,12 @@ func (e *EnvExec) Execute(action string, params map[string]string) error {
 			e.dropAll = fault.NewDropAll(e.nw, proto)
 		}
 		e.dropAll.Start()
-		e.emit("env_drop_all_start", nil)
+		e.emit(eventlog.EvEnvDropAllStart, nil)
 		return nil
-	case "env_drop_all_stop":
+	case eventlog.EvEnvDropAllStop:
 		if e.dropAll != nil {
 			e.dropAll.Stop()
-			e.emit("env_drop_all_stop", nil)
+			e.emit(eventlog.EvEnvDropAllStop, nil)
 		}
 		return nil
 	default:
@@ -118,7 +119,7 @@ func (e *EnvExec) trafficStart(params map[string]string) error {
 		return err
 	}
 	e.traffic = tr
-	e.emit("env_traffic_start", map[string]string{
+	e.emit(eventlog.EvEnvTrafficStart, map[string]string{
 		"bw": params["bw"], "pairs": fmt.Sprint(pairs),
 	})
 	return nil

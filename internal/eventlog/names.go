@@ -1,0 +1,57 @@
+package eventlog
+
+// Name is the type of registered event-type identifiers. It is an alias
+// (not a defined type) so registry constants flow into every Emit(string)
+// signature without conversions.
+type Name = string
+
+// Central registry of framework event types (§IV-B1). Every event the
+// framework itself emits — run lifecycle, retry and quarantine accounting,
+// durability failures — must use a constant from this block: level-3
+// conditioning and the EventsOfRun queries select on these exact strings,
+// so a typo at an Emit site silently corrupts analysis instead of failing.
+// The eventnames analyzer (internal/lint) rejects string literals at Emit
+// call sites; add new event types here, never inline.
+//
+// Service-discovery case-study events (sd_service_add, scm_found, …) live
+// in their own registry, internal/sd (sd.Ev*), which the analyzer accepts
+// the same way.
+const (
+	// Experiment lifecycle (§IV-C1 experiment_init / experiment_exit).
+	EvExperimentInit Name = "experiment_init"
+	EvExperimentExit Name = "experiment_exit"
+
+	// Run lifecycle on nodes (§IV-C1 preparation and clean-up phases).
+	EvRunInit Name = "run_init"
+	EvRunExit Name = "run_exit"
+
+	// Run-level recovery (DESIGN.md §6): in-place retries, aborts by
+	// MaxRunTime, and crashed-session re-execution after journal replay.
+	EvRunRetry     Name = "run_retry"
+	EvRunAborted   Name = "run_aborted"
+	EvRunRecovered Name = "run_recovered"
+
+	// Harvest outcomes (DESIGN.md §8): failed level-2 commits and partial
+	// salvage of runs that failed all attempts.
+	EvRunHarvestFailed   Name = "run_harvest_failed"
+	EvRunPartialHarvest  Name = "run_partial_harvest"
+	EvJournalWriteFailed Name = "journal_write_failed"
+
+	// Node health accounting (DESIGN.md §6): preflight probe failures,
+	// quarantine, probation progress and re-admission.
+	EvNodeHealthFailed Name = "node_health_failed"
+	EvNodeQuarantined  Name = "node_quarantined"
+	EvNodeProbation    Name = "node_probation"
+	EvNodeReadmitted   Name = "node_readmitted"
+
+	// Process engine (§IV-C2): an expired wait_for_event dependency.
+	EvWaitTimeout Name = "wait_timeout"
+
+	// Environment manipulation (§IV-D2): the action vocabulary doubles as
+	// the event types the executor emits when an action takes effect, so
+	// the analysis can condition on the exact manipulation window.
+	EvEnvTrafficStart Name = "env_traffic_start"
+	EvEnvTrafficStop  Name = "env_traffic_stop"
+	EvEnvDropAllStart Name = "env_drop_all_start"
+	EvEnvDropAllStop  Name = "env_drop_all_stop"
+)

@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// durableScope is the package subtree bound to the staged-write contract.
+var durableScope = []string{"excovery/internal/store"}
+
+// Durablerename enforces the store's durability contract (DESIGN.md §8,
+// internal/store/fsio): a rename is only crash-safe once the containing
+// directory is fsync'd — until then the new directory entry lives in
+// volatile cache and a power cut resurrects the old file, or neither.
+// Inside internal/store, every function calling os.Rename must therefore
+// also fsync a directory in the same function (a call to fsio.SyncDir /
+// the store's syncDir wrapper), or carry a //lint:ignore durablerename
+// comment arguing why durability is not needed at that site.
+func Durablerename() *Analyzer {
+	return &Analyzer{
+		Name: "durablerename",
+		Doc:  "os.Rename in internal/store is paired with a directory fsync in the same function",
+		Run:  durablerenameRun,
+	}
+}
+
+func durablerenameRun(f *File) []Diagnostic {
+	if !pathAllowed(f.Pkg.Path, durableScope) {
+		return nil
+	}
+	var out []Diagnostic
+	for _, decl := range f.Ast.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		var renames []*ast.CallExpr
+		synced := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if pkg, name, ok := f.qualifiedCall(call); ok && pkg == "os" && name == "Rename" {
+				renames = append(renames, call)
+				return true
+			}
+			switch calleeName(call) {
+			case "SyncDir", "syncDir":
+				synced = true
+			}
+			return true
+		})
+		if synced {
+			continue
+		}
+		for _, call := range renames {
+			out = append(out, Diagnostic{
+				Pos:   f.pos(call.Pos()),
+				Check: "durablerename",
+				Message: "os.Rename without a directory fsync in the same function; " +
+					"route the write through fsio.WriteFileAtomic or pair it with fsio.SyncDir",
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// Eventnames keeps level-3 analysis honest: conditioning and the
+// EventsOfRun queries select events by exact type string, so an event
+// emitted under a typo'd literal silently vanishes from every analysis
+// instead of failing anywhere. The analyzer therefore rejects string
+// literals passed directly to Emit (and the lowercase emit helpers of the
+// sd agents) — event types must be constants from a registry
+// (eventlog.Ev*, sd.Ev*) — and string literals assigned to the Type field
+// of store.JournalRecord constructors, which must use the store.Rec*
+// constants. Dynamically composed names (kind+"_stop") and forwarded
+// variables are out of scope: the check targets the literal-at-call-site
+// pattern where a typo is invisible.
+func Eventnames() *Analyzer {
+	return &Analyzer{
+		Name: "eventnames",
+		Doc:  "event types at Emit sites and journal record constructors come from registry constants",
+		Run:  eventnamesRun,
+	}
+}
+
+func eventnamesRun(f *File) []Diagnostic {
+	var out []Diagnostic
+	ast.Inspect(f.Ast, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			name := calleeName(node)
+			if name != "Emit" && name != "emit" {
+				return true
+			}
+			for _, arg := range node.Args {
+				lit, ok := arg.(*ast.BasicLit)
+				if !ok || lit.Kind.String() != "STRING" {
+					continue
+				}
+				out = append(out, Diagnostic{
+					Pos:   f.pos(lit.Pos()),
+					Check: "eventnames",
+					Message: fmt.Sprintf("event type %s passed to %s as a string literal; "+
+						"use a registry constant (internal/eventlog/names.go or sd.Ev*)", lit.Value, name),
+				})
+			}
+		case *ast.CompositeLit:
+			if typeNameOf(node.Type) != "JournalRecord" {
+				return true
+			}
+			for _, elt := range node.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok || key.Name != "Type" {
+					continue
+				}
+				if lit, ok := kv.Value.(*ast.BasicLit); ok && lit.Kind.String() == "STRING" {
+					out = append(out, Diagnostic{
+						Pos:   f.pos(lit.Pos()),
+						Check: "eventnames",
+						Message: fmt.Sprintf("journal record type %s as a string literal; "+
+							"use the store.Rec* constants", lit.Value),
+					})
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// calleeName extracts the called function or method name from a call.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// typeNameOf returns the last component of a composite literal's type
+// expression ("JournalRecord" for both JournalRecord{…} and
+// store.JournalRecord{…}), or "".
+func typeNameOf(t ast.Expr) string {
+	switch e := t.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	}
+	return ""
+}

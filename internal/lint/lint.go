@@ -1,0 +1,482 @@
+// Package lint is ExCovery's invariant linter: a stdlib-only static
+// analysis suite (go/parser, go/ast, go/types, go/importer) that turns the
+// framework's repeatability and durability conventions into mechanically
+// checked contracts. The paper's core promise — perfectly repeatable runs
+// from seeded PRNGs and reference-clock timestamps (§IV-C1, §VI) — and the
+// durability contracts of DESIGN.md §8 are exactly the kind of invariant
+// that survives code review for months and then breaks silently in an
+// unrelated refactor; the analyzers here fail `make check` instead.
+//
+// Five repo-specific analyzers run over every non-test file of the module:
+//
+//	walltime      — no time.Now() outside the allowlisted wall-clock
+//	                sites; deterministic paths read an injected
+//	                vclock.Clock.
+//	seededrand    — no global math/rand functions and no wall-clock PRNG
+//	                seeds; randomness flows through plumbed seeded
+//	                *rand.Rand values.
+//	eventnames    — event types at Emit sites and journal record
+//	                constructors come from the central registries
+//	                (eventlog.Ev*, sd.Ev*, store.Rec*), never string
+//	                literals.
+//	durablerename — os.Rename inside internal/store is paired with a
+//	                directory fsync in the same function (the fsio
+//	                staged-write contract).
+//	mutexheldio   — no network call or blocking file I/O between Lock()
+//	                and Unlock() of a mutex within a function.
+//
+// A finding is suppressed by the comment
+//
+//	//lint:ignore <check> <reason>
+//
+// placed on the offending line or the line directly above it. The reason
+// is mandatory: a suppression without one is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, reported as "file:line: [check] message".
+type Diagnostic struct {
+	// Pos locates the finding; Filename is module-root-relative.
+	Pos token.Position
+	// Check names the analyzer (or "lint" for driver-level findings).
+	Check string
+	// Message states the violated invariant.
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Check, d.Message)
+}
+
+// Analyzer is one invariant check, run file by file.
+type Analyzer struct {
+	// Name is the check identifier used in diagnostics and suppressions.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Run reports the file's findings (before suppression filtering).
+	Run func(f *File) []Diagnostic
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Walltime(),
+		Seededrand(),
+		Eventnames(),
+		Durablerename(),
+		Mutexheldio(),
+	}
+}
+
+// suppression is one parsed //lint:ignore comment.
+type suppression struct {
+	line   int
+	check  string
+	reason string
+}
+
+// File is one parsed and type-checked source file.
+type File struct {
+	// Pkg is the containing package.
+	Pkg *Package
+	// Ast is the parsed file (with comments).
+	Ast *ast.File
+	// Name is the module-root-relative path used in diagnostics.
+	Name string
+
+	suppressions []suppression
+}
+
+// Package is one type-checked package of the module.
+type Package struct {
+	// Path is the import path, e.g. "excovery/internal/store".
+	Path string
+	// Files are the package's non-test files, sorted by name.
+	Files []*File
+	// Types and Info hold the go/types results.
+	Types *types.Package
+	Info  *types.Info
+	mod   *Module
+}
+
+// Module is a loaded and fully type-checked source tree.
+type Module struct {
+	// Path is the module path from go.mod.
+	Path string
+	// Root is the absolute module root directory.
+	Root string
+	// Fset maps positions for every parsed file.
+	Fset *token.FileSet
+	// Pkgs are the module's packages sorted by import path.
+	Pkgs []*Package
+}
+
+// Load parses and type-checks every non-test package under root (a module
+// root containing go.mod). Directories named testdata, vendor and hidden
+// directories are skipped, as are _test.go files: the invariants guard
+// production paths, and tests legitimately fake clocks and event names.
+func Load(root string) (*Module, error) {
+	absRoot, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(absRoot, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	mod := &Module{Path: modPath, Root: absRoot, Fset: token.NewFileSet()}
+
+	// Pass 1: parse every package directory.
+	byPath := map[string]*Package{}
+	err = filepath.WalkDir(absRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != absRoot && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(absRoot, path)
+		if err != nil {
+			return err
+		}
+		dir := filepath.ToSlash(filepath.Dir(rel))
+		ipath := modPath
+		if dir != "." {
+			ipath = modPath + "/" + dir
+		}
+		pkg := byPath[ipath]
+		if pkg == nil {
+			pkg = &Package{Path: ipath, mod: mod}
+			byPath[ipath] = pkg
+		}
+		// Read via the absolute path but register the module-relative name:
+		// diagnostics stay stable regardless of the caller's working
+		// directory.
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		af, err := parser.ParseFile(mod.Fset, filepath.ToSlash(rel), src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return err
+		}
+		f := &File{Pkg: pkg, Ast: af, Name: filepath.ToSlash(rel)}
+		f.parseSuppressions(mod.Fset)
+		pkg.Files = append(pkg.Files, f)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, pkg := range byPath {
+		sort.Slice(pkg.Files, func(i, j int) bool { return pkg.Files[i].Name < pkg.Files[j].Name })
+		mod.Pkgs = append(mod.Pkgs, pkg)
+	}
+	sort.Slice(mod.Pkgs, func(i, j int) bool { return mod.Pkgs[i].Path < mod.Pkgs[j].Path })
+
+	// Pass 2: type-check in dependency order, module-internal imports
+	// served from the cache, everything else from the standard library
+	// importers.
+	imp := newStdImporter(mod.Fset)
+	checked := map[string]bool{}
+	var checkPkg func(p *Package) error
+	checkPkg = func(p *Package) error {
+		if checked[p.Path] {
+			return nil
+		}
+		checked[p.Path] = true
+		for _, dep := range p.internalImports() {
+			if d := byPath[dep]; d != nil {
+				if err := checkPkg(d); err != nil {
+					return err
+				}
+			}
+		}
+		return p.typecheck(imp, byPath)
+	}
+	for _, p := range mod.Pkgs {
+		if err := checkPkg(p); err != nil {
+			return nil, err
+		}
+	}
+	return mod, nil
+}
+
+// LoadPackage parses and type-checks the .go files of one directory as a
+// single package under an explicit import path. It backs the analyzer
+// golden tests: the import path places a testdata package inside (or
+// outside) an analyzer's scope, and the files may import the standard
+// library only.
+func LoadPackage(dir, importPath string) (*Module, error) {
+	absDir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	mod := &Module{Path: importPath, Root: absDir, Fset: token.NewFileSet()}
+	pkg := &Package{Path: importPath, mod: mod}
+	entries, err := os.ReadDir(absDir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		af, err := parser.ParseFile(mod.Fset, e.Name(), readFileIn(absDir, e.Name()), parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		f := &File{Pkg: pkg, Ast: af, Name: e.Name()}
+		f.parseSuppressions(mod.Fset)
+		pkg.Files = append(pkg.Files, f)
+	}
+	sort.Slice(pkg.Files, func(i, j int) bool { return pkg.Files[i].Name < pkg.Files[j].Name })
+	mod.Pkgs = []*Package{pkg}
+	if err := pkg.typecheck(newStdImporter(mod.Fset), map[string]*Package{}); err != nil {
+		return nil, err
+	}
+	return mod, nil
+}
+
+// readFileIn reads dir/name, returning the source or nil (letting the
+// parser report the open error with the right filename).
+func readFileIn(dir, name string) any {
+	b, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		return nil
+	}
+	return b
+}
+
+// Run executes the analyzers over every file, filters suppressed findings,
+// reports malformed or unused-reason suppressions, and returns the
+// diagnostics sorted by file, line and check.
+func (m *Module) Run(analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			for _, s := range f.suppressions {
+				if s.reason == "" {
+					out = append(out, Diagnostic{
+						Pos:     token.Position{Filename: f.Name, Line: s.line},
+						Check:   "lint",
+						Message: "suppression without a reason: //lint:ignore <check> <reason>",
+					})
+				}
+			}
+			for _, a := range analyzers {
+				for _, d := range a.Run(f) {
+					if f.suppressed(a.Name, d.Pos.Line) {
+						continue
+					}
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Check < b.Check
+	})
+	return out
+}
+
+// internalImports returns the package's module-internal dependencies.
+func (p *Package) internalImports() []string {
+	var out []string
+	for _, f := range p.Files {
+		for _, imp := range f.Ast.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == p.mod.Path || strings.HasPrefix(path, p.mod.Path+"/") {
+				out = append(out, path)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// typecheck runs go/types over the package's files.
+func (p *Package) typecheck(std types.Importer, byPath map[string]*Package) error {
+	files := make([]*ast.File, len(p.Files))
+	for i, f := range p.Files {
+		files[i] = f.Ast
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{
+		Importer: &modImporter{mod: p.mod, std: std, byPath: byPath},
+	}
+	tp, err := conf.Check(p.Path, p.mod.Fset, files, info)
+	if err != nil {
+		return fmt.Errorf("lint: type-checking %s: %w", p.Path, err)
+	}
+	p.Types, p.Info = tp, info
+	return nil
+}
+
+// modImporter resolves module-internal imports from the already-checked
+// package cache and delegates everything else to the stdlib importer.
+type modImporter struct {
+	mod    *Module
+	std    types.Importer
+	byPath map[string]*Package
+}
+
+func (im *modImporter) Import(path string) (*types.Package, error) {
+	if p, ok := im.byPath[path]; ok {
+		if p.Types == nil {
+			return nil, fmt.Errorf("lint: %s not yet type-checked (import cycle?)", path)
+		}
+		return p.Types, nil
+	}
+	return im.std.Import(path)
+}
+
+// newStdImporter builds the standard-library importer: compiled export
+// data when available (fast), with a from-source fallback for toolchains
+// that ship no precompiled standard library.
+func newStdImporter(fset *token.FileSet) types.Importer {
+	return &stdImporter{gc: importer.Default(), src: importer.ForCompiler(fset, "source", nil)}
+}
+
+type stdImporter struct {
+	gc, src types.Importer
+}
+
+func (im *stdImporter) Import(path string) (*types.Package, error) {
+	if p, err := im.gc.Import(path); err == nil {
+		return p, nil
+	}
+	return im.src.Import(path)
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	b, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// parseSuppressions collects the file's //lint:ignore comments.
+func (f *File) parseSuppressions(fset *token.FileSet) {
+	for _, cg := range f.Ast.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			rest, ok := strings.CutPrefix(text, "lint:ignore")
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(rest)
+			s := suppression{line: fset.Position(c.Pos()).Line}
+			if len(fields) > 0 {
+				s.check = fields[0]
+			}
+			if len(fields) > 1 {
+				s.reason = strings.Join(fields[1:], " ")
+			}
+			f.suppressions = append(f.suppressions, s)
+		}
+	}
+}
+
+// suppressed reports whether a finding of check at line is covered by a
+// suppression on the same line or the line directly above.
+func (f *File) suppressed(check string, line int) bool {
+	for _, s := range f.suppressions {
+		if s.check != check || s.reason == "" {
+			continue
+		}
+		if s.line == line || s.line == line-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// pos converts a token.Pos into a Diagnostic position with the file's
+// module-relative name.
+func (f *File) pos(p token.Pos) token.Position {
+	pos := f.Pkg.mod.Fset.Position(p)
+	pos.Filename = f.Name
+	return pos
+}
+
+// pkgPathOf resolves an identifier used as a package qualifier to the
+// imported package path, or "" when the identifier is not a package name
+// (e.g. a local variable shadowing an import).
+func (f *File) pkgPathOf(id *ast.Ident) string {
+	if obj, ok := f.Pkg.Info.Uses[id]; ok {
+		if pn, ok := obj.(*types.PkgName); ok {
+			return pn.Imported().Path()
+		}
+	}
+	return ""
+}
+
+// qualifiedCall matches a call of the form pkg.Fn(...) and returns the
+// package path and function name.
+func (f *File) qualifiedCall(call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	id, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	path := f.pkgPathOf(id)
+	if path == "" {
+		return "", "", false
+	}
+	return path, sel.Sel.Name, true
+}
+
+// typeOf returns the fully-qualified type string of an expression with any
+// leading pointer stripped, or "".
+func (f *File) typeOf(e ast.Expr) string {
+	tv, ok := f.Pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return ""
+	}
+	s := tv.Type.String()
+	return strings.TrimPrefix(s, "*")
+}

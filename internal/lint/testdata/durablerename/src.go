@@ -1,0 +1,29 @@
+// Package testcase is the durablerename analyzer fixture. The golden test
+// loads it under an import path inside internal/store (scope applies) and
+// again under an unrelated path (scope does not apply, zero findings).
+package testcase
+
+import "os"
+
+// syncDir stands in for fsio.SyncDir; the analyzer matches the callee
+// name in the same function.
+func syncDir(dir string) error { return nil }
+
+// RenameUnsafe renames without fsyncing the directory.
+func RenameUnsafe(a, b string) error {
+	return os.Rename(a, b) // want durablerename
+}
+
+// RenameSafe pairs the rename with a directory fsync.
+func RenameSafe(a, b string) error {
+	if err := os.Rename(a, b); err != nil {
+		return err
+	}
+	return syncDir(".")
+}
+
+// RenameSuppressed argues durability away explicitly.
+func RenameSuppressed(a, b string) error {
+	//lint:ignore durablerename fixture: scratch file outside the durability contract
+	return os.Rename(a, b)
+}

@@ -1,0 +1,34 @@
+// Package testcase is the eventnames analyzer fixture: a local Emit
+// method, emit helper and JournalRecord type stand in for the real
+// eventlog / store APIs (the analyzer matches by name, not import path,
+// so the fixture needs no module imports).
+package testcase
+
+type bus struct{}
+
+func (bus) Emit(typ string, params map[string]string) {}
+
+func emit(typ string) {}
+
+type JournalRecord struct {
+	Type string
+	Run  int
+}
+
+// EvGood stands in for a registry constant.
+const EvGood = "good_event"
+
+func use(b bus, dynamic string) {
+	b.Emit("bad_literal", nil) // want eventnames
+	b.Emit(EvGood, nil)
+	b.Emit(dynamic, nil)
+	b.Emit(dynamic+"_stop", nil)
+	emit("lowercase_literal") // want eventnames
+
+	_ = JournalRecord{Type: "raw_type", Run: 1} // want eventnames
+	_ = JournalRecord{Type: EvGood}
+	_ = JournalRecord{Run: 2}
+
+	//lint:ignore eventnames fixture exercising the suppression path
+	b.Emit("suppressed_literal", nil)
+}

@@ -1,0 +1,14 @@
+package testcase
+
+// crypto/rand imported under the same local name as math/rand elsewhere:
+// resolution is by package path, not identifier, so nothing here fires.
+
+import rand "crypto/rand"
+
+// Token draws unpredictable bytes for an identifier; crypto/rand is
+// deliberately unrestricted.
+func Token() ([]byte, error) {
+	b := make([]byte, 8)
+	_, err := rand.Read(b)
+	return b, err
+}

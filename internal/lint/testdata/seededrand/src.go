@@ -1,0 +1,30 @@
+// Package testcase is the seededrand analyzer fixture.
+package testcase
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Global draws touch the process-wide PRNG.
+func Global() int {
+	rand.Shuffle(3, func(i, j int) {}) // want seededrand
+	return rand.Intn(10)               // want seededrand
+}
+
+// WallSeed builds an explicit source, but seeds it from the wall clock;
+// the nested constructors must yield exactly one finding.
+func WallSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want seededrand
+}
+
+// Seeded is the sanctioned pattern: explicit state from a plumbed seed.
+func Seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// MethodDraws on a plumbed *rand.Rand are not global functions.
+func MethodDraws(r *rand.Rand) float64 {
+	return r.Float64()
+}

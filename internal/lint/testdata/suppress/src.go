@@ -1,0 +1,12 @@
+// Package testcase is the driver-level suppression fixture: a
+// //lint:ignore comment with no reason is itself a finding, and does not
+// silence the diagnostic on the line it annotates.
+package testcase
+
+import "time"
+
+// Bare omits the mandatory reason.
+func Bare() time.Time {
+	//lint:ignore walltime
+	return time.Now()
+}

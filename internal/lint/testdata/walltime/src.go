@@ -1,0 +1,34 @@
+// Package testcase is the walltime analyzer fixture. Lines carrying a
+// "// want <check>" marker are expected findings; the golden test asserts
+// the analyzer fires on exactly those lines and no others.
+package testcase
+
+import "time"
+
+// Epoch shows that constructing instants (time.Unix, time.Date) is fine;
+// only reading the running clock is restricted.
+var Epoch = time.Unix(0, 0)
+
+// Bad reads the wall clock directly.
+func Bad() time.Time {
+	return time.Now() // want walltime
+}
+
+// BadTwice shows every call site is reported, not just the first.
+func BadTwice() time.Duration {
+	a := time.Now() // want walltime
+	b := time.Now() // want walltime
+	return b.Sub(a)
+}
+
+// Injected stores time.Now as a value without calling it — the
+// injection-seam pattern (now func() time.Time) the allowlist exists for.
+func Injected() func() time.Time {
+	return time.Now
+}
+
+// Suppressed documents a sanctioned wall read.
+func Suppressed() time.Time {
+	//lint:ignore walltime fixture exercising the suppression path
+	return time.Now()
+}

@@ -326,7 +326,7 @@ func (m *Master) RunAll() (*Report, error) {
 			rep.Recovered++
 			m.counter("excovery_runs_recovered_total",
 				"crashed runs whose partial state was discarded and re-executed").Inc()
-			m.rec.Emit("run_recovered", map[string]string{
+			m.rec.Emit(eventlog.EvRunRecovered, map[string]string{
 				"run": fmt.Sprint(run.ID), "attempts": fmt.Sprint(replay.Attempts[run.ID])})
 		}
 		var rr RunResult
@@ -357,7 +357,7 @@ func (m *Master) RunAll() (*Report, error) {
 					m.cfg.Store.MarkRunDone(run.ID)
 					m.journalAppend(m.cfg.Journal.Done(run.ID))
 				} else {
-					m.rec.Emit("run_harvest_failed", map[string]string{
+					m.rec.Emit(eventlog.EvRunHarvestFailed, map[string]string{
 						"run": fmt.Sprint(run.ID), "err": err.Error()})
 				}
 			} else {
@@ -408,7 +408,7 @@ func (m *Master) journalAppend(err error) {
 	if err != nil {
 		m.counter("excovery_journal_write_errors_total",
 			"failed write-ahead journal appends").Inc()
-		m.rec.Emit("journal_write_failed", map[string]string{"err": err.Error()})
+		m.rec.Emit(eventlog.EvJournalWriteFailed, map[string]string{"err": err.Error()})
 		return
 	}
 	m.counter("excovery_journal_records_total",
@@ -511,7 +511,7 @@ func (m *Master) preflight(run desc.Run) error {
 			m.probeFails++
 			m.counter("excovery_health_probe_failures_total",
 				"failed preflight node health probes").Inc()
-			m.rec.Emit("node_health_failed", map[string]string{
+			m.rec.Emit(eventlog.EvNodeHealthFailed, map[string]string{
 				"node": id, "err": err.Error()})
 			m.noteNodeFailure(id, err.Error())
 			return fmt.Errorf("master: run %d: node %s unhealthy: %w", run.ID, id, err)
@@ -547,7 +547,7 @@ func (m *Master) probeProbation(run desc.Run, id string) error {
 	m.probation[id]++
 	if m.probation[id] < need {
 		m.cfg.Status.NodeProbation(id, m.probation[id], need)
-		m.rec.Emit("node_probation", map[string]string{
+		m.rec.Emit(eventlog.EvNodeProbation, map[string]string{
 			"node": id, "healthy": fmt.Sprint(m.probation[id]), "need": fmt.Sprint(need)})
 		return fmt.Errorf("master: run %d: node %s on probation (%d/%d healthy probes)",
 			run.ID, id, m.probation[id], need)
@@ -558,7 +558,7 @@ func (m *Master) probeProbation(run desc.Run, id string) error {
 	m.readmitted[id] = true
 	m.counter("excovery_nodes_readmitted_total",
 		"quarantined nodes re-admitted after probation").Inc()
-	m.rec.Emit("node_readmitted", map[string]string{
+	m.rec.Emit(eventlog.EvNodeReadmitted, map[string]string{
 		"node": id, "probes": fmt.Sprint(need)})
 	m.cfg.Status.NodeReadmitted(id)
 	return nil
@@ -576,7 +576,7 @@ func (m *Master) noteNodeFailure(id, errStr string) {
 		m.cfg.Status.NodeQuarantined(id)
 		m.counter("excovery_nodes_quarantined_total",
 			"nodes quarantined for repeated control-channel failures").Inc()
-		m.rec.Emit("node_quarantined", map[string]string{
+		m.rec.Emit(eventlog.EvNodeQuarantined, map[string]string{
 			"node": id, "failures": fmt.Sprint(m.health[id])})
 	}
 }
@@ -593,7 +593,7 @@ func (m *Master) experimentInit() {
 	m.cfg.Status.ExperimentStarted(m.cfg.Exp.Name, len(m.plan.Runs))
 	m.expSpan = m.cfg.Tracer.Begin(0, "master", "experiment", m.cfg.Exp.Name,
 		-1, 0, map[string]string{"seed": fmt.Sprint(m.cfg.Exp.Seed)})
-	m.rec.Emit("experiment_init", map[string]string{"name": m.cfg.Exp.Name})
+	m.rec.Emit(eventlog.EvExperimentInit, map[string]string{"name": m.cfg.Exp.Name})
 	if m.cfg.Store != nil {
 		if xml, err := desc.EncodeString(m.cfg.Exp); err == nil {
 			m.cfg.Store.WriteDescription(xml)
@@ -611,7 +611,7 @@ func (m *Master) experimentExit() {
 		m.cfg.Store.WriteExperimentMeasurement("master", "topology_after.txt",
 			[]byte(m.cfg.TopologyMeasure()))
 	}
-	m.rec.Emit("experiment_exit", nil)
+	m.rec.Emit(eventlog.EvExperimentExit, nil)
 	m.cfg.Tracer.End(m.expSpan)
 	m.cfg.Status.ExperimentFinished()
 }
@@ -666,7 +666,7 @@ func (m *Master) executeRun(run desc.Run, attempt int) RunResult {
 	m.cfg.Bus.Reset()
 	m.rec.SetRun(run.ID)
 	if attempt > 1 {
-		m.rec.Emit("run_retry", map[string]string{
+		m.rec.Emit(eventlog.EvRunRetry, map[string]string{
 			"run": fmt.Sprint(run.ID), "attempt": fmt.Sprint(attempt)})
 	}
 	if err := m.preflight(run); err != nil {
@@ -787,7 +787,7 @@ func (m *Master) executeRun(run desc.Run, attempt int) RunResult {
 		rr.Aborted = true
 		m.counter("excovery_runs_aborted_total",
 			"run attempts aborted by MaxRunTime").Inc()
-		m.rec.Emit("run_aborted", map[string]string{"run": fmt.Sprint(run.ID)})
+		m.rec.Emit(eventlog.EvRunAborted, map[string]string{"run": fmt.Sprint(run.ID)})
 		// Cancel leftover process tasks: waiters on the bus give up at
 		// their next wake-up and the cancel flag stops further actions,
 		// so orphaned tasks cannot leak into later runs.
@@ -908,12 +908,12 @@ func (m *Master) harvestPartial(run desc.Run, rr *RunResult) {
 		return
 	}
 	if err := m.harvest(run, rr, true); err != nil {
-		m.rec.Emit("run_harvest_failed", map[string]string{
+		m.rec.Emit(eventlog.EvRunHarvestFailed, map[string]string{
 			"run": fmt.Sprint(run.ID), "err": err.Error()})
 		return
 	}
 	rr.Partial = true
-	m.rec.Emit("run_partial_harvest", map[string]string{"run": fmt.Sprint(run.ID)})
+	m.rec.Emit(eventlog.EvRunPartialHarvest, map[string]string{"run": fmt.Sprint(run.ID)})
 }
 
 // envEvents extracts the master's own events of one run.

@@ -117,7 +117,7 @@ func (m *Manager) PrepareRun(run int) {
 	m.nd.ClearCaptures()
 	m.nd.SetCapture(true)
 	m.nd.SetTagging(true)
-	m.Emit("run_init", map[string]string{"run": strconv.Itoa(run)})
+	m.Emit(eventlog.EvRunInit, map[string]string{"run": strconv.Itoa(run)})
 }
 
 // CleanupRun terminates a run on this node (§IV-C1 clean-up phase).
@@ -126,7 +126,7 @@ func (m *Manager) CleanupRun(run int) {
 		m.agent.Exit()
 	}
 	m.StopAllFaults()
-	m.Emit("run_exit", map[string]string{"run": strconv.Itoa(run)})
+	m.Emit(eventlog.EvRunExit, map[string]string{"run": strconv.Itoa(run)})
 }
 
 // HarvestRun returns and clears the packet captures of the current run.

@@ -233,7 +233,7 @@ func (ctx *Ctx) waitForEvent(w desc.WaitSpec) *Timeout {
 }
 
 func (ctx *Ctx) emitTimeout(w desc.WaitSpec) {
-	ctx.Emit(ctx.Node, "wait_timeout", map[string]string{"event": w.Event})
+	ctx.Emit(ctx.Node, eventlog.EvWaitTimeout, map[string]string{"event": w.Event})
 }
 
 // resolveInstances maps an actor role and instance selector to platform

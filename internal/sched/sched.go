@@ -341,6 +341,7 @@ func (s *Scheduler) run(deadline time.Time) error {
 		s.mu.Unlock()
 	}()
 
+	//lint:ignore walltime realtime mode anchors the virtual timeline to one wall reading by design
 	wallBase := time.Now()
 	virtBase := s.Now()
 

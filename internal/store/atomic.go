@@ -9,6 +9,8 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+
+	"excovery/internal/store/fsio"
 )
 
 // ErrResumeRefused marks a resume attempt against a store whose manifest
@@ -182,42 +184,19 @@ func (rs *RunStore) DiscardRun(run int) error {
 }
 
 // atomicWriteFile writes data to a sibling temp file, fsyncs it and
-// renames it over path.
+// renames it over path (fsio.WriteFileAtomic, the shared staged-write
+// helper), creating the containing directory first.
 func atomicWriteFile(path string, data []byte) error {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return err
 	}
-	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
-	if err != nil {
-		return err
-	}
-	if _, err := f.Write(data); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		return err
-	}
-	return syncDir(filepath.Dir(path))
+	return fsio.WriteFileAtomic(path, data)
 }
 
 // syncDir fsyncs a directory so a preceding rename/create in it is
 // durable.
 func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
+	return fsio.SyncDir(dir)
 }
 
 // syncTree fsyncs every file and directory below root (harvest trees are

@@ -1,0 +1,55 @@
+// Package fsio is the single implementation of the store's staged-write
+// durability contract (DESIGN.md §8): data reaches its final name only via
+// write-to-temp → fsync(file) → rename → fsync(directory). Both the
+// level-2 RunStore and the level-3 reldb persistence route through this
+// package, so the contract lives in one place and the durablerename
+// analyzer (internal/lint) can hold every other os.Rename in the store to
+// it.
+package fsio
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes data to a sibling temp file, fsyncs it, renames
+// it over path and fsyncs the containing directory: after it returns, a
+// crash leaves either the previous file or the new one — never a torn or
+// unnamed write. The containing directory must exist.
+func WriteFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return SyncDir(filepath.Dir(path))
+}
+
+// SyncDir fsyncs a directory so a preceding rename/create in it is
+// durable.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

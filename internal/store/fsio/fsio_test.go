@@ -1,0 +1,48 @@
+package fsio
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileAtomicRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.bin")
+	if err := WriteFileAtomic(path, []byte("v1")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	// Overwrite must replace the content and leave no temp files behind.
+	if err := WriteFileAtomic(path, []byte("v2-longer")); err != nil {
+		t.Fatalf("overwrite: %v", err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil || string(b) != "v2-longer" {
+		t.Fatalf("read back: %q, %v", b, err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "f.bin" {
+		t.Fatalf("leftover files in %s: %v", dir, entries)
+	}
+}
+
+func TestWriteFileAtomicMissingDir(t *testing.T) {
+	// The contract requires the containing directory to exist: callers
+	// (store.atomicWriteFile) decide whether to create it.
+	path := filepath.Join(t.TempDir(), "missing", "f.bin")
+	if err := WriteFileAtomic(path, []byte("x")); err == nil {
+		t.Fatal("expected error for missing directory")
+	}
+}
+
+func TestSyncDir(t *testing.T) {
+	if err := SyncDir(t.TempDir()); err != nil {
+		t.Fatalf("SyncDir: %v", err)
+	}
+	if err := SyncDir(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("expected error for missing directory")
+	}
+}

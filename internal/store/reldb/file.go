@@ -2,6 +2,7 @@ package reldb
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -9,6 +10,8 @@ import (
 	"math"
 	"os"
 	"time"
+
+	"excovery/internal/store/fsio"
 )
 
 // Single-file binary format:
@@ -130,23 +133,16 @@ func Load(r io.Reader) (*DB, error) {
 	return db, nil
 }
 
-// SaveFile writes the database to path atomically (write + rename).
+// SaveFile writes the database to path atomically and durably through the
+// store's staged-write helper (temp + fsync + rename + directory fsync): a
+// conditioned level-3 database handed to other researchers must survive a
+// crash at any point, same as the level-2 artifacts.
 func (db *DB) SaveFile(path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
 		return err
 	}
-	if err := db.Save(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
+	return fsio.WriteFileAtomic(path, buf.Bytes())
 }
 
 // OpenFile loads a database from path.

@@ -11,6 +11,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"os"
 	"sort"
 	"strings"
 	"sync"
@@ -298,6 +299,7 @@ func (s *Server) dispatch(body []byte, key string) []byte {
 	if s.OnDispatch != nil {
 		s.OnDispatch(method, key)
 	}
+	//lint:ignore walltime handler latency is an operator metric measuring real elapsed time
 	start := time.Now()
 	result, err := h(params)
 	s.Obs.Histogram("excovery_rpc_server_handler_latency_seconds",
@@ -435,13 +437,22 @@ type ClientStats struct {
 // being torn down per request.
 var defaultHTTPClient = &http.Client{Timeout: 30 * time.Second}
 
+// keyFallbacks counts crypto/rand failures feeding the degraded keyBase
+// path, so even repeated re-derivations inside one process stay distinct.
+var keyFallbacks atomic.Int64
+
 // keyBase makes idempotency keys unique across processes: a master
 // restarted mid-experiment must not collide with keys a long-lived node
-// host has already cached.
+// host has already cached. When crypto/rand is unavailable the fallback
+// mixes the PID and a process-local counter into the wall-clock read —
+// two masters restarted in the same instant (a supervisor reviving a
+// whole control plane) otherwise derive the same nanosecond tag and their
+// retries would replay each other's cached responses.
 var keyBase = func() string {
 	var b [8]byte
 	if _, err := cryptorand.Read(b[:]); err != nil {
-		return fmt.Sprintf("t%x", time.Now().UnixNano())
+		//lint:ignore walltime degraded uniqueness tag when crypto/rand fails, not an experiment measurement
+		return fmt.Sprintf("t%x-%x-%x", os.Getpid(), keyFallbacks.Add(1), time.Now().UnixNano())
 	}
 	return hex.EncodeToString(b[:])
 }()
@@ -565,6 +576,7 @@ func (c *Client) Call(method string, params ...any) (any, error) {
 	c.calls.Add(1)
 	c.Obs.Counter("excovery_rpc_client_calls_total",
 		"logical XML-RPC calls by method", "method", method).Inc()
+	//lint:ignore walltime call latency is an operator metric measuring real elapsed time
 	start := time.Now()
 	defer func() {
 		c.Obs.Histogram("excovery_rpc_client_latency_seconds",

@@ -1,7 +1,7 @@
 GO ?= go
 DATE := $(shell date +%Y%m%d)
 
-.PHONY: build test check vet race bench fmt lint
+.PHONY: build test check vet race bench bench-smoke fmt lint
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,13 @@ check: fmt vet lint race
 
 # bench records all benchmarks (with allocations) as a dated JSON stream
 # of go test events, comparable across sessions with benchstat-style
-# tooling or plain jq.
+# tooling or plain jq. It also appends a one-line Fig. 3 allocs/op delta
+# against the oldest recorded BENCH_*.json to CHANGES.md.
 bench:
 	$(GO) test -json -run='^$$' -bench=. -benchmem ./... | tee BENCH_$(DATE).json
+	@./scripts/bench-delta.sh BENCH_$(DATE).json >> CHANGES.md && tail -1 CHANGES.md
+
+# bench-smoke runs every benchmark exactly once — no timings, just proof
+# that none of them panic or fail. Wired into CI.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...

@@ -49,6 +49,7 @@ func main() {
 		rpcRetries = flag.Int("rpc-retries", 4, "control-channel RPC attempts per call")
 		rpcTimeout = flag.Duration("rpc-timeout", 30*time.Second, "control-channel per-attempt timeout")
 		rpcSeed    = flag.Int64("rpc-seed", 1, "seed of the retry-backoff jitter PRNG (replayable schedules)")
+		fanout     = flag.Int("fanout", 0, "concurrent per-node control-channel operations during the broadcast phases (0: number of nodes, 1: sequential)")
 		obsAddr    = flag.String("obs-addr", "", "serve /metrics, /healthz, /status and pprof on this address (empty disables)")
 	)
 	flag.Usage = func() {
@@ -138,6 +139,12 @@ func main() {
 	}
 	fmt.Printf("excovery-master: %d remote nodes at %s, events at %s\n",
 		len(handles), *hostURL, selfURL)
+	// The XML-RPC node proxies are goroutine-safe, so the distributed
+	// master defaults to full fan-out across the nodes.
+	fo := *fanout
+	if fo <= 0 {
+		fo = len(handles)
+	}
 
 	var st *store.RunStore
 	var jnl *store.Journal
@@ -164,6 +171,7 @@ func main() {
 
 	m, err := master.New(master.Config{
 		Exp: e, S: s, Bus: bus, Nodes: handles,
+		Fanout:     fo,
 		Env:        &noderpc.RemoteEnv{C: newClient()},
 		Store:      st,
 		Journal:    jnl,

@@ -335,6 +335,7 @@ func parseWaitSpec(a *elem) *WaitSpec {
 // Encode writes the experiment description as an XML document.
 func Encode(e *Experiment, w io.Writer) error {
 	var b strings.Builder
+	b.Grow(8 << 10) // typical documents are a few KiB; skip doubling growth
 	b.WriteString(xml.Header)
 	fmt.Fprintf(&b, "<experiment name=\"%s\" comment=\"%s\">\n", esc(e.Name), esc(e.Comment))
 	if len(e.Params) > 0 {

@@ -245,6 +245,20 @@ func (b *Bus) Marker() uint64 { return b.seq }
 // Events returns all published events.
 func (b *Bus) Events() []Event { return b.events }
 
+// Snapshot returns a copy of all published events, detached from the
+// bus's backing array (which Reset reuses between runs). The copy is
+// exact-size — a run's event count is known here, so there is no reason
+// to pay append's doubling growth. Returns nil when no events were
+// published, matching append([]Event(nil), ...) semantics.
+func (b *Bus) Snapshot() []Event {
+	if len(b.events) == 0 {
+		return nil
+	}
+	out := make([]Event, len(b.events))
+	copy(out, b.events)
+	return out
+}
+
 // Len returns the number of published events.
 func (b *Bus) Len() int { return len(b.events) }
 

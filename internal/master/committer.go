@@ -1,0 +1,220 @@
+package master
+
+import (
+	"fmt"
+	"sync"
+
+	"excovery/internal/desc"
+	"excovery/internal/eventlog"
+	"excovery/internal/obs"
+	"excovery/internal/store"
+)
+
+// nodeHarvest is one node's collected measurements of a run, detached
+// from the node handle so the disk commit can proceed while the next run
+// reuses the handle.
+type nodeHarvest struct {
+	events  []eventlog.Event
+	packets []store.PacketRecord
+	extras  []store.ExtraMeasurement
+}
+
+// harvestData is one run's fully collected measurements: everything the
+// staged level-2 commit needs, and nothing that still aliases live node
+// or recorder state. Collection happens in the run loop (node packet and
+// extra buffers are cleared on read and reset by the next PrepareRun);
+// only the disk commit is pipelined.
+type harvestData struct {
+	run   desc.Run
+	nodes []nodeHarvest // slot-indexed by Master.order
+	env   []eventlog.Event
+	trace []byte
+	info  store.RunInfo
+}
+
+// collectHarvest snapshots one run's measurements from the node handles
+// (fanned out under the same bound as the other broadcast sites), the
+// master's own recorder and the tracer. Must run in task context.
+func (m *Master) collectHarvest(run desc.Run, rr *RunResult, partial bool) *harvestData {
+	hd := &harvestData{run: run, nodes: make([]nodeHarvest, len(m.order))}
+	fanOut(m.cfg.Fanout, len(m.order), func(slot int) {
+		h := m.cfg.Nodes[m.order[slot]]
+		hd.nodes[slot] = nodeHarvest{
+			events:  h.HarvestEvents(run.ID),
+			packets: h.HarvestPackets(),
+			extras:  h.HarvestExtras(),
+		}
+	})
+	hd.env = m.envEvents(run.ID)
+	// Level-2 trace artifact: the run's closed spans (all attempts so
+	// far), exportable as a Chrome trace by excovery-report.
+	if m.cfg.Tracer != nil {
+		if spans := m.cfg.Tracer.RunSpans(run.ID); len(spans) > 0 {
+			hd.trace = obs.MarshalSpans(spans)
+		}
+	}
+	hd.info = store.RunInfo{Run: run.ID, Start: rr.Start, Offsets: rr.Offsets,
+		Attempts: rr.Attempts}
+	if partial {
+		hd.info.Partial = true
+		hd.info.Aborted = rr.Aborted
+		if rr.Err != nil {
+			hd.info.Err = rr.Err.Error()
+		}
+	}
+	return hd
+}
+
+// commitHarvest writes collected measurements through the atomic
+// stage-and-commit of PR 3: everything lands in a staging directory and
+// is renamed into the level-2 hierarchy in one step, so a crash
+// mid-harvest can never leave a half-written run directory for
+// conditioning to ingest. Safe to call from the committer goroutine: it
+// touches only the store and the job's own data.
+func (m *Master) commitHarvest(hd *harvestData) error {
+	sr, err := m.cfg.Store.StageRun(hd.run.ID)
+	if err != nil {
+		return err
+	}
+	st := sr.Store()
+	for slot, id := range m.order {
+		nh := hd.nodes[slot]
+		st.WriteEvents(hd.run.ID, id, nh.events)
+		st.WritePackets(hd.run.ID, id, nh.packets)
+		for _, x := range nh.extras {
+			st.WriteExtra(hd.run.ID, x.Node, x.Name, x.Content)
+		}
+	}
+	st.WriteEvents(hd.run.ID, "env", hd.env)
+	if len(hd.trace) > 0 {
+		st.WriteExtra(hd.run.ID, "master", "trace.json", hd.trace)
+	}
+	st.WriteRunInfo(hd.info)
+	if err := sr.Commit(); err != nil {
+		sr.Abort()
+		return err
+	}
+	return nil
+}
+
+// commitQueueDepth bounds how many committed-but-unwritten runs the
+// pipeline may hold: enough to overlap run N+1's preparation with run
+// N's disk commit, small enough that a slow disk backpressures the run
+// loop instead of buffering an unbounded measurement backlog.
+const commitQueueDepth = 2
+
+// pendingEvent is an event the committer wants emitted. The recorder and
+// bus are task-context-only, so the committer queues events under its
+// own mutex and the run loop emits them at the next drain point.
+type pendingEvent struct {
+	typ    string
+	params map[string]string
+}
+
+// committer is the single background goroutine that performs the durable
+// tail of a successful run: staged level-2 commit, done marker, then the
+// journal's completion record — in that order, preserving the PR 3 crash
+// contract (a done marker without a journal Done resumes as skipped; a
+// journal End without either resumes as in-doubt and is re-executed).
+// Run N+1's preparation overlaps run N's disk commit; the run loop
+// drains the queue on retry, failure, crash and experiment exit.
+type committer struct {
+	m    *Master
+	jobs chan *harvestData
+	wg   sync.WaitGroup // counts enqueued-but-uncommitted jobs
+	quit chan struct{}  // closed when the worker exited
+
+	mu     sync.Mutex
+	events []pendingEvent
+}
+
+func newCommitter(m *Master) *committer {
+	c := &committer{m: m, jobs: make(chan *harvestData, commitQueueDepth),
+		quit: make(chan struct{})}
+	go c.loop()
+	return c
+}
+
+func (c *committer) loop() {
+	defer close(c.quit)
+	for hd := range c.jobs {
+		c.commit(hd)
+		c.wg.Done()
+	}
+}
+
+// commit performs one job. Counters are atomic and safe from this
+// goroutine; events are deferred to the next drain.
+func (c *committer) commit(hd *harvestData) {
+	m := c.m
+	if err := m.commitHarvest(hd); err != nil {
+		c.noteEvent(eventlog.EvRunHarvestFailed, map[string]string{
+			"run": fmt.Sprint(hd.run.ID), "err": err.Error()})
+		return
+	}
+	m.cfg.Store.MarkRunDone(hd.run.ID)
+	if m.cfg.Journal != nil {
+		if err := m.cfg.Journal.Done(hd.run.ID); err != nil {
+			m.counter("excovery_journal_write_errors_total",
+				"failed write-ahead journal appends").Inc()
+			c.noteEvent(eventlog.EvJournalWriteFailed,
+				map[string]string{"err": err.Error()})
+		} else {
+			m.counter("excovery_journal_records_total",
+				"write-ahead journal records appended").Inc()
+		}
+	}
+}
+
+func (c *committer) noteEvent(typ string, params map[string]string) {
+	c.mu.Lock()
+	c.events = append(c.events, pendingEvent{typ: typ, params: params})
+	c.mu.Unlock()
+}
+
+// enqueue hands one run's collected measurements to the worker; it
+// blocks (backpressure) when commitQueueDepth runs are already pending.
+func (c *committer) enqueue(hd *harvestData) {
+	c.wg.Add(1)
+	c.jobs <- hd
+}
+
+// drain blocks until every enqueued commit finished, then emits the
+// events the committer queued. Must run in task context.
+func (c *committer) drain(rec *eventlog.Recorder) {
+	c.wg.Wait()
+	c.mu.Lock()
+	evs := c.events
+	c.events = nil
+	c.mu.Unlock()
+	for _, e := range evs {
+		rec.Emit(e.typ, e.params)
+	}
+}
+
+// stop drains and terminates the worker.
+func (c *committer) stop(rec *eventlog.Recorder) {
+	c.drain(rec)
+	close(c.jobs)
+	<-c.quit
+}
+
+// drainCommits flushes the commit pipeline: every pending durable commit
+// completes and the committer's deferred events are emitted. Called at
+// the ordering barriers — before a run is re-attempted, before a failed
+// run's partial harvest, before a crash failpoint fires, and at
+// experiment exit — so crash/resume semantics and event placement stay
+// those of the sequential master.
+func (m *Master) drainCommits() {
+	if m.commits != nil {
+		m.commits.drain(m.rec)
+	}
+}
+
+// stopCommitter drains and shuts down the pipeline (idempotent).
+func (m *Master) stopCommitter() {
+	if m.commits != nil {
+		m.commits.stop(m.rec)
+		m.commits = nil
+	}
+}

@@ -2,6 +2,7 @@ package master
 
 import (
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -136,6 +137,88 @@ func TestCrashRecoveryReexecutesInFlightRun(t *testing.T) {
 		t.Fatalf("session 3: %+v", rep3)
 	}
 }
+
+// TestCrashMidPipelineExactlyOnce: with fan-out and the pipelined
+// committer active, a crash failpoint must still observe a settled
+// pipeline — earlier runs' staged harvests, done markers and journal
+// completions are all durable before the simulated kill — and a resumed
+// session re-executes only the in-flight run, exactly once.
+func TestCrashMidPipelineExactlyOnce(t *testing.T) {
+	dir := t.TempDir()
+
+	// Session 1: runs 0 and 1 complete (their commits ride the pipeline),
+	// run 2's first attempt crashes after its journal begin record.
+	fp := failpoint.New(1)
+	fp.Enable(failpoint.SiteMasterAttempt, failpoint.Rule{
+		Prob: 1, Act: failpoint.Crash, Skip: 2, Count: 1})
+	m1, f1, _ := crashFixture(t, dir, 3, false, fp)
+	m1.cfg.Fanout = 4
+	rep1 := runToCrash(t, m1, f1)
+	if rep1.Completed != 2 {
+		t.Fatalf("session 1 completed = %d, want 2", rep1.Completed)
+	}
+	// The crash barrier drained the pipeline: both completed runs are
+	// durable on every layer — done marker, journal completion, artifacts.
+	// (Replay is an open-time snapshot, so inspect through a fresh open.)
+	jr, err := store.OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := jr.Replay()
+	jr.Close()
+	for run := 0; run < 2; run++ {
+		if !rp.Done[run] {
+			t.Fatalf("run %d has no journal completion after crash drain: %+v", run, rp)
+		}
+		if !m1.cfg.Store.RunDone(run) {
+			t.Fatalf("run %d has no done marker after crash drain", run)
+		}
+		if _, err := os.Stat(filepath.Join(dir, "runs", itoa(run), "A", "events.jsonl")); err != nil {
+			t.Fatalf("run %d harvest not committed before crash: %v", run, err)
+		}
+	}
+	if !rp.Dangling[2] || !rp.InDoubt(2) {
+		t.Fatalf("run 2 should be in doubt: %+v", rp)
+	}
+
+	// Session 2: resume with fan-out still on. Runs 0 and 1 skip, run 2
+	// recovers and re-executes.
+	m2, f2, _ := crashFixture(t, dir, 3, true, nil)
+	m2.cfg.Fanout = 4
+	rep2 := runMaster(t, m2, f2.s)
+	if rep2.Skipped != 2 || rep2.Recovered != 1 || rep2.Completed != 1 {
+		t.Fatalf("session 2: skipped=%d recovered=%d completed=%d",
+			rep2.Skipped, rep2.Recovered, rep2.Completed)
+	}
+
+	// Exactly-once across both sessions: one alpha_done per run in the
+	// conditioned database.
+	db, err := m2.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := db.RunIDs()
+	if err != nil || len(ids) != 3 {
+		t.Fatalf("level-3 runs = %v (%v)", ids, err)
+	}
+	for _, run := range ids {
+		evs, err := db.EventsOfRun(run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alphaDone := 0
+		for _, ev := range evs {
+			if ev.Type == "alpha_done" && ev.Node == "A" {
+				alphaDone++
+			}
+		}
+		if alphaDone != 1 {
+			t.Fatalf("run %d has %d alpha_done events, want exactly 1", run, alphaDone)
+		}
+	}
+}
+
+func itoa(n int) string { return fmt.Sprint(n) }
 
 // TestJournalDoneAloneSkipsRun: the journal's run_done record is an
 // independent completion witness — even if the store's done marker is

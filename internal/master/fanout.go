@@ -1,0 +1,71 @@
+package master
+
+import "sync"
+
+// fanOut runs fn(slot) for every slot in [0, n), bounded to at most limit
+// concurrent invocations. With limit <= 1 (or fewer than two slots) the
+// calls run strictly sequentially in the caller's context — no goroutines
+// at all — which is the required mode for platforms whose node handles
+// are not safe for concurrent use (the in-process emulated platform
+// publishes into the cooperative scheduler's event bus from its handles).
+//
+// With limit > 1 the slots run on real goroutines. Callers must hand out
+// disjoint slot-indexed result storage so collected measurements keep the
+// deterministic node order of the sequential path; fanOut itself
+// guarantees only that all invocations finished when it returns.
+// Blocking the calling scheduler task here is no worse than today's
+// blocking sequential RPC: the cooperative scheduler stalls either way
+// for the duration of the slowest call instead of the sum of all calls.
+func fanOut(limit, n int, fn func(slot int)) {
+	if limit <= 1 || n < 2 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	if limit > n {
+		limit = n
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, limit)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(slot int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			fn(slot)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// broadcast performs one control-plane operation per node — the four
+// per-node broadcast sites of a run are PrepareRun, timesync Measure,
+// CleanupRun and the harvest collection. Sequentially (Fanout <= 1) it
+// preserves the serial master's exact call and span order. In parallel
+// it first opens the per-node tracer spans in deterministic node order
+// (RunSpans returns begin order, so trace.json keeps the sequential
+// layout; under the virtual clock the timestamps are identical too) and
+// then fans the operations out, each goroutine closing its own span —
+// the spans become siblings under the phase span.
+func (m *Master) broadcast(parent uint64, label string, run, attempt int, op func(slot int, id string)) {
+	if m.cfg.Fanout <= 1 || len(m.order) < 2 {
+		for slot, id := range m.order {
+			sp := m.cfg.Tracer.Begin(parent, "master", "rpc",
+				label+" "+id, run, attempt, nil)
+			op(slot, id)
+			m.cfg.Tracer.End(sp)
+		}
+		return
+	}
+	spans := make([]uint64, len(m.order))
+	for slot, id := range m.order {
+		spans[slot] = m.cfg.Tracer.Begin(parent, "master", "rpc",
+			label+" "+id, run, attempt, nil)
+	}
+	fanOut(m.cfg.Fanout, len(m.order), func(slot int) {
+		op(slot, m.order[slot])
+		m.cfg.Tracer.End(spans[slot])
+	})
+}

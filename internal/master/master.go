@@ -22,6 +22,8 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"excovery/internal/desc"
@@ -120,6 +122,15 @@ type Config struct {
 	// Nodes maps platform node ids to handles. Every platform actor
 	// node of the description must be present.
 	Nodes map[string]NodeHandle
+	// Fanout bounds how many per-node control-channel operations run
+	// concurrently during the broadcast phases of a run (prepare,
+	// timesync, clean-up, harvest collection). Values <= 1 keep the
+	// strictly sequential order — required for the in-process emulated
+	// platform, whose handles publish into the cooperative scheduler's
+	// event bus and are not safe for concurrent use. The distributed
+	// master sets it from -fanout (default: number of nodes); its
+	// XML-RPC proxies are goroutine-safe.
+	Fanout int
 	// Env executes environment actions; nil disallows env processes.
 	Env EnvExecutor
 	// Store receives level-2 data; nil keeps measurements in memory
@@ -232,10 +243,16 @@ type Report struct {
 
 // Master executes experiments.
 type Master struct {
-	cfg  Config
-	rec  *eventlog.Recorder // the master's own events (node "env")
-	est  *timesync.Estimator
-	plan *desc.Plan
+	cfg    Config
+	rec    *eventlog.Recorder // the master's own events (node "env")
+	est    *timesync.Estimator
+	plan   *desc.Plan
+	order  []string // node ids in deterministic (sorted) order, cached
+	expXML string   // the level-1 description document, encoded once
+
+	// commits is the background commit pipeline of the current RunAll
+	// (nil outside RunAll or without a store).
+	commits *committer
 
 	// Control-channel health accounting (consecutive failures per node).
 	health      map[string]int
@@ -280,6 +297,20 @@ func New(cfg Config) (*Master, error) {
 		health: map[string]int{}, quarantined: map[string]bool{},
 		probation: map[string]int{}, readmitted: map[string]bool{},
 	}
+	// Node order and the encoded description are fixed for the master's
+	// lifetime; compute them once instead of per use (the description is
+	// needed by the manifest, the level-2 store and conditioning, the
+	// node order by every broadcast phase of every run).
+	m.order = make([]string, 0, len(cfg.Nodes))
+	for id := range cfg.Nodes {
+		m.order = append(m.order, id)
+	}
+	sort.Strings(m.order)
+	xml, err := desc.EncodeString(cfg.Exp)
+	if err != nil {
+		return nil, fmt.Errorf("master: encode description: %w", err)
+	}
+	m.expXML = xml
 	m.rec = eventlog.NewRecorder("env", cfg.Ref, func(ev eventlog.Event) { cfg.Bus.Publish(ev) })
 	return m, nil
 }
@@ -300,6 +331,14 @@ func (m *Master) RunAll() (*Report, error) {
 	replay, err := m.prepareDurability()
 	if err != nil {
 		return nil, err
+	}
+	if m.cfg.Store != nil {
+		// The commit pipeline: run N's staged harvest, done marker and
+		// journal completion happen on a background goroutine so run
+		// N+1's preparation overlaps the disk commit. Every return path
+		// drains it first.
+		m.commits = newCommitter(m)
+		defer m.stopCommitter()
 	}
 	m.experimentInit()
 	maxAttempts := m.cfg.Retry.MaxAttempts
@@ -331,9 +370,20 @@ func (m *Master) RunAll() (*Report, error) {
 		}
 		var rr RunResult
 		for attempt := 1; attempt <= maxAttempts; attempt++ {
+			if attempt > 1 {
+				// Re-attempt barrier: pending commits of earlier runs
+				// finish before this run executes again, keeping the
+				// journal's retry ordering that of the serial master.
+				m.drainCommits()
+			}
 			m.journalAppend(m.cfg.Journal.Begin(run.ID, attempt,
 				desc.RunSeed(m.cfg.Exp.Seed, run.ID), run.TreatmentIndex))
 			if d := m.cfg.Failpoints.Eval(failpoint.SiteMasterAttempt); d.Act == failpoint.Crash {
+				// Crash barrier: a simulated kill must observe a settled
+				// pipeline, exactly like the sequential master at this
+				// point (a real kill that beats the drain is covered by
+				// journal replay: the in-flight run resumes as in-doubt).
+				m.drainCommits()
 				m.crash()
 				return rep, ErrCrashed
 			}
@@ -352,14 +402,11 @@ func (m *Master) RunAll() (*Report, error) {
 		if rr.Err == nil && !rr.Aborted {
 			// Commit the run durably: staged harvest renamed into place,
 			// fsync'd done marker, then the journal's completion record.
+			// Collection happens here, in task context, before the next
+			// run's PrepareRun resets node state; the disk commit itself
+			// is pipelined onto the committer.
 			if m.cfg.Store != nil {
-				if err := m.harvest(run, &rr, false); err == nil {
-					m.cfg.Store.MarkRunDone(run.ID)
-					m.journalAppend(m.cfg.Journal.Done(run.ID))
-				} else {
-					m.rec.Emit(eventlog.EvRunHarvestFailed, map[string]string{
-						"run": fmt.Sprint(run.ID), "err": err.Error()})
-				}
+				m.commits.enqueue(m.collectHarvest(run, &rr, false))
 			} else {
 				m.journalAppend(m.cfg.Journal.Done(run.ID))
 			}
@@ -367,6 +414,10 @@ func (m *Master) RunAll() (*Report, error) {
 			m.counter("excovery_runs_completed_total", "successfully executed runs").Inc()
 			m.cfg.Status.RunFinished("completed", retried)
 		} else {
+			// Failure barrier: settle the pipeline before the partial
+			// harvest so its store writes cannot interleave with a
+			// pending commit.
+			m.drainCommits()
 			m.harvestPartial(run, &rr)
 			rep.Failed++
 			m.counter("excovery_runs_failed_total",
@@ -382,6 +433,9 @@ func (m *Master) RunAll() (*Report, error) {
 			m.cfg.OnRunDone(run, rr)
 		}
 	}
+	// Exit barrier: every durable commit lands (and its deferred events
+	// are emitted) before experiment_exit is recorded.
+	m.drainCommits()
 	m.experimentExit()
 	rep.HealthProbes, rep.HealthFailures = m.probes, m.probeFails
 	for id, q := range m.quarantined {
@@ -458,12 +512,8 @@ func (m *Master) prepareDurability() (store.Replay, error) {
 	if m.cfg.Store == nil {
 		return replay, nil
 	}
-	xml, err := desc.EncodeString(m.cfg.Exp)
-	if err != nil {
-		return replay, err
-	}
 	manifest := store.PlanManifest{
-		DescriptionHash: store.HashDescription(xml),
+		DescriptionHash: store.HashDescription(m.expXML),
 		Seed:            m.cfg.Exp.Seed,
 		PlanLen:         len(m.plan.Runs),
 		PlatformSeed:    m.cfg.PlatformSeed,
@@ -595,9 +645,7 @@ func (m *Master) experimentInit() {
 		-1, 0, map[string]string{"seed": fmt.Sprint(m.cfg.Exp.Seed)})
 	m.rec.Emit(eventlog.EvExperimentInit, map[string]string{"name": m.cfg.Exp.Name})
 	if m.cfg.Store != nil {
-		if xml, err := desc.EncodeString(m.cfg.Exp); err == nil {
-			m.cfg.Store.WriteDescription(xml)
-		}
+		m.cfg.Store.WriteDescription(m.expXML)
 		if m.cfg.TopologyMeasure != nil {
 			m.cfg.Store.WriteExperimentMeasurement("master", "topology_before.txt",
 				[]byte(m.cfg.TopologyMeasure()))
@@ -672,7 +720,7 @@ func (m *Master) executeRun(run desc.Run, attempt int) RunResult {
 	if err := m.preflight(run); err != nil {
 		rr.Err = err
 		rr.Duration = m.cfg.Ref.Now().Sub(rr.Start)
-		rr.Events = append([]eventlog.Event(nil), m.cfg.Bus.Events()...)
+		rr.Events = m.cfg.Bus.Snapshot()
 		m.cfg.Tracer.EndWith(prepSpan, map[string]string{"err": err.Error()})
 		endRun()
 		return rr
@@ -680,20 +728,17 @@ func (m *Master) executeRun(run desc.Run, attempt int) RunResult {
 	if m.cfg.Env != nil {
 		m.cfg.Env.Reset()
 	}
-	for _, id := range m.nodeOrder() {
-		sp := m.cfg.Tracer.Begin(prepSpan, "master", "rpc",
-			"prepare "+id, run.ID, attempt, nil)
+	m.broadcast(prepSpan, "prepare", run.ID, attempt, func(slot int, id string) {
 		m.cfg.Nodes[id].PrepareRun(run.ID)
-		m.cfg.Tracer.End(sp)
-	}
-	// Preliminary measurements: per-node clock offsets (§IV-B3).
-	for _, id := range m.nodeOrder() {
-		h := m.cfg.Nodes[id]
-		sp := m.cfg.Tracer.Begin(prepSpan, "master", "rpc",
-			"timesync "+id, run.ID, attempt, nil)
-		rr.Offsets = append(rr.Offsets, m.est.Measure(id, h.LocalTime))
-		m.cfg.Tracer.End(sp)
-	}
+	})
+	// Preliminary measurements: per-node clock offsets (§IV-B3). Results
+	// land in slots indexed by node order, so the stored offsets are
+	// byte-identical to the sequential master's.
+	offsets := make([]timesync.Measurement, len(m.order))
+	m.broadcast(prepSpan, "timesync", run.ID, attempt, func(slot int, id string) {
+		offsets[slot] = m.est.Measure(id, m.cfg.Nodes[id].LocalTime)
+	})
+	rr.Offsets = offsets
 	m.cfg.Tracer.End(prepSpan)
 
 	// --- execution phase ---
@@ -702,12 +747,25 @@ func (m *Master) executeRun(run desc.Run, attempt int) RunResult {
 		run.ID, attempt, nil)
 	roles := desc.RolesFor(m.cfg.Exp, run)
 	wg := s.NewWaitGroup(fmt.Sprintf("run %d", run.ID))
+	// Process outcomes are written from multiple scheduler tasks; under
+	// the virtual scheduler those are serialized, but realtime mode runs
+	// them on real goroutines — guard the shared state so the execution
+	// phase is race-clean by construction.
+	var execMu sync.Mutex
 	var firstErr error
 	timeouts := 0
-	canceled := false
+	var canceled atomic.Bool
+
+	setErr := func(err error) {
+		execMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		execMu.Unlock()
+	}
 
 	launch := func(name string, ctx *process.Ctx, actions []desc.Action) {
-		ctx.Canceled = func() bool { return canceled }
+		ctx.Canceled = canceled.Load
 		ctx.Trace = m.cfg.Tracer
 		ctx.SpanParent = execSpan
 		ctx.Track = name
@@ -716,10 +774,12 @@ func (m *Master) executeRun(run desc.Run, attempt int) RunResult {
 		s.Go(name, func() {
 			defer wg.Done()
 			res, err := ctx.RunSequence(actions)
+			execMu.Lock()
 			timeouts += len(res.Timeouts)
 			if err != nil && err != process.ErrCanceled && firstErr == nil {
 				firstErr = err
 			}
+			execMu.Unlock()
 		})
 	}
 
@@ -737,9 +797,7 @@ func (m *Master) executeRun(run desc.Run, attempt int) RunResult {
 			nodeID := nodeID
 			h := m.cfg.Nodes[nodeID]
 			if h == nil {
-				if firstErr == nil {
-					firstErr = fmt.Errorf("master: run %d: no handle for node %q", run.ID, nodeID)
-				}
+				setErr(fmt.Errorf("master: run %d: no handle for node %q", run.ID, nodeID))
 				continue
 			}
 			exec := process.ExecutorFunc(func(_, action string, params map[string]string) error {
@@ -791,12 +849,14 @@ func (m *Master) executeRun(run desc.Run, attempt int) RunResult {
 		// Cancel leftover process tasks: waiters on the bus give up at
 		// their next wake-up and the cancel flag stops further actions,
 		// so orphaned tasks cannot leak into later runs.
-		canceled = true
+		canceled.Store(true)
 		m.cfg.Bus.CancelWaiters()
 		wg.WaitTimeout(time.Second)
 	}
+	execMu.Lock()
 	rr.Timeouts = timeouts
 	rr.Err = firstErr
+	execMu.Unlock()
 	if rr.Aborted {
 		m.cfg.Tracer.EndWith(execSpan, map[string]string{"aborted": "true"})
 	} else {
@@ -810,15 +870,12 @@ func (m *Master) executeRun(run desc.Run, attempt int) RunResult {
 	if m.cfg.Env != nil {
 		m.cfg.Env.Reset()
 	}
-	for _, id := range m.nodeOrder() {
-		sp := m.cfg.Tracer.Begin(cleanSpan, "master", "rpc",
-			"cleanup "+id, run.ID, attempt, nil)
+	m.broadcast(cleanSpan, "cleanup", run.ID, attempt, func(slot int, id string) {
 		m.cfg.Nodes[id].CleanupRun(run.ID)
-		m.cfg.Tracer.End(sp)
-	}
+	})
 	m.cfg.Tracer.End(cleanSpan)
 	rr.Duration = m.cfg.Ref.Now().Sub(rr.Start)
-	rr.Events = append([]eventlog.Event(nil), m.cfg.Bus.Events()...)
+	rr.Events = m.cfg.Bus.Snapshot()
 
 	// Control-channel accounting: a run whose node proxies swallowed
 	// transport errors (lost emits, failed harvest preludes) did not
@@ -852,62 +909,17 @@ func (m *Master) executeRun(run desc.Run, attempt int) RunResult {
 	return rr
 }
 
-// harvest writes one run's measurements through an atomic stage-and-commit:
-// everything lands in a staging directory first and is renamed into the
-// level-2 hierarchy in one step, so a crash mid-harvest can never leave a
-// half-written run directory for conditioning to ingest.
-func (m *Master) harvest(run desc.Run, rr *RunResult, partial bool) error {
-	sr, err := m.cfg.Store.StageRun(run.ID)
-	if err != nil {
-		return err
-	}
-	m.harvestInto(sr.Store(), run, rr, partial)
-	if err := sr.Commit(); err != nil {
-		sr.Abort()
-		return err
-	}
-	return nil
-}
-
-// harvestInto writes one run's measurements into the level-2 store.
-func (m *Master) harvestInto(st *store.RunStore, run desc.Run, rr *RunResult, partial bool) {
-	for _, id := range m.nodeOrder() {
-		h := m.cfg.Nodes[id]
-		st.WriteEvents(run.ID, id, h.HarvestEvents(run.ID))
-		st.WritePackets(run.ID, id, h.HarvestPackets())
-		for _, x := range h.HarvestExtras() {
-			st.WriteExtra(run.ID, x.Node, x.Name, x.Content)
-		}
-	}
-	st.WriteEvents(run.ID, "env", m.envEvents(run.ID))
-	// Level-2 trace artifact: the run's closed spans (all attempts so
-	// far), exportable as a Chrome trace by excovery-report.
-	if m.cfg.Tracer != nil {
-		if spans := m.cfg.Tracer.RunSpans(run.ID); len(spans) > 0 {
-			st.WriteExtra(run.ID, "master", "trace.json", obs.MarshalSpans(spans))
-		}
-	}
-	info := store.RunInfo{Run: run.ID, Start: rr.Start, Offsets: rr.Offsets,
-		Attempts: rr.Attempts}
-	if partial {
-		info.Partial = true
-		info.Aborted = rr.Aborted
-		if rr.Err != nil {
-			info.Err = rr.Err.Error()
-		}
-	}
-	st.WriteRunInfo(info)
-}
-
 // harvestPartial salvages measurements of a run that failed all its
 // attempts: events and packets are written with a partial marker in
 // RunInfo so post-mortems are possible, but the run is NOT marked done —
-// a resumed session re-executes it.
+// a resumed session re-executes it. Unlike the success path this commits
+// synchronously (the caller already drained the pipeline).
 func (m *Master) harvestPartial(run desc.Run, rr *RunResult) {
 	if m.cfg.Store == nil {
 		return
 	}
-	if err := m.harvest(run, rr, true); err != nil {
+	hd := m.collectHarvest(run, rr, true)
+	if err := m.commitHarvest(hd); err != nil {
 		m.rec.Emit(eventlog.EvRunHarvestFailed, map[string]string{
 			"run": fmt.Sprint(run.ID), "err": err.Error()})
 		return
@@ -921,24 +933,17 @@ func (m *Master) envEvents(run int) []eventlog.Event {
 	return m.rec.RunEvents(run)
 }
 
-// nodeOrder returns handle ids sorted for deterministic iteration.
-func (m *Master) nodeOrder() []string {
-	out := make([]string, 0, len(m.cfg.Nodes))
-	for id := range m.cfg.Nodes {
-		out = append(out, id)
-	}
-	sort.Strings(out)
-	return out
-}
+// nodeOrder returns the handle ids sorted for deterministic iteration
+// (cached at construction; callers must not mutate the slice).
+func (m *Master) nodeOrder() []string { return m.order }
 
 // Finalize conditions the level-2 store into a level-3 database (§IV-F).
 func (m *Master) Finalize() (*store.ExperimentDB, error) {
 	if m.cfg.Store == nil {
 		return nil, fmt.Errorf("master: no store configured")
 	}
-	xml, _ := desc.EncodeString(m.cfg.Exp)
 	return store.Condition(m.cfg.Store, store.Meta{
-		ExpXML:  xml,
+		ExpXML:  m.expXML,
 		Name:    m.cfg.Exp.Name,
 		Comment: m.cfg.Exp.Comment,
 	})

@@ -171,12 +171,17 @@ func (st *Stats) DroppedTotal() uint64 {
 
 // Network is an emulated mesh network.
 type Network struct {
-	s       *sched.Scheduler
-	nodes   map[NodeID]*Node
-	order   []NodeID // sorted, for deterministic iteration
-	links   map[NodeID]map[NodeID]*LinkParams
-	groups  map[string]map[NodeID]bool
-	routes  map[NodeID]map[NodeID]NodeID // routes[src][dst] = next hop
+	s      *sched.Scheduler
+	nodes  map[NodeID]*Node
+	order  []NodeID // sorted, for deterministic iteration
+	links  map[NodeID]map[NodeID]*LinkParams
+	groups map[string]map[NodeID]bool
+	routes map[NodeID]map[NodeID]NodeID // routes[src][dst] = next hop
+	// nbrs caches each node's sorted neighbor list between topology
+	// changes: transmit consults it per transmission (flooding and the
+	// contention model), where rebuilding the sorted slice dominated the
+	// emulator's allocations. Invalidated alongside dirty.
+	nbrs    map[NodeID][]NodeID
 	dirty   bool
 	pktSeq  uint64
 	ruleSeq int
@@ -234,6 +239,7 @@ func (nw *Network) AddNode(id NodeID, params NodeParams) *Node {
 		params: params,
 		clock:  params.Clock,
 		rng:    rand.New(rand.NewSource(nw.seed ^ int64(hashID(id)))),
+		rxName: "rx " + string(id),
 		seen:   make(map[uint64]bool),
 		up:     true,
 	}
@@ -243,7 +249,7 @@ func (nw *Network) AddNode(id NodeID, params NodeParams) *Node {
 	nw.order = append(nw.order, id)
 	sort.Slice(nw.order, func(i, j int) bool { return nw.order[i] < nw.order[j] })
 	nw.links[id] = make(map[NodeID]*LinkParams)
-	nw.dirty = true
+	nw.dirty, nw.nbrs = true, nil
 	return n
 }
 
@@ -275,7 +281,7 @@ func (nw *Network) addDirected(from, to NodeID, p LinkParams) {
 	}
 	cp := p
 	nw.links[from][to] = &cp
-	nw.dirty = true
+	nw.dirty, nw.nbrs = true, nil
 }
 
 // Link returns the parameters of the directed link from->to, or nil.
@@ -287,7 +293,7 @@ func (nw *Network) Link(from, to NodeID) *LinkParams {
 func (nw *Network) RemoveLink(a, b NodeID) {
 	delete(nw.links[a], b)
 	delete(nw.links[b], a)
-	nw.dirty = true
+	nw.dirty, nw.nbrs = true, nil
 }
 
 // Join adds a node to a multicast group.
@@ -308,13 +314,21 @@ func (nw *Network) InGroup(group string, id NodeID) bool {
 	return nw.groups[group][id]
 }
 
-// neighbors returns the usable outgoing links of n in sorted order.
+// neighbors returns the usable outgoing links of n in sorted order. The
+// result is cached until the topology changes; callers must not modify it.
 func (nw *Network) neighbors(n NodeID) []NodeID {
+	if nb, ok := nw.nbrs[n]; ok {
+		return nb
+	}
 	out := make([]NodeID, 0, len(nw.links[n]))
 	for id := range nw.links[n] {
 		out = append(out, id)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	if nw.nbrs == nil {
+		nw.nbrs = make(map[NodeID][]NodeID, len(nw.order))
+	}
+	nw.nbrs[n] = out
 	return out
 }
 

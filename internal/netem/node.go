@@ -19,6 +19,7 @@ type Node struct {
 	params NodeParams
 	clock  vclock.Clock
 	rng    *rand.Rand
+	rxName string // "rx <id>" timer label, precomputed (per-packet hot)
 
 	handler Handler
 
@@ -106,7 +107,7 @@ func (n *Node) SetInterface(up bool) {
 		return
 	}
 	n.up = up
-	n.net.dirty = true
+	n.net.dirty, n.net.nbrs = true, nil
 }
 
 // SetInterfaceDir blocks only one direction, implementing the directional
@@ -290,7 +291,7 @@ func (n *Node) propagate(p *Packet, nb NodeID, extra time.Duration) {
 	}
 	target := nw.nodes[nb]
 	q := p.clone()
-	nw.s.ScheduleFunc(delay, "rx "+string(nb), func() {
+	nw.s.ScheduleFunc(delay, target.rxName, func() {
 		target.receive(q)
 	})
 }

@@ -17,6 +17,7 @@ import "time"
 type Cond struct {
 	s       *Scheduler
 	name    string
+	blocked string // "cond <name>", precomputed (per-wait hot)
 	waiters []*condWaiter
 }
 
@@ -29,7 +30,7 @@ type condWaiter struct {
 // NewCond creates a condition variable. The name appears in deadlock
 // reports.
 func (s *Scheduler) NewCond(name string) *Cond {
-	return &Cond{s: s, name: name}
+	return &Cond{s: s, name: name, blocked: "cond " + name}
 }
 
 // Wait blocks the current task until Signal or Broadcast wakes it.
@@ -37,10 +38,11 @@ func (c *Cond) Wait() {
 	c.s.mu.Lock()
 	t := c.s.mustCurrentLocked("Cond.Wait")
 	t.state = stateBlocked
-	t.blockedOn = "cond " + c.name
+	t.blockedOn = c.blocked
 	t.timedOut = false
 	c.s.current = nil
-	c.waiters = append(c.waiters, &condWaiter{t: t})
+	t.cw = condWaiter{t: t}
+	c.waiters = append(c.waiters, &t.cw)
 	c.s.mu.Unlock()
 	c.s.block(t)
 }
@@ -53,10 +55,11 @@ func (c *Cond) WaitTimeout(d time.Duration) bool {
 	c.s.mu.Lock()
 	t := c.s.mustCurrentLocked("Cond.WaitTimeout")
 	t.state = stateBlocked
-	t.blockedOn = "cond " + c.name
+	t.blockedOn = c.blocked
 	t.timedOut = false
 	c.s.current = nil
-	w := &condWaiter{t: t}
+	t.cw = condWaiter{t: t}
+	w := &t.cw
 	if d < 0 {
 		d = 0
 	}

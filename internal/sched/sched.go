@@ -77,8 +77,18 @@ type task struct {
 	// timedOut reports whether the last WaitTimeout ended by timeout.
 	timedOut bool
 	// blockedOn is a human-readable description of the blocking primitive,
-	// used in deadlock reports.
-	blockedOn string
+	// used in deadlock reports. Sleep stores just "sleep" plus the
+	// duration in blockedFor and the report formats them lazily —
+	// deadlocks are rare, sleeps are per-action-hot, and the Sprintf was
+	// a measurable share of the run loop's allocations.
+	blockedOn  string
+	blockedFor time.Duration
+	// cw is the task's condition-variable waiter, embedded so Wait does
+	// not allocate one per block. A task waits on at most one Cond at a
+	// time, and a superseded waiter is never revisited: Signal/Broadcast
+	// unlink it and stop its timer, and stopped timers are discarded
+	// unfired when popped.
+	cw condWaiter
 }
 
 // DeadlockError is returned by Run when live tasks remain but none is
@@ -408,7 +418,17 @@ func (s *Scheduler) run(deadline time.Time) error {
 			}
 			if !tm.stopped {
 				s.fired++
-				tm.fire() // runs with s.mu held; only queue manipulation
+				// Runs with s.mu held; only queue manipulation.
+				switch {
+				case tm.wake != nil:
+					s.makeRunnableLocked(tm.wake)
+				case tm.spawnFn != nil:
+					t := s.newTaskLocked(tm.spawnName)
+					s.runnable = append(s.runnable, t)
+					go s.taskBody(t, tm.spawnFn)
+				default:
+					tm.fire()
+				}
 			}
 			s.mu.Unlock()
 			continue
@@ -450,7 +470,11 @@ func (s *Scheduler) blockedNamesLocked() []string {
 	var names []string
 	for _, t := range s.tasks {
 		if t.state == stateBlocked && !t.daemon {
-			names = append(names, fmt.Sprintf("%s (on %s)", t.name, t.blockedOn))
+			on := t.blockedOn
+			if on == "sleep" {
+				on = "sleep " + t.blockedFor.String()
+			}
+			names = append(names, fmt.Sprintf("%s (on %s)", t.name, on))
 		}
 	}
 	sort.Strings(names)
@@ -492,14 +516,13 @@ func (s *Scheduler) Sleep(d time.Duration) {
 	s.mu.Lock()
 	t := s.mustCurrentLocked("Sleep")
 	t.state = stateBlocked
-	t.blockedOn = fmt.Sprintf("sleep %s", d)
+	t.blockedOn = "sleep"
+	t.blockedFor = d
 	s.current = nil
 	if d < 0 {
 		d = 0
 	}
-	s.addTimerLocked(s.now.Add(d), func() {
-		s.makeRunnableLocked(t)
-	})
+	s.addWakeTimerLocked(s.now.Add(d), t)
 	s.mu.Unlock()
 	s.block(t)
 }
@@ -526,6 +549,16 @@ type Timer struct {
 	idx     int
 	stopped bool
 	fire    func()
+	// wake, when set, replaces fire: the timer just makes this task
+	// runnable. Sleep is per-action-hot, and storing the task directly
+	// avoids allocating a wake closure for every sleep.
+	wake *task
+	// spawnFn/spawnName, when set, replace fire: the timer starts a new
+	// task running spawnFn. ScheduleFunc fires once per emulated packet
+	// delivery, so the spawn parameters live in the timer instead of a
+	// per-call closure.
+	spawnFn   func()
+	spawnName string
 }
 
 // When returns the virtual time at which the timer fires.
@@ -550,6 +583,15 @@ func (s *Scheduler) addTimerLocked(when time.Time, fire func()) *Timer {
 	return tm
 }
 
+// addWakeTimerLocked schedules a timer that just makes t runnable again,
+// without the wake closure a fire func would cost.
+func (s *Scheduler) addWakeTimerLocked(when time.Time, t *task) *Timer {
+	s.seq++
+	tm := &Timer{s: s, when: when, seq: s.seq, wake: t}
+	heap.Push(&s.timers, tm)
+	return tm
+}
+
 // ScheduleFunc runs fn as a new task after d of virtual time. The returned
 // Timer can cancel it before it fires. fn runs as a full task and may block
 // on scheduler primitives.
@@ -559,11 +601,7 @@ func (s *Scheduler) ScheduleFunc(d time.Duration, name string, fn func()) *Timer
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.addTimerLocked(s.now.Add(d), func() {
-		t := s.newTaskLocked(name)
-		s.runnable = append(s.runnable, t)
-		go s.taskBody(t, fn)
-	})
+	return s.addSpawnTimerLocked(s.now.Add(d), name, fn)
 }
 
 // ScheduleAt is ScheduleFunc with an absolute firing time.
@@ -573,11 +611,15 @@ func (s *Scheduler) ScheduleAt(when time.Time, name string, fn func()) *Timer {
 	if when.Before(s.now) {
 		when = s.now
 	}
-	return s.addTimerLocked(when, func() {
-		t := s.newTaskLocked(name)
-		s.runnable = append(s.runnable, t)
-		go s.taskBody(t, fn)
-	})
+	return s.addSpawnTimerLocked(when, name, fn)
+}
+
+// addSpawnTimerLocked schedules a timer that starts fn as a fresh task.
+func (s *Scheduler) addSpawnTimerLocked(when time.Time, name string, fn func()) *Timer {
+	s.seq++
+	tm := &Timer{s: s, when: when, seq: s.seq, spawnFn: fn, spawnName: name}
+	heap.Push(&s.timers, tm)
+	return tm
 }
 
 // timerHeap orders timers by (when, seq) so simultaneous timers fire in

@@ -15,6 +15,7 @@ package store
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -70,18 +71,43 @@ func (rs *RunStore) ReadDescription() (string, error) {
 
 // WriteEvents appends a node's recorded events of one run.
 func (rs *RunStore) WriteEvents(run int, node string, events []eventlog.Event) error {
-	return rs.appendJSONL(filepath.Join(rs.runDir(run, node), "events.jsonl"), toAny(events))
+	return appendJSONL(filepath.Join(rs.runDir(run, node), "events.jsonl"), events)
+}
+
+// ForEachEvent streams a node's events of one run in file order. The
+// pointed-to Event is reused between calls; callers that retain it must
+// copy the value. A single decoder is shared across the whole file, which
+// keeps conditioning from paying encoding/json's per-call scanner setup
+// for every line.
+func (rs *RunStore) ForEachEvent(run int, node string, fn func(ev *eventlog.Event) error) error {
+	path := filepath.Join(rs.runDir(run, node), "events.jsonl")
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	dec := json.NewDecoder(bufio.NewReader(f))
+	var ev eventlog.Event
+	for dec.More() {
+		ev = eventlog.Event{}
+		if err := dec.Decode(&ev); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if err := fn(&ev); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	return nil
 }
 
 // ReadEvents loads a node's events of one run.
 func (rs *RunStore) ReadEvents(run int, node string) ([]eventlog.Event, error) {
 	var out []eventlog.Event
-	err := rs.readJSONL(filepath.Join(rs.runDir(run, node), "events.jsonl"), func(line []byte) error {
-		var ev eventlog.Event
-		if err := json.Unmarshal(line, &ev); err != nil {
-			return err
-		}
-		out = append(out, ev)
+	err := rs.ForEachEvent(run, node, func(ev *eventlog.Event) error {
+		out = append(out, *ev)
 		return nil
 	})
 	return out, err
@@ -120,13 +146,60 @@ func FromCapture(c netem.Capture) PacketRecord {
 
 // WritePackets appends a node's packet captures of one run.
 func (rs *RunStore) WritePackets(run int, node string, pkts []PacketRecord) error {
-	return rs.appendJSONL(filepath.Join(rs.runDir(run, node), "packets.jsonl"), toAny(pkts))
+	return appendJSONL(filepath.Join(rs.runDir(run, node), "packets.jsonl"), pkts)
+}
+
+// packetMeta is the subset of PacketRecord that conditioning decodes: the
+// stored line itself becomes the Packets.Data blob, so the payload, path
+// and identifier fields never need parsing.
+type packetMeta struct {
+	Time time.Time `json:"time"`
+	Src  string    `json:"src"`
+}
+
+// ForEachPacketLine streams a node's packet captures of one run, yielding
+// each record's capture time, source node, and the raw stored line. The
+// line is a view into a shared buffer, valid only during the call. The
+// decoder and the line scan advance in lockstep, which holds because
+// appendJSONL writes exactly one JSON value per line.
+func (rs *RunStore) ForEachPacketLine(run int, node string, fn func(t time.Time, src string, line []byte) error) error {
+	path := filepath.Join(rs.runDir(run, node), "packets.jsonl")
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	for start := 0; start < len(data); {
+		var line []byte
+		if end := bytes.IndexByte(data[start:], '\n'); end < 0 {
+			line = data[start:]
+			start = len(data)
+		} else {
+			line = data[start : start+end]
+			start += end + 1
+		}
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		var m packetMeta
+		if err := dec.Decode(&m); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if err := fn(m.Time, m.Src, line); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	return nil
 }
 
 // ReadPackets loads a node's packet captures of one run.
 func (rs *RunStore) ReadPackets(run int, node string) ([]PacketRecord, error) {
 	var out []PacketRecord
-	err := rs.readJSONL(filepath.Join(rs.runDir(run, node), "packets.jsonl"), func(line []byte) error {
+	err := rs.ForEachPacketLine(run, node, func(_ time.Time, _ string, line []byte) error {
 		var p PacketRecord
 		if err := json.Unmarshal(line, &p); err != nil {
 			return err
@@ -165,10 +238,15 @@ func (rs *RunStore) ReadLog(run int, node string) (string, error) {
 // separate storage location).
 func (rs *RunStore) WriteExtra(run int, node, name string, content []byte) error {
 	dir := filepath.Join(rs.runDir(run, node), "extra")
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
+	path := filepath.Join(dir, name)
+	err := os.WriteFile(path, content, 0o644)
+	if err != nil && os.IsNotExist(err) {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		err = os.WriteFile(path, content, 0o644)
 	}
-	return os.WriteFile(filepath.Join(dir, name), content, 0o644)
+	return err
 }
 
 // ExtraMeasurement is one plugin measurement.
@@ -281,14 +359,19 @@ type RunInfo struct {
 // WriteRunInfo stores the run metadata and time-sync measurements.
 func (rs *RunStore) WriteRunInfo(info RunInfo) error {
 	dir := filepath.Join(rs.Dir, "runs", strconv.Itoa(info.Run))
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
 	b, err := json.MarshalIndent(info, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(filepath.Join(dir, "runinfo.json"), b, 0o644)
+	path := filepath.Join(dir, "runinfo.json")
+	err = os.WriteFile(path, b, 0o644)
+	if err != nil && os.IsNotExist(err) {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		err = os.WriteFile(path, b, 0o644)
+	}
+	return err
 }
 
 // ReadRunInfo loads a run's metadata.
@@ -343,54 +426,32 @@ func (rs *RunStore) RunNodes(run int) ([]string, error) {
 	return out, nil
 }
 
-func (rs *RunStore) appendJSONL(path string, items []any) error {
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return err
-	}
+// appendJSONL writes one JSON value per line. Encoding through *T keeps
+// the elements from being boxed into interfaces one by one (the former
+// []any conversion heap-copied every event and packet record).
+func appendJSONL[T any](path string, items []T) error {
+	// Open first, create the directory only on ENOENT: in the steady state
+	// (second and later files of a run directory) this saves the MkdirAll
+	// stat chain per append.
 	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil && os.IsNotExist(err) {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return err
+		}
+		f, err = os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	}
 	if err != nil {
 		return err
 	}
 	defer f.Close()
 	w := bufio.NewWriter(f)
 	enc := json.NewEncoder(w)
-	for _, it := range items {
-		if err := enc.Encode(it); err != nil {
+	for i := range items {
+		if err := enc.Encode(&items[i]); err != nil {
 			return err
 		}
 	}
 	return w.Flush()
-}
-
-func (rs *RunStore) readJSONL(path string, fn func(line []byte) error) error {
-	f, err := os.Open(path)
-	if os.IsNotExist(err) {
-		return nil
-	}
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
-		}
-		if err := fn(line); err != nil {
-			return fmt.Errorf("%s: %w", path, err)
-		}
-	}
-	return sc.Err()
-}
-
-func toAny[T any](in []T) []any {
-	out := make([]any, len(in))
-	for i, v := range in {
-		out[i] = v
-	}
-	return out
 }
 
 // MarkRunDone records that a run completed, enabling resume-after-abort:

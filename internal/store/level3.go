@@ -160,32 +160,27 @@ func Condition(rs *RunStore, meta Meta) (*ExperimentDB, error) {
 			return nil, err
 		}
 		for _, node := range nodes {
-			events, err := rs.ReadEvents(run, node)
-			if err != nil {
-				return nil, err
-			}
-			for _, ev := range events {
-				if err := e.DB.Insert("Events", reldb.Row{
+			err := rs.ForEachEvent(run, node, func(ev *eventlog.Event) error {
+				return e.DB.Insert("Events", reldb.Row{
 					int64(run), ev.Node, correct(ev.Node, ev.Time),
 					ev.Type, encodeParams(ev.Params),
-				}); err != nil {
-					return nil, err
-				}
-			}
-			pkts, err := rs.ReadPackets(run, node)
+				})
+			})
 			if err != nil {
 				return nil, err
 			}
-			for _, p := range pkts {
-				data, err := json.Marshal(p)
-				if err != nil {
-					return nil, err
-				}
-				if err := e.DB.Insert("Packets", reldb.Row{
-					int64(run), node, correct(node, p.Time), p.Src, data,
-				}); err != nil {
-					return nil, err
-				}
+			// The stored line is byte-identical to re-marshaling the decoded
+			// record (both sides are encoding/json output of PacketRecord;
+			// TestPacketLineMatchesMarshal pins this), so the raw bytes feed
+			// the Data column directly and the payload is never re-encoded.
+			err = rs.ForEachPacketLine(run, node, func(t time.Time, src string, line []byte) error {
+				return e.DB.Insert("Packets", reldb.Row{
+					int64(run), node, correct(node, t), src,
+					append([]byte(nil), line...),
+				})
+			})
+			if err != nil {
+				return nil, err
 			}
 			if log, err := rs.ReadLog(run, node); err != nil {
 				return nil, err
@@ -229,16 +224,6 @@ func Condition(rs *RunStore, meta Meta) (*ExperimentDB, error) {
 		}
 	}
 	return e, nil
-}
-
-// encodeParams serializes event parameters for the Parameter column with
-// deterministic key order.
-func encodeParams(p map[string]string) string {
-	if len(p) == 0 {
-		return ""
-	}
-	b, _ := json.Marshal(p) // encoding/json sorts map keys
-	return string(b)
 }
 
 // DecodeParams parses a Parameter column value.

@@ -145,7 +145,10 @@ func checkValue(c Column, v any) error {
 }
 
 // Insert appends a row. The row length and value types must match the
-// schema.
+// schema. Insert takes ownership of row: the caller must not read or
+// modify it afterwards (conditioning inserts every event and packet of an
+// experiment, so the defensive copy this replaces was one allocation per
+// stored measurement).
 func (db *DB) Insert(tableName string, row Row) error {
 	t, ok := db.tables[tableName]
 	if !ok {
@@ -161,7 +164,7 @@ func (db *DB) Insert(tableName string, row Row) error {
 		}
 	}
 	ord := len(t.rows)
-	t.rows = append(t.rows, append(Row(nil), row...))
+	t.rows = append(t.rows, row)
 	for col, idx := range t.indexes {
 		key := indexKey(row[t.colIdx[col]])
 		idx[key] = append(idx[key], ord)

@@ -22,43 +22,63 @@ import (
 	"excovery/internal/obs"
 )
 
+// encBuf pools the encoders' scratch buffers: every RPC of every run
+// serializes a call and a response, and growing a fresh builder each time
+// dominated the encode path's allocations. The buffer retains its grown
+// capacity across documents; only the final exact-size copy escapes.
+var encBuf = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// finishEnc copies the document out of the pooled buffer and returns the
+// buffer to the pool.
+func finishEnc(b *bytes.Buffer) []byte {
+	out := make([]byte, b.Len())
+	copy(out, b.Bytes())
+	b.Reset()
+	encBuf.Put(b)
+	return out
+}
+
 // EncodeCall serializes a methodCall document.
 func EncodeCall(method string, params ...any) ([]byte, error) {
-	var b strings.Builder
+	b := encBuf.Get().(*bytes.Buffer)
 	b.WriteString(xml.Header)
 	b.WriteString("<methodCall><methodName>")
-	xml.EscapeText(&b, []byte(method))
+	xml.EscapeText(b, []byte(method))
 	b.WriteString("</methodName><params>")
 	for _, p := range params {
 		b.WriteString("<param>")
-		if err := encodeValue(&b, p); err != nil {
+		if err := encodeValue(b, p); err != nil {
+			b.Reset()
+			encBuf.Put(b)
 			return nil, err
 		}
 		b.WriteString("</param>")
 	}
 	b.WriteString("</params></methodCall>")
-	return []byte(b.String()), nil
+	return finishEnc(b), nil
 }
 
 // EncodeResponse serializes a successful methodResponse carrying result.
 func EncodeResponse(result any) ([]byte, error) {
-	var b strings.Builder
+	b := encBuf.Get().(*bytes.Buffer)
 	b.WriteString(xml.Header)
 	b.WriteString("<methodResponse><params><param>")
-	if err := encodeValue(&b, result); err != nil {
+	if err := encodeValue(b, result); err != nil {
+		b.Reset()
+		encBuf.Put(b)
 		return nil, err
 	}
 	b.WriteString("</param></params></methodResponse>")
-	return []byte(b.String()), nil
+	return finishEnc(b), nil
 }
 
 // EncodeFault serializes a fault methodResponse.
 func EncodeFault(f *Fault) []byte {
-	var b strings.Builder
+	b := encBuf.Get().(*bytes.Buffer)
 	b.WriteString(xml.Header)
 	b.WriteString("<methodResponse><fault>")
 	// A fault is a struct with faultCode and faultString members.
-	if err := encodeValue(&b, map[string]any{
+	if err := encodeValue(b, map[string]any{
 		"faultCode":   f.Code,
 		"faultString": f.String,
 	}); err != nil {
@@ -66,7 +86,7 @@ func EncodeFault(f *Fault) []byte {
 		panic(err)
 	}
 	b.WriteString("</fault></methodResponse>")
-	return []byte(b.String())
+	return finishEnc(b)
 }
 
 type xCall struct {

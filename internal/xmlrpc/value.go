@@ -17,6 +17,7 @@
 package xmlrpc
 
 import (
+	"bytes"
 	"encoding/base64"
 	"encoding/xml"
 	"fmt"
@@ -60,20 +61,28 @@ func normalize(v any) any {
 	}
 }
 
+// writeInt writes one XML-RPC <int> element without fmt's interface
+// boxing (per-parameter hot on the encode path).
+func writeInt(b *bytes.Buffer, x int64) {
+	b.WriteString("<int>")
+	b.Write(strconv.AppendInt(b.AvailableBuffer(), x, 10))
+	b.WriteString("</int>")
+}
+
 // encodeValue writes a Go value as an XML-RPC <value> element.
-func encodeValue(b *strings.Builder, v any) error {
+func encodeValue(b *bytes.Buffer, v any) error {
 	v = normalize(v)
 	b.WriteString("<value>")
 	switch x := v.(type) {
 	case int:
-		fmt.Fprintf(b, "<int>%d</int>", x)
+		writeInt(b, int64(x))
 	case int32:
-		fmt.Fprintf(b, "<int>%d</int>", x)
+		writeInt(b, int64(x))
 	case int64:
 		if x > 1<<31-1 || x < -(1<<31) {
 			return fmt.Errorf("xmlrpc: int64 %d overflows XML-RPC int", x)
 		}
-		fmt.Fprintf(b, "<int>%d</int>", x)
+		writeInt(b, x)
 	case bool:
 		if x {
 			b.WriteString("<boolean>1</boolean>")
@@ -85,13 +94,21 @@ func encodeValue(b *strings.Builder, v any) error {
 		xml.EscapeText(b, []byte(x))
 		b.WriteString("</string>")
 	case float64:
-		fmt.Fprintf(b, "<double>%v</double>", strconv.FormatFloat(x, 'g', -1, 64))
+		b.WriteString("<double>")
+		b.WriteString(strconv.FormatFloat(x, 'g', -1, 64))
+		b.WriteString("</double>")
 	case float32:
-		fmt.Fprintf(b, "<double>%v</double>", strconv.FormatFloat(float64(x), 'g', -1, 32))
+		b.WriteString("<double>")
+		b.WriteString(strconv.FormatFloat(float64(x), 'g', -1, 32))
+		b.WriteString("</double>")
 	case time.Time:
-		fmt.Fprintf(b, "<dateTime.iso8601>%s</dateTime.iso8601>", x.UTC().Format(iso8601))
+		b.WriteString("<dateTime.iso8601>")
+		b.Write(x.UTC().AppendFormat(b.AvailableBuffer(), iso8601))
+		b.WriteString("</dateTime.iso8601>")
 	case []byte:
-		fmt.Fprintf(b, "<base64>%s</base64>", base64.StdEncoding.EncodeToString(x))
+		b.WriteString("<base64>")
+		b.WriteString(base64.StdEncoding.EncodeToString(x))
+		b.WriteString("</base64>")
 	case map[string]any:
 		b.WriteString("<struct>")
 		keys := make([]string, 0, len(x))

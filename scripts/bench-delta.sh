@@ -1,0 +1,34 @@
+#!/bin/sh
+# bench-delta.sh NEW.json — emit a one-line CHANGES.md note comparing the
+# Fig. 3 full-workflow allocs/op in NEW.json against the oldest other
+# BENCH_*.json in the repo root. Plain sh + grep + awk; no jq in CI.
+set -eu
+new="$1"
+
+allocs() {
+	grep 'BenchmarkFig3FullWorkflow' "$1" 2>/dev/null |
+		grep -o '[0-9][0-9]* allocs/op' | head -1 | cut -d' ' -f1
+}
+
+cur=$(allocs "$new" || true)
+base=""
+for f in BENCH_*.json; do
+	[ "$f" = "$new" ] && continue
+	[ -f "$f" ] || continue
+	base="$f"
+	break
+done
+day=$(date +%Y-%m-%d)
+if [ -z "$cur" ]; then
+	echo "- bench $day ($new): BenchmarkFig3FullWorkflow missing from the run."
+elif [ -z "$base" ]; then
+	echo "- bench $day ($new): Fig. 3 full workflow at $cur allocs/op (no prior BENCH_*.json to compare against)."
+else
+	old=$(allocs "$base")
+	if [ -z "$old" ]; then
+		echo "- bench $day ($new): Fig. 3 full workflow at $cur allocs/op ($base has no Fig. 3 line)."
+	else
+		pct=$(awk -v o="$old" -v c="$cur" 'BEGIN{printf "%+.1f", (c - o) * 100.0 / o}')
+		echo "- bench $day ($new): Fig. 3 full workflow $old -> $cur allocs/op ($pct% vs $base)."
+	fi
+fi

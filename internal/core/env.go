@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"strconv"
+	"strings"
 
 	"excovery/internal/eventlog"
 	"excovery/internal/fault"
@@ -20,8 +21,9 @@ type EnvExec struct {
 	envIDs   []string
 	emit     func(typ string, params map[string]string)
 
-	traffic *fault.Traffic
-	dropAll *fault.DropAll
+	traffic   *fault.Traffic
+	dropAll   *fault.DropAll
+	partition fault.Injection
 }
 
 // NewEnvExec builds the environment executor. emit receives the
@@ -64,6 +66,15 @@ func (e *EnvExec) Execute(action string, params map[string]string) error {
 		if e.dropAll != nil {
 			e.dropAll.Stop()
 			e.emit(eventlog.EvEnvDropAllStop, nil)
+		}
+		return nil
+	case eventlog.EvEnvPartitionStart:
+		return e.partitionStart(params)
+	case eventlog.EvEnvPartitionHeal:
+		if e.partition != nil {
+			e.partition.Stop()
+			e.partition = nil
+			e.emit(eventlog.EvEnvPartitionHeal, nil)
 		}
 		return nil
 	default:
@@ -125,6 +136,39 @@ func (e *EnvExec) trafficStart(params map[string]string) error {
 	return nil
 }
 
+// partitionStart cuts the network into the two comma-separated groups of
+// platform node ids in group_a and group_b (DESIGN.md §12). A previous
+// partition is healed first; the cut stays until env_partition_heal or
+// run cleanup.
+func (e *EnvExec) partitionStart(params map[string]string) error {
+	groupA := splitIDs(params["group_a"])
+	groupB := splitIDs(params["group_b"])
+	p, err := fault.NewPartition(e.nw, groupA, groupB)
+	if err != nil {
+		return fmt.Errorf("core: env_partition_start: %w", err)
+	}
+	if e.partition != nil {
+		e.partition.Stop()
+	}
+	e.partition = p
+	p.Start()
+	e.emit(eventlog.EvEnvPartitionStart, map[string]string{
+		"group_a": params["group_a"], "group_b": params["group_b"],
+	})
+	return nil
+}
+
+// splitIDs parses a comma-separated node-id list, trimming blanks.
+func splitIDs(s string) []netem.NodeID {
+	var out []netem.NodeID
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, netem.NodeID(part))
+		}
+	}
+	return out
+}
+
 // Reset stops all environment manipulations (run preparation/clean-up).
 func (e *EnvExec) Reset() {
 	if e.traffic != nil {
@@ -133,6 +177,10 @@ func (e *EnvExec) Reset() {
 	}
 	if e.dropAll != nil {
 		e.dropAll.Stop()
+	}
+	if e.partition != nil {
+		e.partition.Stop()
+		e.partition = nil
 	}
 }
 

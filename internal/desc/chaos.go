@@ -1,0 +1,193 @@
+package desc
+
+// Canned chaos scenario descriptions (DESIGN.md §12): each builder
+// assembles one experiment from the case-study skeleton plus a fault
+// scenario, and each ships as a versioned XML artifact under
+// descriptions/ ("Experiments as Code" — the scenario library is data,
+// not scripts). The XML files are generated from these builders, and
+// files_test.go keeps both in sync.
+
+// chaosTwoParty is the shared two-party skeleton of the chaos scenarios:
+// SM (actor0 on A) publishes, SU (actor1 on B) searches with a 30 s
+// deadline and flags "done" either way, on the case-study platform.
+func chaosTwoParty(name, comment string, replications int) *Experiment {
+	e := &Experiment{
+		Name:    name,
+		Comment: comment,
+		Params: []Param{
+			{Key: "sd_architecture", Value: "two-party"},
+			{Key: "sd_protocol", Value: "zeroconf"},
+			{Key: "sd_scheme", Value: "active"},
+		},
+		AbstractNodes: []string{"A", "B"},
+		Factors: []Factor{
+			ActorMapFactor("fact_nodes", UsageBlocking, map[string][]string{
+				"actor0": {"A"},
+				"actor1": {"B"},
+			}),
+		},
+		Repl: Replication{ID: "fact_replication_id", Count: replications},
+		Seed: 20140519,
+	}
+	e.NodeProcesses = []NodeProcess{
+		{
+			Actor: "actor0", Name: "SM", NodesRef: "fact_nodes",
+			Actions: []Action{
+				Act("sd_init"),
+				Act("sd_start_publish"),
+				WaitEvent(WaitSpec{Event: "done"}),
+				Act("sd_stop_publish"),
+				Act("sd_exit"),
+			},
+		},
+		{
+			Actor: "actor1", Name: "SU", NodesRef: "fact_nodes",
+			Actions: []Action{
+				WaitEvent(WaitSpec{
+					Event:     "sd_start_publish",
+					FromActor: "actor0", FromInstance: "all",
+				}),
+				// Let the SM's unsolicited announcements pass (Fig. 11) so
+				// t_R measures the query/response path under the fault.
+				WaitTime(5),
+				Act("sd_init"),
+				WaitMarker(),
+				Act("sd_start_search"),
+				WaitEvent(WaitSpec{
+					Event:     "sd_service_add",
+					FromActor: "actor1", FromInstance: "all",
+					ParamActor: "actor0", ParamInstance: "all",
+					TimeoutSec: 30,
+				}),
+				Flag("done"),
+				Act("sd_stop_search"),
+				Act("sd_exit"),
+			},
+		},
+	}
+	e.Platform = Platform{
+		Actors: []PlatformNode{
+			{ID: "t9-105", Abstract: "A", Address: "10.0.1.105"},
+			{ID: "t9-149", Abstract: "B", Address: "10.0.1.149"},
+		},
+	}
+	return e
+}
+
+// manipUntilDone wraps fault actions into a manipulation process on the
+// given actor: the faults apply immediately, hold until the SU flags
+// "done", then stop (stopKinds name the fault_stop targets, in order).
+func manipUntilDone(actor string, faults []Action, stopKinds ...string) ManipulationProcess {
+	actions := append([]Action{}, faults...)
+	actions = append(actions, WaitEvent(WaitSpec{Event: "done"}))
+	for _, k := range stopKinds {
+		actions = append(actions, Act("fault_stop", "kind", k))
+	}
+	return ManipulationProcess{Actor: actor, Actions: actions}
+}
+
+// ChaosReorder builds casestudy-reorder: discovery responsiveness under
+// correlated packet reordering at the SU — a swept reorder probability
+// holds back SD packets in 50 ms bursts.
+func ChaosReorder(replications int) *Experiment {
+	e := chaosTwoParty("sd-chaos-reorder",
+		"Two-party discovery under correlated message reordering at the SU",
+		replications)
+	e.Factors = append(e.Factors, FloatFactor("fact_reorder_prob", UsageConstant, 0.1, 0.3, 0.5))
+	e.ManipProcesses = []ManipulationProcess{manipUntilDone("actor1",
+		[]Action{
+			Act("fault_msg_reorder", "corr", "0.5", "delay_ms", "50", "direction", "receive").
+				WithFactorRef("prob", "fact_reorder_prob").
+				WithFactorRef("randomseed", "fact_replication_id"),
+		}, "fault_msg_reorder")}
+	return e
+}
+
+// ChaosDuplicate builds casestudy-duplicate: discovery under packet
+// duplication at the SU — every duplicated query and response doubles the
+// SD load on the mesh.
+func ChaosDuplicate(replications int) *Experiment {
+	e := chaosTwoParty("sd-chaos-duplicate",
+		"Two-party discovery under message duplication at the SU",
+		replications)
+	e.Factors = append(e.Factors, FloatFactor("fact_dup_prob", UsageConstant, 0.2, 0.5, 0.9))
+	e.ManipProcesses = []ManipulationProcess{manipUntilDone("actor1",
+		[]Action{
+			Act("fault_msg_duplicate", "direction", "both").
+				WithFactorRef("prob", "fact_dup_prob").
+				WithFactorRef("randomseed", "fact_replication_id"),
+		}, "fault_msg_duplicate")}
+	return e
+}
+
+// FlappingIface builds flapping-iface: the SM's interface flaps with a
+// 2 s period and 50 % duty cycle while the SU searches, so discovery
+// succeeds only in the up-windows.
+func FlappingIface(replications int) *Experiment {
+	e := chaosTwoParty("sd-flapping-iface",
+		"SU discovery against an SM whose interface flaps (2 s period, 50% duty)",
+		replications)
+	e.ManipProcesses = []ManipulationProcess{manipUntilDone("actor0",
+		[]Action{
+			Act("fault_flap", "kind", "fault_interface",
+				"period_s", "2", "duty", "0.5", "cycles", "10").
+				WithFactorRef("randomseed", "fact_replication_id"),
+		}, "fault_flap")}
+	return e
+}
+
+// PartitionHeal builds partition-heal: once the SU starts searching, the
+// network splits between SM and SU for 4 s and then heals; the SU's
+// backoff queries discover the SM after the heal (exercises recovery, not
+// steady-state loss).
+func PartitionHeal(replications int) *Experiment {
+	e := chaosTwoParty("sd-partition-heal",
+		"Network partition between SM and SU healed after 4 s",
+		replications)
+	e.EnvProcesses = []EnvProcess{{
+		Name: "partition",
+		Actions: []Action{
+			WaitEvent(WaitSpec{
+				Event:     "sd_start_search",
+				FromActor: "actor1", FromInstance: "all",
+			}),
+			Act("env_partition_start", "group_a", "t9-105", "group_b", "t9-149"),
+			WaitTime(4),
+			Act("env_partition_heal"),
+			WaitEvent(WaitSpec{Event: "done"}),
+		},
+	}}
+	return e
+}
+
+// RampedLoss builds ramped-loss: message loss at the SU sweeps from 0 to
+// 80 % in four 5 s steps during the search window.
+func RampedLoss(replications int) *Experiment {
+	e := chaosTwoParty("sd-ramped-loss",
+		"Message loss at the SU ramping 0 → 80% in four 5 s steps",
+		replications)
+	e.ManipProcesses = []ManipulationProcess{manipUntilDone("actor1",
+		[]Action{
+			Act("fault_ramp", "kind", "fault_msg_loss",
+				"from", "0", "to", "0.8", "steps", "4", "step_s", "5").
+				WithFactorRef("randomseed", "fact_replication_id"),
+		}, "fault_ramp")}
+	return e
+}
+
+// RateLimited builds rate-limited: the SU's SD traffic is shaped through
+// a token bucket at a swept rate, modelling discovery over a saturated
+// uplink.
+func RateLimited(replications int) *Experiment {
+	e := chaosTwoParty("sd-rate-limited",
+		"SU SD traffic token-bucket limited to a swept rate",
+		replications)
+	e.Factors = append(e.Factors, IntFactor("fact_rate_kbps", UsageConstant, 16, 64, 256))
+	e.ManipProcesses = []ManipulationProcess{manipUntilDone("actor1",
+		[]Action{
+			Act("fault_rate_limit", "direction", "both").
+				WithFactorRef("rate_kbps", "fact_rate_kbps").
+				WithFactorRef("randomseed", "fact_replication_id"),
+		}, "fault_rate_limit")}
+	return e
+}

@@ -31,9 +31,15 @@ func repoRoot(t *testing.T) string {
 func TestShippedDescriptionsMatchBuilders(t *testing.T) {
 	root := repoRoot(t)
 	cases := map[string]*Experiment{
-		"casestudy.xml":  CaseStudy(1000),
-		"oneshot.xml":    OneShot(30),
-		"threeparty.xml": ThreeParty(30, 1000),
+		"casestudy.xml":           CaseStudy(1000),
+		"oneshot.xml":             OneShot(30),
+		"threeparty.xml":          ThreeParty(30, 1000),
+		"casestudy-reorder.xml":   ChaosReorder(100),
+		"casestudy-duplicate.xml": ChaosDuplicate(100),
+		"flapping-iface.xml":      FlappingIface(100),
+		"partition-heal.xml":      PartitionHeal(100),
+		"ramped-loss.xml":         RampedLoss(100),
+		"rate-limited.xml":        RateLimited(100),
 	}
 	for file, want := range cases {
 		t.Run(file, func(t *testing.T) {
@@ -73,10 +79,11 @@ func TestShippedDescriptionsMatchBuilders(t *testing.T) {
 			}
 			// Process structure preserved.
 			if len(got.NodeProcesses) != len(want.NodeProcesses) ||
-				len(got.EnvProcesses) != len(want.EnvProcesses) {
-				t.Fatalf("process drift: %d/%d vs %d/%d node/env",
-					len(got.NodeProcesses), len(got.EnvProcesses),
-					len(want.NodeProcesses), len(want.EnvProcesses))
+				len(got.EnvProcesses) != len(want.EnvProcesses) ||
+				len(got.ManipProcesses) != len(want.ManipProcesses) {
+				t.Fatalf("process drift: %d/%d/%d vs %d/%d/%d node/env/manip",
+					len(got.NodeProcesses), len(got.EnvProcesses), len(got.ManipProcesses),
+					len(want.NodeProcesses), len(want.EnvProcesses), len(want.ManipProcesses))
 			}
 		})
 	}

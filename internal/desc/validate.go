@@ -3,7 +3,128 @@ package desc
 import (
 	"errors"
 	"fmt"
+	"strconv"
 )
+
+// faultKinds lists the fault injection actions of the chaos vocabulary
+// (§IV-D1 + DESIGN.md §12). Scenario actions (fault_flap, fault_ramp)
+// wrap one of these as their inner kind.
+var faultKinds = map[string]bool{
+	"fault_interface":     true,
+	"fault_msg_loss":      true,
+	"fault_msg_delay":     true,
+	"fault_path_loss":     true,
+	"fault_path_delay":    true,
+	"fault_msg_corrupt":   true,
+	"fault_msg_duplicate": true,
+	"fault_msg_reorder":   true,
+	"fault_rate_limit":    true,
+	"fault_node_kill":     true,
+	"fault_node_pause":    true,
+	"fault_node_stress":   true,
+}
+
+// rampableKinds are the fault kinds fault_ramp can sweep (the level feeds
+// their intensity parameter).
+var rampableKinds = map[string]bool{
+	"fault_msg_loss":   true,
+	"fault_msg_delay":  true,
+	"fault_rate_limit": true,
+}
+
+// checkFaultAction validates the literal parameters of fault and scenario
+// actions against their constructors' ranges, so misconfigured chaos
+// scenarios fail at validation instead of mid-experiment. Parameters
+// bound by factorref resolve per run and are skipped; unknown action
+// names are never rejected here (plugins extend the vocabulary).
+func checkFaultAction(where string, a Action, add func(format string, args ...any)) {
+	// num fetches a literal numeric parameter; absent or factor-bound
+	// parameters report ok=false and are not checked.
+	num := func(key string) (float64, bool) {
+		s, present := a.Params[key]
+		if !present {
+			return 0, false
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			add("%s action %s: parameter %s=%q is not a number", where, a.Name, key, s)
+			return 0, false
+		}
+		return v, true
+	}
+	within := func(key string, lo, hi float64, exclLo bool) {
+		if v, ok := num(key); ok && (v < lo || v > hi || (exclLo && v == lo)) {
+			bracket := "["
+			if exclLo {
+				bracket = "("
+			}
+			add("%s action %s: parameter %s=%v outside %s%v,%v]", where, a.Name, key, v, bracket, lo, hi)
+		}
+	}
+	atLeast := func(key string, lo float64, excl bool) {
+		if v, ok := num(key); ok && (v < lo || (excl && v == lo)) {
+			cmp := "≥"
+			if excl {
+				cmp = ">"
+			}
+			add("%s action %s: parameter %s=%v must be %s %v", where, a.Name, key, v, cmp, lo)
+		}
+	}
+
+	if faultKinds[a.Name] || a.Name == "fault_flap" || a.Name == "fault_ramp" {
+		atLeast("duration_s", 0, false)
+		within("rate", 0, 1, false)
+		if d, present := a.Params["direction"]; present {
+			switch d {
+			case "receive", "transmit", "both", "random":
+			default:
+				add("%s action %s: unknown direction %q", where, a.Name, d)
+			}
+		}
+	}
+
+	switch a.Name {
+	case "fault_msg_loss", "fault_path_loss":
+		within("prob", 0, 1, false)
+	case "fault_msg_corrupt", "fault_msg_duplicate":
+		within("prob", 0, 1, true)
+	case "fault_msg_reorder":
+		within("prob", 0, 1, true)
+		within("corr", 0, 1, false)
+		atLeast("delay_ms", 0, true)
+	case "fault_msg_delay", "fault_path_delay":
+		atLeast("delay_ms", 0, false)
+	case "fault_rate_limit":
+		atLeast("rate_kbps", 0, true)
+		atLeast("burst", 0, false)
+	case "fault_node_stress":
+		atLeast("factor", 0, false)
+	case "fault_flap":
+		kind := a.Params["kind"]
+		if _, bound := a.FactorRefs["kind"]; !bound && !faultKinds[kind] {
+			add("%s action fault_flap: unknown inner kind %q", where, kind)
+		}
+		atLeast("period_s", 0, true)
+		within("duty", 0, 1, true)
+		atLeast("cycles", 1, false)
+	case "fault_ramp":
+		kind := a.Params["kind"]
+		if _, bound := a.FactorRefs["kind"]; !bound && !rampableKinds[kind] {
+			add("%s action fault_ramp: cannot sweep kind %q", where, kind)
+		}
+		atLeast("steps", 1, false)
+		atLeast("step_s", 0, true)
+	case "env_partition_start":
+		for _, key := range []string{"group_a", "group_b"} {
+			if _, bound := a.FactorRefs[key]; bound {
+				continue
+			}
+			if a.Params[key] == "" {
+				add("%s action env_partition_start: missing %s", where, key)
+			}
+		}
+	}
+}
 
 // Validate checks an experiment description for structural consistency so
 // execution failures surface before any run starts ("automatic checking" of
@@ -138,6 +259,7 @@ func Validate(e *Experiment) error {
 			if a.Name == "event_flag" && a.Value == "" {
 				add("%s action %d: event_flag without value", where, i)
 			}
+			checkFaultAction(where, a, add)
 		}
 	}
 

@@ -54,4 +54,46 @@ const (
 	EvEnvTrafficStop  Name = "env_traffic_stop"
 	EvEnvDropAllStart Name = "env_drop_all_start"
 	EvEnvDropAllStop  Name = "env_drop_all_stop"
+
+	// Network partition manipulation (chaos vocabulary, DESIGN.md §12):
+	// the cut between the two groups and its healing.
+	EvEnvPartitionStart Name = "env_partition_start"
+	EvEnvPartitionHeal  Name = "env_partition_heal"
+
+	// Fault injections (§IV-D3: "one event per action"): each fault kind
+	// emits <kind>_start when the injection takes effect and <kind>_stop
+	// when it ends — whether by timing block, explicit fault_stop, or a
+	// scenario transition.
+	EvFaultInterfaceStart Name = "fault_interface_start"
+	EvFaultInterfaceStop  Name = "fault_interface_stop"
+	EvFaultMsgLossStart   Name = "fault_msg_loss_start"
+	EvFaultMsgLossStop    Name = "fault_msg_loss_stop"
+	EvFaultMsgDelayStart  Name = "fault_msg_delay_start"
+	EvFaultMsgDelayStop   Name = "fault_msg_delay_stop"
+	EvFaultPathLossStart  Name = "fault_path_loss_start"
+	EvFaultPathLossStop   Name = "fault_path_loss_stop"
+	EvFaultPathDelayStart Name = "fault_path_delay_start"
+	EvFaultPathDelayStop  Name = "fault_path_delay_stop"
+
+	// Chaos fault kinds (DESIGN.md §12, pumba-grade vocabulary).
+	EvFaultMsgCorruptStart   Name = "fault_msg_corrupt_start"
+	EvFaultMsgCorruptStop    Name = "fault_msg_corrupt_stop"
+	EvFaultMsgDuplicateStart Name = "fault_msg_duplicate_start"
+	EvFaultMsgDuplicateStop  Name = "fault_msg_duplicate_stop"
+	EvFaultMsgReorderStart   Name = "fault_msg_reorder_start"
+	EvFaultMsgReorderStop    Name = "fault_msg_reorder_stop"
+	EvFaultRateLimitStart    Name = "fault_rate_limit_start"
+	EvFaultRateLimitStop     Name = "fault_rate_limit_stop"
+	EvFaultNodeKillStart     Name = "fault_node_kill_start"
+	EvFaultNodeKillStop      Name = "fault_node_kill_stop"
+	EvFaultNodePauseStart    Name = "fault_node_pause_start"
+	EvFaultNodePauseStop     Name = "fault_node_pause_stop"
+	EvFaultNodeStressStart   Name = "fault_node_stress_start"
+	EvFaultNodeStressStop    Name = "fault_node_stress_stop"
+
+	// Scenario DSL transitions (DESIGN.md §12): flap cycles reuse the
+	// inner fault's start/stop events; ramps additionally mark each step
+	// with its interpolated level and the end of the sweep.
+	EvFaultRampStep Name = "fault_ramp_step"
+	EvFaultRampDone Name = "fault_ramp_done"
 )

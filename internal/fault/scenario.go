@@ -1,0 +1,219 @@
+// Scenario composition: a small DSL that sequences fault activations over
+// virtual time (DESIGN.md §12). Scenarios build on the same scheduler
+// machinery as Timing/Apply but express richer temporal shapes — flapping
+// (periodic on/off), ramps (stepwise intensity sweeps) and network
+// partitions with explicit healing. All schedules are fixed at
+// construction, so a scenario is exactly reproducible from the
+// description it came from.
+package fault
+
+import (
+	"fmt"
+	"time"
+
+	"excovery/internal/netem"
+	"excovery/internal/sched"
+)
+
+// Scenario is a scheduled composition of fault transitions. Cancel stops
+// every pending transition and deactivates whatever is currently active;
+// it is idempotent and safe to call from run cleanup.
+type Scenario struct {
+	timers []*sched.Timer
+	stop   func()
+}
+
+// Cancel aborts the scenario: pending transitions are dropped and the
+// active injection (if any) is deactivated.
+func (sc *Scenario) Cancel() {
+	for _, t := range sc.timers {
+		t.Stop()
+	}
+	sc.timers = nil
+	if sc.stop != nil {
+		sc.stop()
+	}
+}
+
+// Flap toggles an injection periodically: for cycles periods of the given
+// length, the fault is active during the first duty fraction of each
+// period (flap(period, duty) of the DSL). The first activation fires at
+// virtual-time offset zero, i.e. on the next scheduler step. onEvent, if
+// non-nil, receives "start"/"stop" per transition.
+func Flap(s *sched.Scheduler, inj Injection, period time.Duration, duty float64, cycles int, onEvent func(string)) (*Scenario, error) {
+	if period <= 0 {
+		return nil, fmt.Errorf("fault: flap period must be positive")
+	}
+	if duty <= 0 || duty > 1 {
+		return nil, fmt.Errorf("fault: flap duty %v out of (0,1]", duty)
+	}
+	if cycles < 1 {
+		return nil, fmt.Errorf("fault: flap needs at least one cycle")
+	}
+	notify := func(what string) {
+		if onEvent != nil {
+			onEvent(what)
+		}
+	}
+	active := time.Duration(float64(period) * duty)
+	sc := &Scenario{stop: inj.Stop}
+	for k := 0; k < cycles; k++ {
+		at := time.Duration(k) * period
+		sc.timers = append(sc.timers,
+			s.ScheduleFunc(at, "flap-start "+inj.Kind(), func() {
+				inj.Start()
+				notify("start")
+			}),
+			// With duty 1 the stop coincides with the next cycle's start;
+			// creation order makes the stop fire first, so the fault
+			// toggles rather than cancels itself.
+			s.ScheduleFunc(at+active, "flap-stop "+inj.Kind(), func() {
+				inj.Stop()
+				notify("stop")
+			}))
+	}
+	return sc, nil
+}
+
+// Ramp sweeps a fault's intensity in equal steps (ramp(from, to, steps)
+// of the DSL): mk builds the injection for an interpolated level; at each
+// step boundary the previous injection stops and the next one starts, and
+// after the last step the ramp ends with everything inactive. All
+// injections are constructed up front so parameter errors surface before
+// anything is scheduled. onEvent, if non-nil, receives each step index
+// and level, then (steps, to) when the ramp ends.
+func Ramp(s *sched.Scheduler, mk func(level float64) (Injection, error), from, to float64, steps int, stepDur time.Duration, onEvent func(step int, level float64)) (*Scenario, error) {
+	if steps < 1 {
+		return nil, fmt.Errorf("fault: ramp needs at least one step")
+	}
+	if stepDur <= 0 {
+		return nil, fmt.Errorf("fault: ramp step duration must be positive")
+	}
+	levels := make([]float64, steps)
+	injs := make([]Injection, steps)
+	for i := range injs {
+		frac := 0.0
+		if steps > 1 {
+			frac = float64(i) / float64(steps-1)
+		}
+		levels[i] = from + (to-from)*frac
+		inj, err := mk(levels[i])
+		if err != nil {
+			return nil, fmt.Errorf("fault: ramp step %d (level %v): %w", i, levels[i], err)
+		}
+		injs[i] = inj
+	}
+	var cur Injection
+	sc := &Scenario{}
+	sc.stop = func() {
+		if cur != nil {
+			cur.Stop()
+			cur = nil
+		}
+	}
+	for i := range injs {
+		i := i
+		sc.timers = append(sc.timers,
+			s.ScheduleFunc(time.Duration(i)*stepDur, "ramp-step "+injs[i].Kind(), func() {
+				if cur != nil {
+					cur.Stop()
+				}
+				cur = injs[i]
+				cur.Start()
+				if onEvent != nil {
+					onEvent(i, levels[i])
+				}
+			}))
+	}
+	sc.timers = append(sc.timers,
+		s.ScheduleFunc(time.Duration(steps)*stepDur, "ramp-end "+injs[0].Kind(), func() {
+			if cur != nil {
+				cur.Stop()
+				cur = nil
+			}
+			if onEvent != nil {
+				onEvent(steps, to)
+			}
+		}))
+	return sc, nil
+}
+
+// partitionFault splits the network into two groups by dropping every
+// packet that crosses the cut. Rules are installed on both sides: peer
+// rules match unicast traffic at the origin and any traffic at the
+// receiver, so flood packets relayed around the cut are still discarded
+// on arrival. Stop heals the partition.
+type partitionFault struct {
+	nw     *netem.Network
+	a, b   []netem.NodeID
+	rules  map[*netem.Node][]*netem.Rule
+	active bool
+}
+
+// NewPartition creates a partition(groupA, groupB) injection. The groups
+// must be non-empty, disjoint and name existing nodes; nodes in neither
+// group keep talking to both sides (they may still relay, which is why
+// the cut filters by peer on both endpoints rather than by topology).
+func NewPartition(nw *netem.Network, groupA, groupB []netem.NodeID) (Injection, error) {
+	if len(groupA) == 0 || len(groupB) == 0 {
+		return nil, fmt.Errorf("fault: partition groups must be non-empty")
+	}
+	inA := make(map[netem.NodeID]bool, len(groupA))
+	for _, id := range groupA {
+		if nw.Node(id) == nil {
+			return nil, fmt.Errorf("fault: partition group references unknown node %q", id)
+		}
+		inA[id] = true
+	}
+	for _, id := range groupB {
+		if nw.Node(id) == nil {
+			return nil, fmt.Errorf("fault: partition group references unknown node %q", id)
+		}
+		if inA[id] {
+			return nil, fmt.Errorf("fault: node %q in both partition groups", id)
+		}
+	}
+	return &partitionFault{nw: nw, a: groupA, b: groupB}, nil
+}
+
+func (f *partitionFault) Kind() string { return "partition" }
+
+// Target returns the empty id: a partition targets the network, not one
+// node.
+func (f *partitionFault) Target() netem.NodeID { return "" }
+
+func (f *partitionFault) Active() bool { return f.active }
+
+func (f *partitionFault) Start() {
+	if f.active {
+		return
+	}
+	f.active = true
+	f.rules = make(map[*netem.Node][]*netem.Rule)
+	cut := func(on netem.NodeID, peers []netem.NodeID) {
+		n := f.nw.Node(on)
+		for _, peer := range peers {
+			r := n.InstallRule(netem.Rule{Dir: netem.DirBoth, Peer: peer, DropAll: true})
+			f.rules[n] = append(f.rules[n], r)
+		}
+	}
+	for _, a := range f.a {
+		cut(a, f.b)
+	}
+	for _, b := range f.b {
+		cut(b, f.a)
+	}
+}
+
+func (f *partitionFault) Stop() {
+	if !f.active {
+		return
+	}
+	f.active = false
+	for n, rules := range f.rules {
+		for _, r := range rules {
+			n.RemoveRule(r)
+		}
+	}
+	f.rules = nil
+}

@@ -1,0 +1,464 @@
+package fault
+
+// Tests for the chaos injections, the Apply timing edge cases and the
+// scenario DSL (flap, ramp, partition).
+
+import (
+	"testing"
+	"time"
+
+	"excovery/internal/netem"
+	"excovery/internal/sched"
+)
+
+func TestApplyRateOneStopsAtWindowEnd(t *testing.T) {
+	s, _, a, _ := twoNodes(t)
+	var events []string
+	var stopAt time.Time
+	s.Go("t", func() {
+		inj, err := NewMessageLoss(a, 1, DirBoth, "sd", 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := s.Now()
+		ap := Apply(s, inj, Timing{Duration: 10 * time.Second, Rate: 1, Seed: 42},
+			func(what string) {
+				events = append(events, what)
+				if what == "stop" {
+					stopAt = s.Now()
+				}
+			})
+		// Zero slack: the block covers the whole window.
+		if !ap.StartAt.Equal(start) || !ap.StopAt.Equal(start.Add(10*time.Second)) {
+			t.Errorf("block [%v, %v], want whole window", ap.StartAt, ap.StopAt)
+		}
+		s.Sleep(10*time.Second + time.Millisecond)
+		if inj.Active() {
+			t.Error("rate=1 fault still active after window end")
+		}
+		if stopAt.Sub(start) != 10*time.Second {
+			t.Errorf("stopped at +%v, want +10s", stopAt.Sub(start))
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || events[0] != "start" || events[1] != "stop" {
+		t.Fatalf("events = %v, want [start stop]", events)
+	}
+}
+
+func TestApplyRateAboveOneClamps(t *testing.T) {
+	s, _, a, _ := twoNodes(t)
+	s.Go("t", func() {
+		inj, _ := NewMessageLoss(a, 1, DirBoth, "sd", 1)
+		ap := Apply(s, inj, Timing{Duration: time.Second, Rate: 2.5, Seed: 1}, nil)
+		if got := ap.StopAt.Sub(ap.StartAt); got != time.Second {
+			t.Errorf("active block %v, want 1s", got)
+		}
+		s.Sleep(2 * time.Second)
+		if inj.Active() {
+			t.Error("still active")
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyCancelBeforeStart(t *testing.T) {
+	s, _, a, _ := twoNodes(t)
+	var events []string
+	s.Go("t", func() {
+		inj, _ := NewMessageLoss(a, 1, DirBoth, "sd", 1)
+		ap := Apply(s, inj, Timing{Duration: 10 * time.Second, Rate: 0.5, Seed: 7},
+			func(what string) { events = append(events, what) })
+		// Cancel before yielding: no timer has fired yet, even one at
+		// offset zero.
+		ap.Cancel(inj)
+		s.Sleep(15 * time.Second)
+		if inj.Active() {
+			t.Error("canceled fault became active")
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 0 {
+		t.Fatalf("events = %v, want none", events)
+	}
+}
+
+func TestApplyCancelAfterStart(t *testing.T) {
+	s, _, a, _ := twoNodes(t)
+	var events []string
+	s.Go("t", func() {
+		inj, _ := NewMessageLoss(a, 1, DirBoth, "sd", 1)
+		ap := Apply(s, inj, Timing{Duration: 10 * time.Second, Rate: 1, Seed: 7},
+			func(what string) { events = append(events, what) })
+		s.Sleep(time.Second)
+		if !inj.Active() {
+			t.Fatal("fault not active after start fired")
+		}
+		ap.Cancel(inj)
+		if inj.Active() {
+			t.Error("fault active after Cancel")
+		}
+		s.Sleep(15 * time.Second)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// The scheduled stop was canceled, so only the start notified.
+	if len(events) != 1 || events[0] != "start" {
+		t.Fatalf("events = %v, want [start]", events)
+	}
+}
+
+func TestApplyBlockDeterministicAcrossSeeds(t *testing.T) {
+	block := func(seed int64) (time.Time, time.Time) {
+		s, _, a, _ := twoNodes(t)
+		var ap *Applied
+		s.Go("t", func() {
+			inj, _ := NewMessageLoss(a, 1, DirBoth, "sd", 1)
+			ap = Apply(s, inj, Timing{Duration: 20 * time.Second, Rate: 0.3, Seed: seed}, nil)
+		})
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return ap.StartAt, ap.StopAt
+	}
+	a1, o1 := block(99)
+	a2, o2 := block(99)
+	if !a1.Equal(a2) || !o1.Equal(o2) {
+		t.Fatalf("same seed, different blocks: [%v %v] vs [%v %v]", a1, o1, a2, o2)
+	}
+	a3, _ := block(100)
+	if a1.Equal(a3) {
+		t.Log("different seeds produced equal offsets (possible, but suspicious)")
+	}
+}
+
+// TestInjectionRandomnessIndependentOfNodeStream pins the satellite fix:
+// a fault's drop pattern is a function of its own seed only, so it stays
+// identical even when the surrounding network (and its node rng streams)
+// differs.
+func TestInjectionRandomnessIndependentOfNodeStream(t *testing.T) {
+	pattern := func(netSeed int64) []bool {
+		s := sched.NewVirtual()
+		nw := netem.New(s, netSeed)
+		a := nw.AddNode("a", netem.NodeParams{})
+		b := nw.AddNode("b", netem.NodeParams{})
+		// Jitter forces node-rng draws, desynchronizing the node streams
+		// across network seeds.
+		nw.AddLink("a", "b", netem.LinkParams{Delay: time.Millisecond, Jitter: 100 * time.Microsecond})
+		got := make([]bool, 50)
+		b.SetHandler(func(p *netem.Packet) { got[p.Payload[0]] = true })
+		s.Go("t", func() {
+			inj, err := NewMessageLoss(a, 0.5, DirTx, "sd", 1234)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inj.Start()
+			for i := 0; i < 50; i++ {
+				a.Send(netem.Unicast("b"), "sd", []byte{byte(i)})
+				s.Sleep(5 * time.Millisecond)
+			}
+		})
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	p1 := pattern(5)
+	p2 := pattern(987654)
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("packet %d: delivered=%v vs %v — fault randomness leaked from node stream", i, p1[i], p2[i])
+		}
+	}
+}
+
+func TestDirRandomDeterministicForChaosKinds(t *testing.T) {
+	_, _, a, _ := twoNodes(t)
+	mk := func(seed int64) []netem.Direction {
+		c1, _ := NewMessageCorrupt(a, 0.5, DirRandom, "sd", seed)
+		d1, _ := NewMessageDuplicate(a, 0.5, DirRandom, "sd", seed)
+		r1, _ := NewMessageReorder(a, 0.5, 0.2, time.Millisecond, DirRandom, "sd", seed)
+		l1, _ := NewRateLimit(a, 64000, 0, DirRandom, "sd", seed)
+		var dirs []netem.Direction
+		for _, inj := range []Injection{c1, d1, r1, l1} {
+			dirs = append(dirs, inj.(*ruleFault).rule.Dir)
+		}
+		return dirs
+	}
+	x, y := mk(7), mk(7)
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatalf("kind %d: dir %v vs %v for same seed", i, x[i], y[i])
+		}
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	_, _, a, _ := twoNodes(t)
+	if _, err := NewMessageCorrupt(a, 0, DirBoth, "sd", 1); err == nil {
+		t.Error("corrupt prob 0 accepted")
+	}
+	if _, err := NewMessageDuplicate(a, 1.5, DirBoth, "sd", 1); err == nil {
+		t.Error("duplicate prob 1.5 accepted")
+	}
+	if _, err := NewMessageReorder(a, 0.5, -0.1, time.Millisecond, DirBoth, "sd", 1); err == nil {
+		t.Error("negative correlation accepted")
+	}
+	if _, err := NewMessageReorder(a, 0.5, 0, 0, DirBoth, "sd", 1); err == nil {
+		t.Error("zero reorder delay accepted")
+	}
+	if _, err := NewRateLimit(a, 0, 0, DirBoth, "sd", 1); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := NewNodeStress(a, -1); err == nil {
+		t.Error("negative stress accepted")
+	}
+}
+
+func TestProcFaultsToggle(t *testing.T) {
+	s, _, a, _ := twoNodes(t)
+	s.Go("t", func() {
+		kill := NewNodeKill(a)
+		kill.Start()
+		if !a.Killed() || !kill.Active() {
+			t.Error("kill did not take effect")
+		}
+		kill.Stop()
+		if a.Killed() {
+			t.Error("node still killed after Stop")
+		}
+		pause := NewNodePause(a)
+		pause.Start()
+		if !a.Paused() {
+			t.Error("pause did not take effect")
+		}
+		pause.Stop()
+		stress, err := NewNodeStress(a, 1.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stress.Start()
+		if a.Stress() != 1.5 {
+			t.Errorf("stress = %v", a.Stress())
+		}
+		stress.Stop()
+		if a.Stress() != 0 {
+			t.Error("stress survived Stop")
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlapTogglesInjection(t *testing.T) {
+	s, _, a, _ := twoNodes(t)
+	var events []string
+	s.Go("t", func() {
+		inj, _ := NewInterfaceFault(a, DirBoth, 1)
+		sc, err := Flap(s, inj, time.Second, 0.5, 3, func(what string) { events = append(events, what) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = sc
+		// Sample mid-active (k·period + 250ms) and mid-inactive
+		// (k·period + 750ms) in each cycle.
+		s.Sleep(250 * time.Millisecond)
+		for k := 0; k < 3; k++ {
+			if !inj.Active() {
+				t.Errorf("cycle %d: inactive during duty window", k)
+			}
+			s.Sleep(500 * time.Millisecond)
+			if inj.Active() {
+				t.Errorf("cycle %d: active outside duty window", k)
+			}
+			s.Sleep(500 * time.Millisecond)
+		}
+		s.Sleep(2 * time.Second)
+		if inj.Active() {
+			t.Error("active after last cycle")
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 6 {
+		t.Fatalf("%d transitions, want 6 (3 cycles × start+stop)", len(events))
+	}
+}
+
+func TestFlapValidation(t *testing.T) {
+	s, _, a, _ := twoNodes(t)
+	inj, _ := NewInterfaceFault(a, DirBoth, 1)
+	if _, err := Flap(s, inj, 0, 0.5, 1, nil); err == nil {
+		t.Error("zero period accepted")
+	}
+	if _, err := Flap(s, inj, time.Second, 0, 1, nil); err == nil {
+		t.Error("zero duty accepted")
+	}
+	if _, err := Flap(s, inj, time.Second, 1.5, 1, nil); err == nil {
+		t.Error("duty > 1 accepted")
+	}
+	if _, err := Flap(s, inj, time.Second, 0.5, 0, nil); err == nil {
+		t.Error("zero cycles accepted")
+	}
+}
+
+func TestRampSweepsAndEnds(t *testing.T) {
+	s, _, a, _ := twoNodes(t)
+	type step struct {
+		i     int
+		level float64
+	}
+	var steps []step
+	s.Go("t", func() {
+		mk := func(level float64) (Injection, error) {
+			return NewMessageLoss(a, level, DirBoth, "sd", 1)
+		}
+		_, err := Ramp(s, mk, 0.2, 0.8, 3, time.Second,
+			func(i int, level float64) { steps = append(steps, step{i, level}) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Sleep(500 * time.Millisecond)
+		if a.RuleCount() != 1 {
+			t.Errorf("step 0: %d rules installed", a.RuleCount())
+		}
+		s.Sleep(3 * time.Second)
+		if a.RuleCount() != 0 {
+			t.Errorf("after ramp end: %d rules still installed", a.RuleCount())
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []step{{0, 0.2}, {1, 0.5}, {2, 0.8}, {3, 0.8}}
+	if len(steps) != len(want) {
+		t.Fatalf("steps = %v", steps)
+	}
+	for i := range want {
+		if steps[i].i != want[i].i || !close2(steps[i].level, want[i].level) {
+			t.Fatalf("step %d = %+v, want %+v", i, steps[i], want[i])
+		}
+	}
+}
+
+func close2(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}
+
+func TestRampConstructorErrorsSurfaceEarly(t *testing.T) {
+	s, _, a, _ := twoNodes(t)
+	mk := func(level float64) (Injection, error) {
+		return NewMessageLoss(a, level, DirBoth, "sd", 1)
+	}
+	// Level 1.5 is out of range for message loss: the ramp must refuse
+	// before scheduling anything.
+	if _, err := Ramp(s, mk, 0.5, 1.5, 3, time.Second, nil); err == nil {
+		t.Error("out-of-range ramp target accepted")
+	}
+	if _, err := Ramp(s, mk, 0, 1, 0, time.Second, nil); err == nil {
+		t.Error("zero steps accepted")
+	}
+	if _, err := Ramp(s, mk, 0, 1, 3, 0, nil); err == nil {
+		t.Error("zero step duration accepted")
+	}
+}
+
+func TestRampCancelStopsCurrent(t *testing.T) {
+	s, _, a, _ := twoNodes(t)
+	s.Go("t", func() {
+		mk := func(level float64) (Injection, error) {
+			return NewMessageLoss(a, level, DirBoth, "sd", 1)
+		}
+		sc, err := Ramp(s, mk, 0.2, 0.8, 3, time.Second, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Sleep(1500 * time.Millisecond) // mid step 1
+		sc.Cancel()
+		if a.RuleCount() != 0 {
+			t.Errorf("%d rules after Cancel", a.RuleCount())
+		}
+		s.Sleep(5 * time.Second)
+		if a.RuleCount() != 0 {
+			t.Errorf("canceled ramp scheduled more steps")
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionCutsAndHeals(t *testing.T) {
+	s := sched.NewVirtual()
+	nw := netem.New(s, 1)
+	a := nw.AddNode("a", netem.NodeParams{})
+	nw.AddNode("b", netem.NodeParams{})
+	nw.AddNode("c", netem.NodeParams{})
+	for _, pair := range [][2]netem.NodeID{{"a", "b"}, {"b", "c"}, {"a", "c"}} {
+		nw.AddLink(pair[0], pair[1], netem.LinkParams{Delay: time.Millisecond})
+	}
+	nw.Join("svc", "a")
+	nw.Join("svc", "b")
+	nw.Join("svc", "c")
+	recv := map[netem.NodeID]int{}
+	for _, id := range []netem.NodeID{"a", "b", "c"} {
+		id := id
+		nw.Node(id).SetHandler(func(p *netem.Packet) { recv[id]++ })
+	}
+	s.Go("t", func() {
+		part, err := NewPartition(nw, []netem.NodeID{"a"}, []netem.NodeID{"b"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		part.Start()
+		// Unicast across the cut dies; unicast to the unpartitioned node
+		// survives.
+		a.Send(netem.Unicast("b"), "t", nil)
+		a.Send(netem.Unicast("c"), "t", nil)
+		// Flood from a: c receives directly AND would relay to b — the
+		// relayed copy must die at b's rx rule.
+		a.Send(netem.Multicast("svc"), "t", nil)
+		s.Sleep(100 * time.Millisecond)
+		if recv["b"] != 0 {
+			t.Errorf("b received %d packets across the cut", recv["b"])
+		}
+		if recv["c"] != 2 {
+			t.Errorf("c received %d, want 2 (unicast + flood)", recv["c"])
+		}
+		part.Stop()
+		if part.Active() {
+			t.Error("partition active after heal")
+		}
+		a.Send(netem.Unicast("b"), "t", nil)
+		s.Sleep(100 * time.Millisecond)
+		if recv["b"] != 1 {
+			t.Errorf("b received %d after heal, want 1", recv["b"])
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionValidation(t *testing.T) {
+	_, nw, _, _ := twoNodes(t)
+	if _, err := NewPartition(nw, nil, []netem.NodeID{"b"}); err == nil {
+		t.Error("empty group accepted")
+	}
+	if _, err := NewPartition(nw, []netem.NodeID{"a"}, []netem.NodeID{"a"}); err == nil {
+		t.Error("overlapping groups accepted")
+	}
+	if _, err := NewPartition(nw, []netem.NodeID{"a"}, []netem.NodeID{"nope"}); err == nil {
+		t.Error("unknown node accepted")
+	}
+}

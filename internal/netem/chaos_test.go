@@ -1,0 +1,298 @@
+package netem
+
+// Tests for the chaos rule vocabulary (duplicate, corrupt, correlated
+// reorder, rate limit) and the process-state faults (kill, pause,
+// stress).
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"excovery/internal/sched"
+)
+
+func TestDuplicateRuleTx(t *testing.T) {
+	s := sched.NewVirtual()
+	nw := New(s, 1)
+	a := nw.AddNode("a", NodeParams{})
+	b := nw.AddNode("b", NodeParams{})
+	nw.AddLink("a", "b", lossless(time.Millisecond))
+	a.InstallRule(Rule{Dir: DirTx, DupProb: 1, Rng: rand.New(rand.NewSource(7))})
+	recv := 0
+	b.SetHandler(func(p *Packet) { recv++ })
+	s.Go("send", func() {
+		for i := 0; i < 10; i++ {
+			a.Send(Unicast("b"), "t", []byte("x"))
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if recv != 20 {
+		t.Fatalf("received %d packets, want 20 (every one duplicated)", recv)
+	}
+	if nw.Stats().RuleDuplicates != 10 {
+		t.Fatalf("RuleDuplicates = %d, want 10", nw.Stats().RuleDuplicates)
+	}
+}
+
+func TestDuplicateRuleRxDeliversTwice(t *testing.T) {
+	s := sched.NewVirtual()
+	nw := New(s, 1)
+	a := nw.AddNode("a", NodeParams{})
+	b := nw.AddNode("b", NodeParams{})
+	nw.AddLink("a", "b", lossless(time.Millisecond))
+	b.InstallRule(Rule{Dir: DirRx, DupProb: 1, Rng: rand.New(rand.NewSource(7))})
+	recv := 0
+	b.SetHandler(func(p *Packet) { recv++ })
+	s.Go("send", func() { a.Send(Unicast("b"), "t", []byte("x")) })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if recv != 2 {
+		t.Fatalf("received %d deliveries, want 2", recv)
+	}
+}
+
+func TestCorruptRuleFlipsBitCopyOnWrite(t *testing.T) {
+	s := sched.NewVirtual()
+	nw := New(s, 1)
+	a := nw.AddNode("a", NodeParams{})
+	b := nw.AddNode("b", NodeParams{})
+	nw.AddLink("a", "b", lossless(time.Millisecond))
+	rng := rand.New(rand.NewSource(3))
+	b.InstallRule(Rule{Dir: DirRx, CorruptProb: 1, Rng: rng,
+		Modify: func(p *Packet) {
+			q := append([]byte(nil), p.Payload...)
+			bit := rng.Intn(len(q) * 8)
+			q[bit/8] ^= 1 << (bit % 8)
+			p.Payload = q
+		}})
+	orig := []byte("payload")
+	var got []byte
+	b.SetHandler(func(p *Packet) { got = p.Payload })
+	s.Go("send", func() { a.Send(Unicast("b"), "t", orig) })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, orig) {
+		t.Fatal("payload not corrupted")
+	}
+	if string(orig) != "payload" {
+		t.Fatalf("sender payload mutated to %q — Modify must copy", orig)
+	}
+	// Exactly one bit differs.
+	diff := 0
+	for i := range got {
+		for b := got[i] ^ orig[i]; b != 0; b &= b - 1 {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bits flipped, want 1", diff)
+	}
+}
+
+func TestCorruptProbGatesModify(t *testing.T) {
+	s := sched.NewVirtual()
+	nw := New(s, 1)
+	a := nw.AddNode("a", NodeParams{})
+	b := nw.AddNode("b", NodeParams{})
+	nw.AddLink("a", "b", lossless(time.Millisecond))
+	modified := 0
+	b.InstallRule(Rule{Dir: DirRx, CorruptProb: 0.5, Rng: rand.New(rand.NewSource(5)),
+		Modify: func(p *Packet) { modified++ }})
+	s.Go("send", func() {
+		for i := 0; i < 200; i++ {
+			a.Send(Unicast("b"), "t", []byte("x"))
+			s.Sleep(time.Millisecond) // pace below the egress queue limit
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if modified < 60 || modified > 140 {
+		t.Fatalf("modified %d of 200 at prob 0.5", modified)
+	}
+}
+
+func TestReorderCorrelationRepeatsDecisions(t *testing.T) {
+	// With full correlation, every packet after the first repeats the
+	// first decision: either all are held back or none, never a mix.
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		s := sched.NewVirtual()
+		nw := New(s, 1)
+		a := nw.AddNode("a", NodeParams{})
+		b := nw.AddNode("b", NodeParams{})
+		nw.AddLink("a", "b", lossless(time.Millisecond))
+		b.InstallRule(Rule{Dir: DirRx, ReorderProb: 0.5, ReorderCorr: 1,
+			ReorderDelay: 40 * time.Millisecond, Rng: rand.New(rand.NewSource(seed))})
+		var times []time.Time
+		b.SetHandler(func(p *Packet) { times = append(times, s.Now()) })
+		s.Go("send", func() {
+			for i := 1; i < 10; i++ {
+				a.Send(Unicast("b"), "t", []byte("x"))
+			}
+		})
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if len(times) != 9 {
+			t.Fatalf("seed %d: delivered %d", seed, len(times))
+		}
+		// All deliveries after the first must share the first packet's
+		// fate; spread between consecutive arrivals stays < reorder
+		// delay if and only if decisions never flip.
+		for i := 2; i < len(times); i++ {
+			gap := times[i].Sub(times[i-1])
+			if gap > 20*time.Millisecond {
+				t.Fatalf("seed %d: decision flipped mid-stream (gap %v)", seed, gap)
+			}
+		}
+	}
+}
+
+func TestRateLimitShapesThroughput(t *testing.T) {
+	s := sched.NewVirtual()
+	nw := New(s, 1)
+	a := nw.AddNode("a", NodeParams{})
+	b := nw.AddNode("b", NodeParams{})
+	nw.AddLink("a", "b", lossless(time.Millisecond))
+	// 64 kbit/s, burst of one packet: 20 packets of 1000 B wire size
+	// need ≈ (20-burst)·1000·8/64000 s ≈ 2.4 s.
+	a.InstallRule(Rule{Dir: DirTx, RateBps: 64_000, RateBurst: 1000,
+		Rng: rand.New(rand.NewSource(1))})
+	var last time.Time
+	recv := 0
+	b.SetHandler(func(p *Packet) { recv++; last = s.Now() })
+	start := s.Now()
+	s.Go("send", func() {
+		for i := 0; i < 20; i++ {
+			a.Send(Unicast("b"), "t", make([]byte, 952)) // 1000 B wire
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if recv != 20 {
+		t.Fatalf("rate limit dropped packets: %d/20", recv)
+	}
+	took := last.Sub(start)
+	if took < 2*time.Second || took > 3*time.Second {
+		t.Fatalf("20 packets at 64 kbit/s took %v, want ≈2.4 s", took)
+	}
+}
+
+func TestKilledNodeMuteAndUnrouted(t *testing.T) {
+	s := sched.NewVirtual()
+	nw := New(s, 1)
+	ids := BuildChain(nw, "n", 3, NodeParams{}, lossless(time.Millisecond))
+	mid := nw.Node(ids[1])
+	recv := 0
+	nw.Node(ids[2]).SetHandler(func(p *Packet) { recv++ })
+	s.Go("kill", func() {
+		mid.SetKilled(true)
+		if _, ok := nw.NextHop(ids[0], ids[2]); ok {
+			t.Error("route through killed node survived")
+		}
+		if _, ok := nw.Node(ids[0]).Send(Unicast(ids[2]), "t", nil); ok {
+			t.Error("send through killed relay succeeded")
+		}
+		mid.SetKilled(false)
+		if _, ok := nw.Node(ids[0]).Send(Unicast(ids[2]), "t", nil); !ok {
+			t.Error("send after restart failed")
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if recv != 1 {
+		t.Fatalf("delivered %d, want 1 (only after restart)", recv)
+	}
+}
+
+func TestPausedNodeBuffersAndDrains(t *testing.T) {
+	s := sched.NewVirtual()
+	nw := New(s, 1)
+	a := nw.AddNode("a", NodeParams{})
+	b := nw.AddNode("b", NodeParams{})
+	nw.AddLink("a", "b", lossless(time.Millisecond))
+	var deliveredAt []time.Time
+	b.SetHandler(func(p *Packet) { deliveredAt = append(deliveredAt, s.Now()) })
+	start := s.Now()
+	s.Go("drive", func() {
+		b.SetPaused(true)
+		for i := 0; i < 3; i++ {
+			a.Send(Unicast("b"), "t", []byte("x"))
+		}
+		s.Sleep(100 * time.Millisecond)
+		if len(deliveredAt) != 0 {
+			t.Error("paused node delivered packets")
+		}
+		b.SetPaused(false)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(deliveredAt) != 3 {
+		t.Fatalf("delivered %d after resume, want 3", len(deliveredAt))
+	}
+	for _, at := range deliveredAt {
+		if at.Sub(start) < 100*time.Millisecond {
+			t.Fatalf("delivery at %v predates resume", at.Sub(start))
+		}
+	}
+}
+
+func TestStressSlowsSerialization(t *testing.T) {
+	lat := func(stress float64) time.Duration {
+		s := sched.NewVirtual()
+		nw := New(s, 1)
+		a := nw.AddNode("a", NodeParams{})
+		b := nw.AddNode("b", NodeParams{})
+		nw.AddLink("a", "b", lossless(time.Millisecond))
+		a.SetStress(stress)
+		var at time.Time
+		b.SetHandler(func(p *Packet) { at = s.Now() })
+		start := s.Now()
+		s.Go("send", func() { a.Send(Unicast("b"), "t", make([]byte, 7452)) }) // 7500 B → 10 ms at 6 Mbit/s
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return at.Sub(start)
+	}
+	base := lat(0)
+	loaded := lat(2)
+	// Serialization triples under stress 2; link delay is constant.
+	wantMin := base + 15*time.Millisecond
+	if loaded < wantMin {
+		t.Fatalf("stress 2: latency %v vs base %v, want ≥ %v", loaded, base, wantMin)
+	}
+}
+
+func TestResetRunStateClearsProcessFaults(t *testing.T) {
+	s := sched.NewVirtual()
+	nw := New(s, 1)
+	a := nw.AddNode("a", NodeParams{})
+	b := nw.AddNode("b", NodeParams{})
+	nw.AddLink("a", "b", lossless(time.Millisecond))
+	s.Go("drive", func() {
+		a.SetKilled(true)
+		b.SetPaused(true)
+		b.SetStress(3)
+		a.ResetRunState()
+		b.ResetRunState()
+		if a.Killed() || b.Paused() || b.Stress() != 0 {
+			t.Errorf("state survived reset: killed=%v paused=%v stress=%v",
+				a.Killed(), b.Paused(), b.Stress())
+		}
+		if _, ok := a.Send(Unicast("b"), "t", nil); !ok {
+			t.Error("send after reset failed")
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -124,6 +124,8 @@ const (
 	DropTTL
 	// DropIfDown means the interface was administratively down.
 	DropIfDown
+	// DropProc means the node's process was killed or paused.
+	DropProc
 	dropReasonCount
 )
 
@@ -141,6 +143,8 @@ func (r DropReason) String() string {
 		return "ttl"
 	case DropIfDown:
 		return "ifdown"
+	case DropProc:
+		return "proc"
 	default:
 		return fmt.Sprintf("DropReason(%d)", int(r))
 	}
@@ -156,6 +160,8 @@ type Stats struct {
 	Delivered uint64
 	// Duplicates counts flood duplicates suppressed at receivers.
 	Duplicates uint64
+	// RuleDuplicates counts packet copies created by duplication rules.
+	RuleDuplicates uint64
 	// Dropped counts discards by reason.
 	Dropped [dropReasonCount]uint64
 }
@@ -333,7 +339,7 @@ func (nw *Network) neighbors(n NodeID) []NodeID {
 }
 
 // recomputeRoutes rebuilds the next-hop tables with a BFS per source over
-// nodes whose interfaces are up.
+// operational nodes (interface up, process not killed).
 func (nw *Network) recomputeRoutes() {
 	nw.routes = make(map[NodeID]map[NodeID]NodeID, len(nw.order))
 	for _, src := range nw.order {
@@ -344,7 +350,7 @@ func (nw *Network) recomputeRoutes() {
 
 func (nw *Network) bfsFrom(src NodeID) map[NodeID]NodeID {
 	next := make(map[NodeID]NodeID)
-	if !nw.nodes[src].up {
+	if !nw.nodes[src].operational() {
 		return next
 	}
 	type qe struct {
@@ -354,7 +360,7 @@ func (nw *Network) bfsFrom(src NodeID) map[NodeID]NodeID {
 	visited := map[NodeID]bool{src: true}
 	var queue []qe
 	for _, nb := range nw.neighbors(src) {
-		if nw.nodes[nb].up {
+		if nw.nodes[nb].operational() {
 			visited[nb] = true
 			next[nb] = nb
 			queue = append(queue, qe{nb, nb})
@@ -364,7 +370,7 @@ func (nw *Network) bfsFrom(src NodeID) map[NodeID]NodeID {
 		cur := queue[0]
 		queue = queue[1:]
 		for _, nb := range nw.neighbors(cur.node) {
-			if visited[nb] || !nw.nodes[nb].up {
+			if visited[nb] || !nw.nodes[nb].operational() {
 				continue
 			}
 			visited[nb] = true

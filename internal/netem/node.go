@@ -28,6 +28,10 @@ type Node struct {
 	up      bool
 	rxDown  bool
 	txDown  bool
+	killed  bool      // process killed: node mute and out of routing
+	paused  bool      // process paused: rx buffers, nothing processed
+	pausedQ []*Packet // packets buffered while paused (kernel socket buffer)
+	stress  float64   // CPU stress factor; scales serialization time
 	tag     uint16
 	tagging bool
 
@@ -94,6 +98,10 @@ func (n *Node) ResetRunState() {
 		}
 		n.queued--
 	}
+	n.pausedQ = nil
+	n.paused = false
+	n.stress = 0
+	n.SetKilled(false)
 }
 
 // InterfaceUp reports whether the interface is administratively up.
@@ -115,6 +123,71 @@ func (n *Node) SetInterface(up bool) {
 func (n *Node) SetInterfaceDir(rxBlocked, txBlocked bool) {
 	n.rxDown = rxBlocked
 	n.txDown = txBlocked
+}
+
+// operational reports whether the node participates in the network: its
+// interface is up and its process has not been killed.
+func (n *Node) operational() bool { return n.up && !n.killed }
+
+// Killed reports whether the node's process is killed.
+func (n *Node) Killed() bool { return n.killed }
+
+// SetKilled kills or restarts the node's process (pumba-style container
+// kill). A killed node neither sends, receives nor forwards; its queued
+// transmissions and buffered packets are lost and it disappears from
+// routing until restarted.
+func (n *Node) SetKilled(on bool) {
+	if n.killed == on {
+		return
+	}
+	n.killed = on
+	if on {
+		for {
+			if _, ok := n.egress.TryPop(); !ok {
+				break
+			}
+			n.queued--
+		}
+		n.pausedQ = nil
+	}
+	n.net.dirty, n.net.nbrs = true, nil
+}
+
+// Paused reports whether the node's process is paused.
+func (n *Node) Paused() bool { return n.paused }
+
+// SetPaused freezes or resumes the node's process (pumba-style SIGSTOP).
+// While paused the NIC still receives — packets are captured and buffered
+// up to the queue limit, like a kernel socket buffer under a stopped
+// process — but nothing is processed or sent. Resuming drains the buffer
+// in arrival order.
+func (n *Node) SetPaused(on bool) {
+	if n.paused == on {
+		return
+	}
+	n.paused = on
+	if on || len(n.pausedQ) == 0 {
+		return
+	}
+	q := n.pausedQ
+	n.pausedQ = nil
+	for _, p := range q {
+		p := p
+		n.net.s.ScheduleFunc(0, n.rxName, func() { n.process(p) })
+	}
+}
+
+// Stress returns the node's CPU stress factor.
+func (n *Node) Stress() float64 { return n.stress }
+
+// SetStress sets a CPU stress factor f ≥ 0 (pumba-style stress-ng): packet
+// serialization takes (1+f)× as long, modelling a loaded host competing
+// with the network stack. Zero removes the stress.
+func (n *Node) SetStress(f float64) {
+	if f < 0 {
+		f = 0
+	}
+	n.stress = f
 }
 
 func (n *Node) capture(p *Packet, dir CaptureDir) {
@@ -165,6 +238,12 @@ func (n *Node) enqueue(p *Packet) bool {
 		nw.stats.Dropped[DropIfDown]++
 		return false
 	}
+	if n.killed || n.paused {
+		// A killed or frozen process cannot send; attempts by its still-
+		// scheduled tasks are discarded.
+		nw.stats.Dropped[DropProc]++
+		return false
+	}
 	v := n.evalRules(p, CaptureTx)
 	if v.drop {
 		nw.stats.Dropped[DropRule]++
@@ -185,6 +264,14 @@ func (n *Node) enqueue(p *Packet) bool {
 	}
 	n.queued++
 	n.egress.Push(x)
+	if v.dup && n.queued < n.params.QueueLen {
+		// Duplicate rule: queue a second copy of the same transmission.
+		// The copy bypasses rule evaluation so a duplication probability
+		// of 1 cannot cascade.
+		nw.stats.RuleDuplicates++
+		n.queued++
+		n.egress.Push(&transmission{pkt: p, nextHop: x.nextHop, extraDelay: v.delay})
+	}
 	return true
 }
 
@@ -201,6 +288,9 @@ func (n *Node) pump() {
 		// Rule-injected delay does NOT occupy the medium; it is applied
 		// per propagation below, like a real qdisc netem delay.
 		txTime := time.Duration(float64(x.pkt.WireSize()*8) / float64(n.params.RateBps) * float64(time.Second))
+		if n.stress > 0 {
+			txTime = time.Duration(float64(txTime) * (1 + n.stress))
+		}
 		if n.net.Contention {
 			// CSMA-style deferral: wait while any neighbor occupies the
 			// channel, with a small random backoff against lockstep.
@@ -224,7 +314,7 @@ func (n *Node) pump() {
 			}
 		}
 		n.net.s.Sleep(txTime)
-		if !n.up || n.txDown {
+		if !n.up || n.txDown || n.killed {
 			n.net.stats.Dropped[DropIfDown]++
 			continue
 		}
@@ -296,16 +386,32 @@ func (n *Node) propagate(p *Packet, nb NodeID, extra time.Duration) {
 	})
 }
 
-// receive processes an arriving packet: capture, rx rules, duplicate
-// suppression, local delivery, and forwarding/reflooding.
+// receive admits an arriving packet: capture happens at the NIC, then the
+// packet is either buffered (paused process) or processed.
 func (n *Node) receive(p *Packet) {
 	nw := n.net
-	if !n.up || n.rxDown {
+	if !n.up || n.rxDown || n.killed {
 		nw.stats.Dropped[DropIfDown]++
 		return
 	}
 	p.Path = append(p.Path, n.id)
 	n.capture(p, CaptureRx)
+	if n.paused {
+		if len(n.pausedQ) >= n.params.QueueLen {
+			nw.stats.Dropped[DropProc]++
+			return
+		}
+		n.pausedQ = append(n.pausedQ, p)
+		return
+	}
+	n.process(p)
+}
+
+// process runs rx rules, duplicate suppression, local delivery and
+// forwarding/reflooding on an admitted packet. Packets buffered during a
+// process pause resume here when the node is unpaused.
+func (n *Node) process(p *Packet) {
+	nw := n.net
 	v := n.evalRules(p, CaptureRx)
 	if v.drop {
 		nw.stats.Dropped[DropRule]++
@@ -318,14 +424,24 @@ func (n *Node) receive(p *Packet) {
 	if p.Dst.IsUnicast() {
 		if p.Dst.Node == n.id {
 			n.deliver(p)
+			if v.dup {
+				nw.stats.RuleDuplicates++
+				n.deliver(p.clone())
+			}
 			return
 		}
 		// Relay.
 		n.enqueue(p)
+		if v.dup {
+			nw.stats.RuleDuplicates++
+			n.enqueue(p.clone())
+		}
 		return
 	}
 
-	// Flood handling with duplicate suppression.
+	// Flood handling with duplicate suppression. An rx duplicate of a
+	// flood packet delivers twice but refloods once: the copy would be
+	// suppressed by every receiver's seen map anyway.
 	if n.seen[p.ID] {
 		nw.stats.Duplicates++
 		return
@@ -333,6 +449,10 @@ func (n *Node) receive(p *Packet) {
 	n.seen[p.ID] = true
 	if p.Dst.Broadcast || nw.InGroup(p.Dst.Group, n.id) {
 		n.deliver(p)
+		if v.dup {
+			nw.stats.RuleDuplicates++
+			n.deliver(p.clone())
+		}
 	}
 	p.TTL--
 	if p.TTL <= 0 {

@@ -1,6 +1,9 @@
 package netem
 
-import "time"
+import (
+	"math/rand"
+	"time"
+)
 
 // Direction selects which packet flows a manipulation rule applies to
 // (§IV-D1: "Direction can be receive, transmit, both").
@@ -69,9 +72,38 @@ type Rule struct {
 	// reordering support).
 	ReorderProb  float64
 	ReorderDelay time.Duration
+	// ReorderCorr correlates successive reorder decisions, netem-style:
+	// with this probability a packet repeats the previous packet's
+	// decision instead of drawing fresh against ReorderProb. Reordered
+	// packets then arrive in bursts, as on real radio links.
+	ReorderCorr float64
+	// DupProb is the probability in [0,1] that a matching packet is
+	// duplicated: on tx a second transmission is queued, on rx the packet
+	// is delivered (or relayed) twice.
+	DupProb float64
+	// CorruptProb gates Modify: the hook runs on a matching packet with
+	// this probability. Zero keeps the legacy behaviour of applying
+	// Modify to every match.
+	CorruptProb float64
+	// RateBps, if positive, shapes matching packets through a token
+	// bucket of RateBurst bytes (default 4 full frames): packets beyond
+	// the rate are delayed until tokens refill, never dropped (netem rate
+	// semantics).
+	RateBps   int64
+	RateBurst int
+	// Rng, if non-nil, supplies the rule's probabilistic draws; nil falls
+	// back to the node's stream. Fault injections set it so a fault's
+	// randomness is fully determined by its own seed.
+	Rng *rand.Rand
 	// Modify, if non-nil, replaces the packet payload (content
 	// manipulation, §IV-A2). It must not retain the packet.
 	Modify func(p *Packet)
+
+	// Token-bucket and correlation state, owned by the installed rule.
+	lastReorder bool
+	tokens      float64
+	lastFill    time.Time
+	filled      bool
 }
 
 // ID returns the rule identifier assigned at installation.
@@ -103,30 +135,80 @@ func (r *Rule) appliesTo(p *Packet, c CaptureDir) bool {
 // verdict is the outcome of evaluating a node's rule chain on one packet.
 type verdict struct {
 	drop  bool
+	dup   bool
 	delay time.Duration
 }
 
+// DefaultRateBurst is the token-bucket depth used when a rate-limiting
+// rule leaves RateBurst zero: four full ethernet frames.
+const DefaultRateBurst = 4 * 1500
+
+// shape passes one packet through the rule's token bucket at virtual time
+// now and returns the shaping delay. The bucket may go negative: each
+// packet consumes its wire size, and a deficit translates into the time
+// the refill needs to cover it, so back-to-back packets queue up behind
+// each other like in a real qdisc.
+func (r *Rule) shape(p *Packet, now time.Time) time.Duration {
+	burst := float64(r.RateBurst)
+	if burst <= 0 {
+		burst = DefaultRateBurst
+	}
+	if !r.filled {
+		r.tokens = burst
+		r.filled = true
+	} else {
+		r.tokens += now.Sub(r.lastFill).Seconds() * float64(r.RateBps) / 8
+		if r.tokens > burst {
+			r.tokens = burst
+		}
+	}
+	r.lastFill = now
+	r.tokens -= float64(p.WireSize())
+	if r.tokens >= 0 {
+		return 0
+	}
+	return time.Duration(-r.tokens * 8 / float64(r.RateBps) * float64(time.Second))
+}
+
 // evalRules runs all installed rules of n on p for direction c. Random
-// decisions draw from the node's deterministic rng stream.
+// decisions draw from the rule's own rng when set (seeded fault
+// injections), otherwise from the node's deterministic stream.
 func (n *Node) evalRules(p *Packet, c CaptureDir) verdict {
 	var v verdict
 	for _, r := range n.rules {
 		if !r.appliesTo(p, c) {
 			continue
 		}
+		rng := r.Rng
+		if rng == nil {
+			rng = n.rng
+		}
 		if r.DropAll {
 			v.drop = true
 			return v
 		}
-		if r.DropProb > 0 && n.rng.Float64() < r.DropProb {
+		if r.DropProb > 0 && rng.Float64() < r.DropProb {
 			v.drop = true
 			return v
 		}
 		v.delay += r.Delay
-		if r.ReorderProb > 0 && n.rng.Float64() < r.ReorderProb {
-			v.delay += r.ReorderDelay
+		if r.ReorderProb > 0 {
+			reorder := rng.Float64() < r.ReorderProb
+			if r.ReorderCorr > 0 && rng.Float64() < r.ReorderCorr {
+				reorder = r.lastReorder
+			}
+			r.lastReorder = reorder
+			if reorder {
+				v.delay += r.ReorderDelay
+			}
 		}
-		if r.Modify != nil {
+		if r.RateBps > 0 {
+			v.delay += r.shape(p, n.net.s.Now())
+		}
+		if r.DupProb > 0 && rng.Float64() < r.DupProb {
+			v.dup = true
+		}
+		if r.Modify != nil && (r.CorruptProb <= 0 || rng.Float64() < r.CorruptProb) {
 			r.Modify(p)
 		}
 	}

@@ -44,9 +44,27 @@ type Manager struct {
 	extras  []store.ExtraMeasurement // plugin measurements of the run
 }
 
+// activeFault is one registered injection or scenario; cancel stops its
+// pending transitions and deactivates it.
 type activeFault struct {
-	inj     fault.Injection
-	applied *fault.Applied
+	cancel func()
+}
+
+// faultEvents maps each fault action to its registry-constant transition
+// events (§IV-D3: one event per action; see internal/eventlog/names.go).
+var faultEvents = map[string]struct{ start, stop eventlog.Name }{
+	"fault_interface":     {eventlog.EvFaultInterfaceStart, eventlog.EvFaultInterfaceStop},
+	"fault_msg_loss":      {eventlog.EvFaultMsgLossStart, eventlog.EvFaultMsgLossStop},
+	"fault_msg_delay":     {eventlog.EvFaultMsgDelayStart, eventlog.EvFaultMsgDelayStop},
+	"fault_path_loss":     {eventlog.EvFaultPathLossStart, eventlog.EvFaultPathLossStop},
+	"fault_path_delay":    {eventlog.EvFaultPathDelayStart, eventlog.EvFaultPathDelayStop},
+	"fault_msg_corrupt":   {eventlog.EvFaultMsgCorruptStart, eventlog.EvFaultMsgCorruptStop},
+	"fault_msg_duplicate": {eventlog.EvFaultMsgDuplicateStart, eventlog.EvFaultMsgDuplicateStop},
+	"fault_msg_reorder":   {eventlog.EvFaultMsgReorderStart, eventlog.EvFaultMsgReorderStop},
+	"fault_rate_limit":    {eventlog.EvFaultRateLimitStart, eventlog.EvFaultRateLimitStop},
+	"fault_node_kill":     {eventlog.EvFaultNodeKillStart, eventlog.EvFaultNodeKillStop},
+	"fault_node_pause":    {eventlog.EvFaultNodePauseStart, eventlog.EvFaultNodePauseStop},
+	"fault_node_stress":   {eventlog.EvFaultNodeStressStart, eventlog.EvFaultNodeStressStop},
 }
 
 // New creates a manager for a netem node. agent may be nil for pure
@@ -140,11 +158,11 @@ func (m *Manager) HarvestRun() []store.PacketRecord {
 	return out
 }
 
-// StopAllFaults deactivates every active fault injection.
+// StopAllFaults deactivates every active fault injection and scenario.
 func (m *Manager) StopAllFaults() {
 	for kind, list := range m.faults {
 		for _, af := range list {
-			af.applied.Cancel(af.inj)
+			af.cancel()
 		}
 		delete(m.faults, kind)
 	}
@@ -192,8 +210,15 @@ func (m *Manager) Execute(action string, params map[string]string) error {
 		m.agent.UpdatePublish(inst)
 		return nil
 	case "fault_interface", "fault_msg_loss", "fault_msg_delay",
-		"fault_path_loss", "fault_path_delay":
+		"fault_path_loss", "fault_path_delay",
+		"fault_msg_corrupt", "fault_msg_duplicate", "fault_msg_reorder",
+		"fault_rate_limit",
+		"fault_node_kill", "fault_node_pause", "fault_node_stress":
 		return m.startFault(action, params)
+	case "fault_flap":
+		return m.startFlap(params)
+	case "fault_ramp":
+		return m.startRamp(params)
 	case "fault_stop":
 		return m.stopFault(params)
 	default:
@@ -247,12 +272,10 @@ func (m *Manager) instance(params map[string]string) sd.Instance {
 	}
 }
 
-// startFault creates, schedules and registers a fault injection. Common
-// parameters: direction, proto (default "sd"), duration_s, rate,
-// randomseed; specific parameters: prob, delay_ms, peer. The action emits
-// a <kind>_start event; the scheduled stop (if timed) emits <kind>_stop
-// (§IV-D3).
-func (m *Manager) startFault(kind string, params map[string]string) error {
+// newInjection builds the fault injection for one fault action. Common
+// parameters: direction, proto (default "sd"), randomseed; specific
+// parameters: prob, corr, delay_ms, peer, rate_kbps, burst, factor.
+func (m *Manager) newInjection(kind string, params map[string]string) (fault.Injection, error) {
 	dir := fault.Direction(params["direction"])
 	if dir == "" {
 		dir = fault.DirBoth
@@ -262,32 +285,137 @@ func (m *Manager) startFault(kind string, params map[string]string) error {
 		proto = "sd"
 	}
 	seed := int64(atoiDefault(params["randomseed"], 1))
-	var inj fault.Injection
-	var err error
 	switch kind {
 	case "fault_interface":
-		inj, err = fault.NewInterfaceFault(m.nd, dir, seed)
+		return fault.NewInterfaceFault(m.nd, dir, seed)
 	case "fault_msg_loss":
-		inj, err = fault.NewMessageLoss(m.nd, atofDefault(params["prob"], 1), dir, proto, seed)
+		return fault.NewMessageLoss(m.nd, atofDefault(params["prob"], 1), dir, proto, seed)
 	case "fault_msg_delay":
-		inj, err = fault.NewMessageDelay(m.nd, msParam(params, "delay_ms"), dir, proto, seed)
+		return fault.NewMessageDelay(m.nd, msParam(params, "delay_ms"), dir, proto, seed)
 	case "fault_path_loss":
-		inj, err = fault.NewPathLoss(m.nd, netem.NodeID(params["peer"]), atofDefault(params["prob"], 1), dir, proto, seed)
+		return fault.NewPathLoss(m.nd, netem.NodeID(params["peer"]), atofDefault(params["prob"], 1), dir, proto, seed)
 	case "fault_path_delay":
-		inj, err = fault.NewPathDelay(m.nd, netem.NodeID(params["peer"]), msParam(params, "delay_ms"), dir, proto, seed)
+		return fault.NewPathDelay(m.nd, netem.NodeID(params["peer"]), msParam(params, "delay_ms"), dir, proto, seed)
+	case "fault_msg_corrupt":
+		return fault.NewMessageCorrupt(m.nd, atofDefault(params["prob"], 1), dir, proto, seed)
+	case "fault_msg_duplicate":
+		return fault.NewMessageDuplicate(m.nd, atofDefault(params["prob"], 1), dir, proto, seed)
+	case "fault_msg_reorder":
+		return fault.NewMessageReorder(m.nd, atofDefault(params["prob"], 0.5),
+			atofDefault(params["corr"], 0), msParam(params, "delay_ms"), dir, proto, seed)
+	case "fault_rate_limit":
+		return fault.NewRateLimit(m.nd, int64(atofDefault(params["rate_kbps"], 64)*1000),
+			atoiDefault(params["burst"], 0), dir, proto, seed)
+	case "fault_node_kill":
+		return fault.NewNodeKill(m.nd), nil
+	case "fault_node_pause":
+		return fault.NewNodePause(m.nd), nil
+	case "fault_node_stress":
+		return fault.NewNodeStress(m.nd, atofDefault(params["factor"], 1))
+	default:
+		return nil, fmt.Errorf("node %s: unknown fault kind %q", m.ID(), kind)
 	}
+}
+
+// emitTransition returns an onEvent callback translating "start"/"stop"
+// notifications into the kind's registry events.
+func (m *Manager) emitTransition(kind string) func(string) {
+	ev := faultEvents[kind]
+	return func(what string) {
+		name := ev.start
+		if what == "stop" {
+			name = ev.stop
+		}
+		m.Emit(name, map[string]string{"target": m.ID()})
+	}
+}
+
+// startFault creates, schedules and registers a fault injection. Common
+// parameters: direction, proto (default "sd"), duration_s, rate,
+// randomseed. The action emits a <kind>_start event; the scheduled stop
+// (if timed) emits <kind>_stop (§IV-D3).
+func (m *Manager) startFault(kind string, params map[string]string) error {
+	inj, err := m.newInjection(kind, params)
 	if err != nil {
 		return err
 	}
 	tm := fault.Timing{
 		Duration: time.Duration(atofDefault(params["duration_s"], 0) * float64(time.Second)),
 		Rate:     atofDefault(params["rate"], 0),
-		Seed:     seed,
+		Seed:     int64(atoiDefault(params["randomseed"], 1)),
 	}
-	applied := fault.Apply(m.s, inj, tm, func(what string) {
-		m.Emit(kind+"_"+what, map[string]string{"target": m.ID()})
-	})
-	m.faults[kind] = append(m.faults[kind], activeFault{inj: inj, applied: applied})
+	applied := fault.Apply(m.s, inj, tm, m.emitTransition(kind))
+	m.faults[kind] = append(m.faults[kind], activeFault{cancel: func() { applied.Cancel(inj) }})
+	return nil
+}
+
+// startFlap schedules a flap scenario: the inner fault (param kind) is
+// toggled with period_s and duty for cycles periods. Inner fault
+// parameters ride along on the same action.
+func (m *Manager) startFlap(params map[string]string) error {
+	kind := params["kind"]
+	if _, ok := faultEvents[kind]; !ok {
+		return fmt.Errorf("node %s: fault_flap with unknown kind %q", m.ID(), kind)
+	}
+	inj, err := m.newInjection(kind, params)
+	if err != nil {
+		return err
+	}
+	period := time.Duration(atofDefault(params["period_s"], 1) * float64(time.Second))
+	sc, err := fault.Flap(m.s, inj, period,
+		atofDefault(params["duty"], 0.5), atoiDefault(params["cycles"], 1),
+		m.emitTransition(kind))
+	if err != nil {
+		return err
+	}
+	m.faults["fault_flap"] = append(m.faults["fault_flap"], activeFault{cancel: sc.Cancel})
+	return nil
+}
+
+// rampKinds maps the fault kinds a ramp can sweep to the parameter the
+// interpolated level feeds.
+var rampKinds = map[string]string{
+	"fault_msg_loss":   "prob",
+	"fault_msg_delay":  "delay_ms",
+	"fault_rate_limit": "rate_kbps",
+}
+
+// startRamp schedules a ramp scenario sweeping the inner fault's intensity
+// from from to to in steps equal steps of step_s seconds each.
+func (m *Manager) startRamp(params map[string]string) error {
+	kind := params["kind"]
+	levelParam, ok := rampKinds[kind]
+	if !ok {
+		return fmt.Errorf("node %s: fault_ramp cannot sweep kind %q", m.ID(), kind)
+	}
+	mk := func(level float64) (fault.Injection, error) {
+		p := make(map[string]string, len(params)+1)
+		for k, v := range params {
+			p[k] = v
+		}
+		p[levelParam] = strconv.FormatFloat(level, 'g', -1, 64)
+		return m.newInjection(kind, p)
+	}
+	stepDur := time.Duration(atofDefault(params["step_s"], 1) * float64(time.Second))
+	steps := atoiDefault(params["steps"], 1)
+	sc, err := fault.Ramp(m.s, mk,
+		atofDefault(params["from"], 0), atofDefault(params["to"], 1),
+		steps, stepDur,
+		func(step int, level float64) {
+			name := eventlog.EvFaultRampStep
+			if step == steps {
+				name = eventlog.EvFaultRampDone
+			}
+			m.Emit(name, map[string]string{
+				"target": m.ID(), "kind": kind,
+				"step":  strconv.Itoa(step),
+				"level": strconv.FormatFloat(level, 'g', -1, 64),
+			})
+		})
+	if err != nil {
+		return err
+	}
+	m.faults["fault_ramp"] = append(m.faults["fault_ramp"], activeFault{cancel: sc.Cancel})
 	return nil
 }
 
@@ -303,10 +431,12 @@ func (m *Manager) stopFault(params map[string]string) error {
 		return fmt.Errorf("node %s: no active fault of kind %q", m.ID(), kind)
 	}
 	for _, af := range list {
-		af.applied.Cancel(af.inj)
+		af.cancel()
 	}
 	delete(m.faults, kind)
-	m.Emit(kind+"_stop", map[string]string{"target": m.ID()})
+	if ev, ok := faultEvents[kind]; ok {
+		m.Emit(ev.stop, map[string]string{"target": m.ID()})
+	}
 	return nil
 }
 

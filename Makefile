@@ -1,7 +1,7 @@
 GO ?= go
 DATE := $(shell date +%Y%m%d)
 
-.PHONY: build test check vet race bench bench-smoke fmt lint validate-descriptions
+.PHONY: build test check vet race bench bench-smoke bench-gate fmt lint validate-descriptions
 
 build:
 	$(GO) build ./...
@@ -40,12 +40,23 @@ validate-descriptions:
 check: fmt vet lint validate-descriptions race
 
 # bench records all benchmarks (with allocations) as a dated JSON stream
-# of go test events, comparable across sessions with benchstat-style
-# tooling or plain jq. It also appends a one-line Fig. 3 allocs/op delta
-# against the oldest recorded BENCH_*.json to CHANGES.md.
+# of go test events, comparable across sessions with excovery-bench or
+# plain jq. It also appends a one-line Fig. 3 allocs/op delta against the
+# newest prior BENCH_*.json to CHANGES.md.
 bench:
 	$(GO) test -json -run='^$$' -bench=. -benchmem ./... | tee BENCH_$(DATE).json
-	@./scripts/bench-delta.sh BENCH_$(DATE).json >> CHANGES.md && tail -1 CHANGES.md
+	@$(GO) run ./cmd/excovery-bench -changes BENCH_$(DATE).json >> CHANGES.md && tail -1 CHANGES.md
+
+# bench-gate replays the gate CI runs: a fresh recording checked against
+# bench-thresholds.json vs the newest committed BENCH_*.json. 20
+# iterations amortize per-benchmark setup so allocs/op and B/op are
+# comparable with the committed full-length recordings (-benchtime=1x
+# would charge the whole setup to a single op); timing units are not
+# gated.
+bench-gate:
+	$(GO) test -json -run='^$$' -bench=. -benchtime=20x -benchmem ./... > BENCH_gate.json
+	@$(GO) run ./cmd/excovery-bench -check bench-thresholds.json BENCH_gate.json; \
+		rc=$$?; rm -f BENCH_gate.json; exit $$rc
 
 # bench-smoke runs every benchmark exactly once — no timings, just proof
 # that none of them panic or fail. Wired into CI.

@@ -42,12 +42,18 @@ func main() {
 		fatal(err)
 	}
 
+	// One registry serves the whole host process: the emulator data path
+	// (netem/sched, via core.Options.Metrics), the event pump and the RPC
+	// server. host.obs_snapshot ships its contents to the master's
+	// campaign fan-in after every run.
+	reg := obs.NewRegistry()
 	var host *noderpc.Host
 	x, err := core.New(e, core.Options{
 		RealTime: true,
 		Speed:    *speed,
 		Seed:     *seed,
 		OnEvent:  func(ev eventlog.Event) { host.ForwardEvent(ev) },
+		Metrics:  reg,
 	})
 	if err != nil {
 		fatal(err)
@@ -56,7 +62,6 @@ func main() {
 	host.SetDefaultLeaseTTL(*leaseTTL)
 	x.S.SetKeepAlive(true)
 
-	reg := obs.NewRegistry()
 	host.Instrument(reg)
 	if *obsAddr != "" {
 		osrv, err := obs.Serve(*obsAddr, reg, func() any { return host.Status() })

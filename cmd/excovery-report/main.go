@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -26,79 +27,103 @@ import (
 )
 
 func main() {
-	var (
-		group     = flag.String("group", "", "group metrics by this factor id")
-		deadlines = flag.String("deadlines", "1,5,30", "responsiveness deadlines in seconds, comma separated")
-		events    = flag.Bool("events", false, "dump the event list of -run")
-		run       = flag.Int("run", 0, "run id for -events/-timeline/-packets/-trace")
-		traceOut  = flag.String("trace", "", "export the execution trace of -run as Chrome trace_event JSON to this file (- for stdout)")
-		packets   = flag.Bool("packets", false, "print packet statistics of -run")
-		timeline  = flag.Bool("timeline", false, "render the Fig. 11 style timeline of -run")
-		repo      = flag.Bool("repo", false, "treat the argument as a level-4 repository directory and summarize all experiments")
-		csvOut    = flag.String("csv", "", "export per-run metrics as CSV to this file (- for stdout)")
-	)
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: excovery-report [flags] experiment.xcdb\n")
-		flag.PrintDefaults()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// reportFlags carries the parsed CLI configuration into report.
+type reportFlags struct {
+	group     string
+	deadlines string
+	events    bool
+	run       int
+	traceOut  string
+	packets   bool
+	timeline  bool
+	repo      bool
+	csvOut    string
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("excovery-report", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var rf reportFlags
+	fs.StringVar(&rf.group, "group", "", "group metrics by this factor id")
+	fs.StringVar(&rf.deadlines, "deadlines", "1,5,30", "responsiveness deadlines in seconds, comma separated")
+	fs.BoolVar(&rf.events, "events", false, "dump the event list of -run")
+	fs.IntVar(&rf.run, "run", 0, "run id for -events/-timeline/-packets/-trace")
+	fs.StringVar(&rf.traceOut, "trace", "", "export the execution trace of -run as Chrome trace_event JSON to this file (- for stdout)")
+	fs.BoolVar(&rf.packets, "packets", false, "print packet statistics of -run")
+	fs.BoolVar(&rf.timeline, "timeline", false, "render the Fig. 11 style timeline of -run")
+	fs.BoolVar(&rf.repo, "repo", false, "treat the argument as a level-4 repository directory and summarize all experiments")
+	fs.StringVar(&rf.csvOut, "csv", "", "export per-run metrics as CSV to this file (- for stdout)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: excovery-report [flags] experiment.xcdb\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
-	if flag.Arg(0) == "" {
-		flag.Usage()
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	if *repo {
-		reportRepository(flag.Arg(0))
-		return
+	if fs.Arg(0) == "" {
+		fs.Usage()
+		return 2
 	}
-	db, err := store.OpenExperimentDB(flag.Arg(0))
+	if err := report(rf, fs.Arg(0), stdout); err != nil {
+		fmt.Fprintln(stderr, "error:", err)
+		return 1
+	}
+	return 0
+}
+
+func report(rf reportFlags, arg string, stdout io.Writer) error {
+	if rf.repo {
+		return reportRepository(arg, stdout)
+	}
+	db, err := store.OpenExperimentDB(arg)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	// Trace export runs before the banner: with `-trace -` stdout must
 	// carry nothing but the Chrome trace JSON.
-	if *traceOut != "" {
-		if err := exportTrace(db, *run, *traceOut); err != nil {
-			fatal(err)
-		}
-		return
+	if rf.traceOut != "" {
+		return exportTrace(db, rf.run, rf.traceOut, stdout)
 	}
 	info, err := db.Info()
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	runs, err := db.RunIDs()
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("experiment %q — %s (%d runs, %s)\n", info.Name, info.Comment, len(runs), store.EEVersion)
+	fmt.Fprintf(stdout, "experiment %q — %s (%d runs, %s)\n", info.Name, info.Comment, len(runs), store.EEVersion)
 
-	if *events {
-		evs, err := db.EventsOfRun(*run)
+	if rf.events {
+		evs, err := db.EventsOfRun(rf.run)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		for _, ev := range evs {
-			fmt.Println(" ", ev)
+			fmt.Fprintln(stdout, " ", ev)
 		}
-		return
+		return nil
 	}
-	if *timeline {
-		evs, err := db.EventsOfRun(*run)
+	if rf.timeline {
+		evs, err := db.EventsOfRun(rf.run)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("run %d — %s\n\n", *run, viz.Phases(evs))
-		fmt.Print(viz.Timeline(evs, 72))
-		return
+		fmt.Fprintf(stdout, "run %d — %s\n\n", rf.run, viz.Phases(evs))
+		fmt.Fprint(stdout, viz.Timeline(evs, 72))
+		return nil
 	}
-	if *packets {
-		pkts, err := db.PacketsOfRun(*run)
+	if rf.packets {
+		pkts, err := db.PacketsOfRun(rf.run)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		st := metrics.AnalyzePackets(pkts)
-		fmt.Printf("run %d packets: tx=%d rx=%d delivered=%d loss=%.3f meandelay=%s\n",
-			*run, st.TxCount, st.RxCount, st.Delivered, st.LossRate, st.MeanDelay)
+		fmt.Fprintf(stdout, "run %d packets: tx=%d rx=%d delivered=%d loss=%.3f meandelay=%s\n",
+			rf.run, st.TxCount, st.RxCount, st.Delivered, st.LossRate, st.MeanDelay)
 		// Per-packet request/response association (§VI): one line per
 		// query sent by each node in this run.
 		nodes := map[string]bool{}
@@ -116,39 +141,39 @@ func main() {
 				if q.Answered {
 					status = q.RTT().String()
 				}
-				fmt.Printf("  query qid=%d from %s: %s\n", q.QID, q.Node, status)
+				fmt.Fprintf(stdout, "  query qid=%d from %s: %s\n", q.QID, q.Node, status)
 			}
 		}
-		return
+		return nil
 	}
 
 	ms, err := metrics.FromDB(db, "", "")
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	if *csvOut != "" {
-		out := os.Stdout
-		if *csvOut != "-" {
-			f, err := os.Create(*csvOut)
+	if rf.csvOut != "" {
+		out := stdout
+		if rf.csvOut != "-" {
+			f, err := os.Create(rf.csvOut)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			defer f.Close()
 			out = f
 		}
 		if err := metrics.WriteCSV(out, ms); err != nil {
-			fatal(err)
+			return err
 		}
-		if *csvOut != "-" {
-			fmt.Printf("wrote %d rows to %s\n", len(ms), *csvOut)
+		if rf.csvOut != "-" {
+			fmt.Fprintf(stdout, "wrote %d rows to %s\n", len(ms), rf.csvOut)
 		}
-		return
+		return nil
 	}
 	var dls []time.Duration
-	for _, part := range strings.Split(*deadlines, ",") {
+	for _, part := range strings.Split(rf.deadlines, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
 		if err != nil {
-			fatal(fmt.Errorf("bad deadline %q", part))
+			return fmt.Errorf("bad deadline %q", part)
 		}
 		dls = append(dls, time.Duration(v*float64(time.Second)))
 	}
@@ -163,14 +188,14 @@ func main() {
 			s := metrics.Summarize(metrics.DurationsToSeconds(trs))
 			line += fmt.Sprintf("  t_R mean=%.4fs p90=%.4fs", s.Mean, s.P90)
 		}
-		fmt.Println(line)
+		fmt.Fprintln(stdout, line)
 	}
 
-	if *group == "" {
+	if rf.group == "" {
 		printGroup("all", ms)
-		return
+		return nil
 	}
-	groups := metrics.GroupBy(ms, *group)
+	groups := metrics.GroupBy(ms, rf.group)
 	keys := make([]string, 0, len(groups))
 	for k := range groups {
 		keys = append(keys, k)
@@ -183,16 +208,17 @@ func main() {
 		}
 		return keys[i] < keys[j]
 	})
-	fmt.Printf("grouped by %s:\n", *group)
+	fmt.Fprintf(stdout, "grouped by %s:\n", rf.group)
 	for _, k := range keys {
-		printGroup(*group+"="+k, groups[k])
+		printGroup(rf.group+"="+k, groups[k])
 	}
+	return nil
 }
 
 // exportTrace converts one run's trace.json level-2 artifact (recorded by
 // the master's tracer, stored as an extra run measurement) into Chrome
 // trace_event JSON loadable in chrome://tracing or Perfetto.
-func exportTrace(db *store.ExperimentDB, run int, path string) error {
+func exportTrace(db *store.ExperimentDB, run int, path string, stdout io.Writer) error {
 	extras, err := db.ExtrasOfRun(run)
 	if err != nil {
 		return err
@@ -215,51 +241,43 @@ func exportTrace(db *store.ExperimentDB, run int, path string) error {
 	}
 	out := obs.ChromeTrace(spans)
 	if path == "-" {
-		_, err := os.Stdout.Write(out)
+		_, err := stdout.Write(out)
 		return err
 	}
 	if err := os.WriteFile(path, out, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %d spans of run %d to %s\n", len(spans), run, path)
+	fmt.Fprintf(stdout, "wrote %d spans of run %d to %s\n", len(spans), run, path)
 	return nil
 }
 
 // reportRepository summarizes a level-4 repository: one line per stored
 // experiment with run counts and overall responsiveness — the
 // cross-experiment comparison level the paper leaves to future work.
-func reportRepository(dir string) {
+func reportRepository(dir string, stdout io.Writer) error {
 	r, err := store.OpenRepository(dir)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	names, err := r.List()
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if len(names) == 0 {
-		fmt.Println("repository is empty")
-		return
+		fmt.Fprintln(stdout, "repository is empty")
+		return nil
 	}
-	fmt.Printf("%-24s %-8s %-10s %-10s %-8s\n", "experiment", "runs", "t_R mean", "t_R p90", "R(1s)")
-	err = r.ForEach(func(name string, db *store.ExperimentDB) error {
+	fmt.Fprintf(stdout, "%-24s %-8s %-10s %-10s %-8s\n", "experiment", "runs", "t_R mean", "t_R p90", "R(1s)")
+	return r.ForEach(func(name string, db *store.ExperimentDB) error {
 		ms, err := metrics.FromDB(db, "", "")
 		if err != nil {
 			return err
 		}
 		trs := metrics.TRs(ms)
 		sum := metrics.Summarize(metrics.DurationsToSeconds(trs))
-		fmt.Printf("%-24s %-8d %-10s %-10s %-8.3f\n", name, len(ms),
+		fmt.Fprintf(stdout, "%-24s %-8d %-10s %-10s %-8.3f\n", name, len(ms),
 			fmt.Sprintf("%.4fs", sum.Mean), fmt.Sprintf("%.4fs", sum.P90),
 			metrics.Responsiveness(ms, time.Second))
 		return nil
 	})
-	if err != nil {
-		fatal(err)
-	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "error:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"excovery/internal/core"
+	"excovery/internal/desc"
+)
+
+// buildFixtureDB runs the Fig. 11 one-shot experiment (virtual time,
+// fixed seed — fully deterministic) into a level-3 database file.
+func buildFixtureDB(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	x, err := core.New(desc.OneShot(30), core.Options{StoreDir: filepath.Join(dir, "level2")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x.Run(); err != nil {
+		t.Fatal(err)
+	}
+	db, err := x.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "exp.xcdb")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestReportSummary smoke-tests the default summary mode over a fixture
+// database: the banner and the deterministic metric line.
+func TestReportSummary(t *testing.T) {
+	path := buildFixtureDB(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{
+		`experiment "sd-oneshot"`,
+		"(1 runs,",
+		"n=1",
+		"complete=1",
+		"R(1s)=1.000",
+		"t_R mean=0.0413s", // the Fig. 11 discovery takes 41.276 ms, always
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("summary missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestReportEventsAndCSV smoke-tests the -events dump and -csv export.
+func TestReportEventsAndCSV(t *testing.T) {
+	path := buildFixtureDB(t)
+	var out bytes.Buffer
+	if code := run([]string{"-events", "-run", "0", path}, &out, &out); code != 0 {
+		t.Fatalf("-events: exit %d: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "sd_service_add") {
+		t.Errorf("-events dump has no sd_service_add event:\n%s", out.String())
+	}
+	out.Reset()
+	if code := run([]string{"-csv", "-", path}, &out, &out); code != 0 {
+		t.Fatalf("-csv: exit %d: %s", code, out.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) < 2 || !strings.Contains(lines[0], "run") {
+		t.Errorf("-csv output:\n%s", out.String())
+	}
+}
+
+// TestReportBadUsage pins the CLI error paths: missing argument and a
+// nonexistent database exit non-zero without panicking.
+func TestReportBadUsage(t *testing.T) {
+	var out bytes.Buffer
+	if code := run(nil, &out, &out); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+	out.Reset()
+	if code := run([]string{filepath.Join(t.TempDir(), "nope.xcdb")}, &out, &out); code != 1 {
+		t.Errorf("missing db: exit %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "error:") {
+		t.Errorf("missing db: no error message:\n%s", out.String())
+	}
+}

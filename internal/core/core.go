@@ -29,6 +29,7 @@ import (
 	"excovery/internal/master"
 	"excovery/internal/netem"
 	"excovery/internal/node"
+	"excovery/internal/obs"
 	"excovery/internal/sched"
 	"excovery/internal/sd"
 	"excovery/internal/sd/hybrid"
@@ -118,6 +119,11 @@ type Options struct {
 	// OnEvent observes every event published on the bus (the node-host
 	// side of the distributed deployment forwards them to the master).
 	OnEvent func(ev eventlog.Event)
+	// Metrics, if set, instruments the emulator data path: the network
+	// gets per-node/per-rule packet counters and queue-depth gauges, the
+	// scheduler event-loop counters (see internal/obs/names.go). Nil
+	// leaves both uninstrumented and allocation-free.
+	Metrics *obs.Registry
 }
 
 // Experiment is an assembled emulated experiment.
@@ -261,8 +267,15 @@ func New(e *desc.Experiment, opts Options) (*Experiment, error) {
 	} else {
 		s = sched.NewVirtual()
 	}
+	if opts.Metrics != nil {
+		s.Instrument(opts.Metrics)
+	}
 	nw := netem.New(s, seed)
+	nw.Instrument(opts.Metrics)
 	bus := eventlog.NewBus(s)
+	if opts.Metrics != nil {
+		bus.Instrument(opts.Metrics)
+	}
 
 	actorIDs, envIDs := platformNodeIDs(e)
 	all := append(append([]string{}, actorIDs...), envIDs...)
@@ -393,6 +406,7 @@ func New(e *desc.Experiment, opts Options) (*Experiment, error) {
 		Failpoints: opts.Failpoints,
 		CrashFn:    opts.CrashFn,
 		OnRunDone:  opts.OnRunDone,
+		Metrics:    opts.Metrics,
 		TopologyMeasure: func() string {
 			return formatHopMatrix(nw)
 		},

@@ -215,13 +215,13 @@ func NewBus(s *sched.Scheduler) *Bus {
 // Instrument registers the bus's throughput metrics in reg. Call before
 // execution starts; a nil registry keeps the bus uninstrumented.
 func (b *Bus) Instrument(reg *obs.Registry) {
-	b.mPublished = reg.Counter("excovery_eventbus_published_total",
+	b.mPublished = reg.Counter(obs.MEventbusPublished,
 		"events published to the master's bus")
-	b.mResets = reg.Counter("excovery_eventbus_resets_total",
+	b.mResets = reg.Counter(obs.MEventbusResets,
 		"bus resets (one per run preparation)")
-	b.mCancels = reg.Counter("excovery_eventbus_cancel_waiters_total",
+	b.mCancels = reg.Counter(obs.MEventbusCancelWaiters,
 		"CancelWaiters broadcasts (run aborts)")
-	b.mLen = reg.Gauge("excovery_eventbus_len",
+	b.mLen = reg.Gauge(obs.MEventbusLen,
 		"events currently held by the bus (current run)")
 }
 

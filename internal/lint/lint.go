@@ -7,7 +7,7 @@
 // that survives code review for months and then breaks silently in an
 // unrelated refactor; the analyzers here fail `make check` instead.
 //
-// Five repo-specific analyzers run over every non-test file of the module:
+// Six repo-specific analyzers run over every non-test file of the module:
 //
 //	walltime      — no time.Now() outside the allowlisted wall-clock
 //	                sites; deterministic paths read an injected
@@ -19,6 +19,9 @@
 //	                constructors come from the central registries
 //	                (eventlog.Ev*, sd.Ev*, store.Rec*), never string
 //	                literals.
+//	metricnames   — metric names at Counter/Gauge/Histogram factory
+//	                sites come from the obs.M* registry constants
+//	                (internal/obs/names.go), never string literals.
 //	durablerename — os.Rename inside internal/store is paired with a
 //	                directory fsync in the same function (the fsio
 //	                staged-write contract).
@@ -76,6 +79,7 @@ func All() []*Analyzer {
 		Walltime(),
 		Seededrand(),
 		Eventnames(),
+		Metricnames(),
 		Durablerename(),
 		Mutexheldio(),
 	}

@@ -111,6 +111,11 @@ func TestEventnamesGolden(t *testing.T) {
 	checkGolden(t, mod, Eventnames())
 }
 
+func TestMetricnamesGolden(t *testing.T) {
+	mod := loadFixture(t, "metricnames", "excovery/internal/core/testcase")
+	checkGolden(t, mod, Metricnames())
+}
+
 func TestDurablerenameGolden(t *testing.T) {
 	mod := loadFixture(t, "durablerename", "excovery/internal/store/testcase")
 	checkGolden(t, mod, Durablerename())

@@ -1,0 +1,57 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// Metricnames keeps the metric namespace coherent across processes: the
+// campaign fan-in re-exports every node-host series under a derived name
+// (obs.MNodePrefix + name, fleet rollups, dashboards keyed on exact
+// family strings), so a metric registered under a typo'd literal splits
+// one logical series into two that no query joins. The analyzer therefore
+// rejects a string literal as the name (first) argument at instrument
+// factory sites — Counter, Gauge and Histogram on a registry, and the
+// lowercase counter/gauge/histogram convenience helpers — which must use
+// the obs.M* constants of internal/obs/names.go instead. Composed names
+// (obs.MNodePrefix+name) and forwarded variables are out of scope: the
+// check targets the literal-at-call-site pattern where a typo is
+// invisible.
+func Metricnames() *Analyzer {
+	return &Analyzer{
+		Name: "metricnames",
+		Doc:  "metric names at instrument factory sites come from the obs.M* registry constants",
+		Run:  metricnamesRun,
+	}
+}
+
+var metricFactories = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true,
+	"counter": true, "gauge": true, "histogram": true,
+}
+
+func metricnamesRun(f *File) []Diagnostic {
+	var out []Diagnostic
+	ast.Inspect(f.Ast, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := calleeName(call)
+		if !metricFactories[name] || len(call.Args) == 0 {
+			return true
+		}
+		lit, ok := call.Args[0].(*ast.BasicLit)
+		if !ok || lit.Kind.String() != "STRING" {
+			return true
+		}
+		out = append(out, Diagnostic{
+			Pos:   f.pos(lit.Pos()),
+			Check: "metricnames",
+			Message: fmt.Sprintf("metric name %s passed to %s as a string literal; "+
+				"use a registry constant (internal/obs/names.go)", lit.Value, name),
+		})
+		return true
+	})
+	return out
+}

@@ -1,0 +1,40 @@
+// Package testcase is the metricnames analyzer fixture: a local registry
+// with Counter/Gauge/Histogram factories and a lowercase counter helper
+// stand in for the real obs API (the analyzer matches by name, not import
+// path, so the fixture needs no module imports).
+package testcase
+
+type instrument struct{}
+
+func (instrument) Inc() {}
+
+type registry struct{}
+
+func (registry) Counter(name, help string, labels ...string) instrument   { return instrument{} }
+func (registry) Gauge(name, help string, labels ...string) instrument     { return instrument{} }
+func (registry) Histogram(name, help string, labels ...string) instrument { return instrument{} }
+
+func counter(name, help string) instrument { return instrument{} }
+
+// MGood stands in for an obs.M* registry constant; MPrefix for a
+// re-export namespace prefix.
+const (
+	MGood   = "excovery_good_total"
+	MPrefix = "excovery_node_"
+)
+
+func use(r registry, dynamic string) {
+	r.Counter("excovery_bad_total", "typo'd literal") // want metricnames
+	r.Gauge("excovery_bad_gauge", "another")          // want metricnames
+	r.Histogram("excovery_bad_seconds", "third")      // want metricnames
+	counter("excovery_bad_helper_total", "helper")    // want metricnames
+
+	r.Counter(MGood, "constant name is fine").Inc()
+	r.Gauge(MPrefix+dynamic, "composed names are out of scope")
+	r.Histogram(dynamic, "forwarded variables are out of scope")
+	// The help string and label literals are not names.
+	r.Counter(MGood, "help text stays literal", "node", "n1")
+
+	//lint:ignore metricnames fixture exercising the suppression path
+	r.Counter("excovery_suppressed_total", "suppressed")
+}

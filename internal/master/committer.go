@@ -25,11 +25,12 @@ type nodeHarvest struct {
 // extra buffers are cleared on read and reset by the next PrepareRun);
 // only the disk commit is pipelined.
 type harvestData struct {
-	run   desc.Run
-	nodes []nodeHarvest // slot-indexed by Master.order
-	env   []eventlog.Event
-	trace []byte
-	info  store.RunInfo
+	run      desc.Run
+	nodes    []nodeHarvest // slot-indexed by Master.order
+	env      []eventlog.Event
+	trace    []byte
+	campaign []byte
+	info     store.RunInfo
 }
 
 // collectHarvest snapshots one run's measurements from the node handles
@@ -39,6 +40,9 @@ func (m *Master) collectHarvest(run desc.Run, rr *RunResult, partial bool) *harv
 	hd := &harvestData{run: run, nodes: make([]nodeHarvest, len(m.order))}
 	fanOut(m.cfg.Fanout, len(m.order), func(slot int) {
 		h := m.cfg.Nodes[m.order[slot]]
+		// Harvest runs after the run span closed; detach the stale parent
+		// so host-side harvest spans stay roots of their own track.
+		setTraceParent(h, 0)
 		hd.nodes[slot] = nodeHarvest{
 			events:  h.HarvestEvents(run.ID),
 			packets: h.HarvestPackets(),
@@ -46,13 +50,22 @@ func (m *Master) collectHarvest(run desc.Run, rr *RunResult, partial bool) *harv
 		}
 	})
 	hd.env = m.envEvents(run.ID)
-	// Level-2 trace artifact: the run's closed spans (all attempts so
-	// far), exportable as a Chrome trace by excovery-report.
+	// Level-2 trace artifact: the run's closed spans (all attempts so far)
+	// merged with the harvested node-host spans into one coherent document
+	// — the hosts' seeded id spaces keep cross-process parent links
+	// unambiguous. Exportable as a Chrome trace by excovery-report, with
+	// one lane per track (master, host:...).
 	if m.cfg.Tracer != nil {
-		if spans := m.cfg.Tracer.RunSpans(run.ID); len(spans) > 0 {
+		spans := m.cfg.Tracer.RunSpans(run.ID)
+		spans = append(spans, m.harvestNodeTraces(run.ID)...)
+		if len(spans) > 0 {
 			hd.trace = obs.MarshalSpans(spans)
 		}
 	}
+	// Campaign metric fan-in (DESIGN.md §13): collect each host's registry
+	// snapshot, fold it into the master's /metrics, and persist the run's
+	// campaign_metrics.json artifact.
+	hd.campaign = m.fanInMetrics(run.ID)
 	hd.info = store.RunInfo{Run: run.ID, Start: rr.Start, Offsets: rr.Offsets,
 		Attempts: rr.Attempts}
 	if partial {
@@ -88,6 +101,9 @@ func (m *Master) commitHarvest(hd *harvestData) error {
 	st.WriteEvents(hd.run.ID, "env", hd.env)
 	if len(hd.trace) > 0 {
 		st.WriteExtra(hd.run.ID, "master", "trace.json", hd.trace)
+	}
+	if len(hd.campaign) > 0 {
+		st.WriteExtra(hd.run.ID, "master", "campaign_metrics.json", hd.campaign)
 	}
 	st.WriteRunInfo(hd.info)
 	if err := sr.Commit(); err != nil {
@@ -155,12 +171,12 @@ func (c *committer) commit(hd *harvestData) {
 	m.cfg.Store.MarkRunDone(hd.run.ID)
 	if m.cfg.Journal != nil {
 		if err := m.cfg.Journal.Done(hd.run.ID); err != nil {
-			m.counter("excovery_journal_write_errors_total",
+			m.counter(obs.MJournalWriteErrors,
 				"failed write-ahead journal appends").Inc()
 			c.noteEvent(eventlog.EvJournalWriteFailed,
 				map[string]string{"err": err.Error()})
 		} else {
-			m.counter("excovery_journal_records_total",
+			m.counter(obs.MJournalRecords,
 				"write-ahead journal records appended").Inc()
 		}
 	}

@@ -54,6 +54,7 @@ func (m *Master) broadcast(parent uint64, label string, run, attempt int, op fun
 		for slot, id := range m.order {
 			sp := m.cfg.Tracer.Begin(parent, "master", "rpc",
 				label+" "+id, run, attempt, nil)
+			setTraceParent(m.cfg.Nodes[id], sp)
 			op(slot, id)
 			m.cfg.Tracer.End(sp)
 		}
@@ -65,6 +66,7 @@ func (m *Master) broadcast(parent uint64, label string, run, attempt int, op fun
 			label+" "+id, run, attempt, nil)
 	}
 	fanOut(m.cfg.Fanout, len(m.order), func(slot int) {
+		setTraceParent(m.cfg.Nodes[m.order[slot]], spans[slot])
 		op(slot, m.order[slot])
 		m.cfg.Tracer.End(spans[slot])
 	})

@@ -94,6 +94,36 @@ type runErrorer interface {
 	Err() error
 }
 
+// traceParentSetter is an optional NodeHandle extension (noderpc.RemoteNode
+// implements it): the master hands the handle the span id under which its
+// next control-channel calls should parent, and the handle carries it
+// across the wire as the trailing trace_parent parameter (DESIGN.md §13).
+type traceParentSetter interface {
+	SetTraceParent(id uint64)
+}
+
+// traceHarvester is an optional NodeHandle extension returning the node
+// host's closed spans of one run, merged into the per-run trace.json.
+type traceHarvester interface {
+	HarvestTrace(run int) []obs.Span
+}
+
+// metricSnapshotter is an optional NodeHandle extension for the campaign
+// metric fan-in: ObsSnapshot ships the node host's registry contents over
+// the control channel, ObsSource identifies the backing host so co-hosted
+// nodes are collected once per host rather than once per node.
+type metricSnapshotter interface {
+	ObsSnapshot() ([]obs.MetricPoint, error)
+	ObsSource() string
+}
+
+// setTraceParent forwards a span id to handles that propagate it.
+func setTraceParent(h NodeHandle, id uint64) {
+	if t, ok := h.(traceParentSetter); ok {
+		t.SetTraceParent(id)
+	}
+}
+
 // RetryPolicy controls run-level recovery: §IV-C1's "aborted experiments
 // resume" extended from resume-on-restart to retry-in-place.
 type RetryPolicy struct {
@@ -350,7 +380,7 @@ func (m *Master) RunAll() (*Report, error) {
 			replay.Done[run.ID]) {
 			rep.Results = append(rep.Results, RunResult{Run: run, Skipped: true})
 			rep.Skipped++
-			m.counter("excovery_runs_skipped_total", "runs skipped by resume").Inc()
+			m.counter(obs.MRunsSkipped, "runs skipped by resume").Inc()
 			m.cfg.Status.RunFinished("skipped", false)
 			continue
 		}
@@ -363,7 +393,7 @@ func (m *Master) RunAll() (*Report, error) {
 				return nil, fmt.Errorf("master: run %d: discarding crashed state: %w", run.ID, err)
 			}
 			rep.Recovered++
-			m.counter("excovery_runs_recovered_total",
+			m.counter(obs.MRunsRecovered,
 				"crashed runs whose partial state was discarded and re-executed").Inc()
 			m.rec.Emit(eventlog.EvRunRecovered, map[string]string{
 				"run": fmt.Sprint(run.ID), "attempts": fmt.Sprint(replay.Attempts[run.ID])})
@@ -396,7 +426,7 @@ func (m *Master) RunAll() (*Report, error) {
 		retried := rr.Attempts > 1
 		if retried {
 			rep.Retried++
-			m.counter("excovery_runs_retried_total",
+			m.counter(obs.MRunsRetried,
 				"runs that needed more than one attempt").Inc()
 		}
 		if rr.Err == nil && !rr.Aborted {
@@ -408,10 +438,13 @@ func (m *Master) RunAll() (*Report, error) {
 			if m.cfg.Store != nil {
 				m.commits.enqueue(m.collectHarvest(run, &rr, false))
 			} else {
+				// No store, no artifact — but the campaign fan-in still
+				// feeds the live /metrics and /status surfaces.
+				m.fanInMetrics(run.ID)
 				m.journalAppend(m.cfg.Journal.Done(run.ID))
 			}
 			rep.Completed++
-			m.counter("excovery_runs_completed_total", "successfully executed runs").Inc()
+			m.counter(obs.MRunsCompleted, "successfully executed runs").Inc()
 			m.cfg.Status.RunFinished("completed", retried)
 		} else {
 			// Failure barrier: settle the pipeline before the partial
@@ -420,10 +453,10 @@ func (m *Master) RunAll() (*Report, error) {
 			m.drainCommits()
 			m.harvestPartial(run, &rr)
 			rep.Failed++
-			m.counter("excovery_runs_failed_total",
+			m.counter(obs.MRunsFailed,
 				"runs that failed all attempts").Inc()
 			if rr.Partial {
-				m.counter("excovery_runs_partial_total",
+				m.counter(obs.MRunsPartial,
 					"failed runs whose measurements were salvaged").Inc()
 			}
 			m.cfg.Status.RunFinished("failed", retried)
@@ -460,12 +493,12 @@ func (m *Master) journalAppend(err error) {
 		return
 	}
 	if err != nil {
-		m.counter("excovery_journal_write_errors_total",
+		m.counter(obs.MJournalWriteErrors,
 			"failed write-ahead journal appends").Inc()
 		m.rec.Emit(eventlog.EvJournalWriteFailed, map[string]string{"err": err.Error()})
 		return
 	}
-	m.counter("excovery_journal_records_total",
+	m.counter(obs.MJournalRecords,
 		"write-ahead journal records appended").Inc()
 }
 
@@ -492,7 +525,7 @@ func errStringOf(rr RunResult) string {
 // unwinds with ErrCrashed, which skips all clean-up and journaling — the
 // in-process equivalent of a kill.
 func (m *Master) crash() {
-	m.counter("excovery_crash_failpoints_total", "crash failpoints fired").Inc()
+	m.counter(obs.MCrashFailpoints, "crash failpoints fired").Inc()
 	if m.cfg.CrashFn != nil {
 		m.cfg.CrashFn()
 		return
@@ -531,7 +564,7 @@ func (m *Master) prepareDurability() (store.Replay, error) {
 		return replay, err
 	}
 	if replay.Records > 0 {
-		m.counter("excovery_journal_replayed_records_total",
+		m.counter(obs.MJournalReplayedRecords,
 			"journal records replayed at session start").Add(int64(replay.Records))
 	}
 	return replay, nil
@@ -556,10 +589,10 @@ func (m *Master) preflight(run desc.Run) error {
 			continue
 		}
 		m.probes++
-		m.counter("excovery_health_probes_total", "preflight node health probes").Inc()
+		m.counter(obs.MHealthProbes, "preflight node health probes").Inc()
 		if err := hc.Health(); err != nil {
 			m.probeFails++
-			m.counter("excovery_health_probe_failures_total",
+			m.counter(obs.MHealthProbeFailures,
 				"failed preflight node health probes").Inc()
 			m.rec.Emit(eventlog.EvNodeHealthFailed, map[string]string{
 				"node": id, "err": err.Error()})
@@ -584,10 +617,10 @@ func (m *Master) probeProbation(run desc.Run, id string) error {
 		return fmt.Errorf("master: run %d: node %s is quarantined", run.ID, id)
 	}
 	m.probes++
-	m.counter("excovery_health_probes_total", "preflight node health probes").Inc()
+	m.counter(obs.MHealthProbes, "preflight node health probes").Inc()
 	if err := hc.Health(); err != nil {
 		m.probeFails++
-		m.counter("excovery_health_probe_failures_total",
+		m.counter(obs.MHealthProbeFailures,
 			"failed preflight node health probes").Inc()
 		m.probation[id] = 0
 		m.cfg.Status.NodeProbation(id, 0, need)
@@ -606,7 +639,7 @@ func (m *Master) probeProbation(run desc.Run, id string) error {
 	m.probation[id] = 0
 	m.health[id] = 0
 	m.readmitted[id] = true
-	m.counter("excovery_nodes_readmitted_total",
+	m.counter(obs.MNodesReadmitted,
 		"quarantined nodes re-admitted after probation").Inc()
 	m.rec.Emit(eventlog.EvNodeReadmitted, map[string]string{
 		"node": id, "probes": fmt.Sprint(need)})
@@ -624,7 +657,7 @@ func (m *Master) noteNodeFailure(id, errStr string) {
 		m.quarantined[id] = true
 		m.probation[id] = 0
 		m.cfg.Status.NodeQuarantined(id)
-		m.counter("excovery_nodes_quarantined_total",
+		m.counter(obs.MNodesQuarantined,
 			"nodes quarantined for repeated control-channel failures").Inc()
 		m.rec.Emit(eventlog.EvNodeQuarantined, map[string]string{
 			"node": id, "failures": fmt.Sprint(m.health[id])})
@@ -686,7 +719,7 @@ func (m *Master) executeRun(run desc.Run, attempt int) RunResult {
 	// with the derived run seed and the applied treatment so a trace is
 	// self-describing.
 	treat := rawTreatment(run)
-	m.counter("excovery_run_attempts_total",
+	m.counter(obs.MRunAttempts,
 		"run attempts, including in-place retries").Inc()
 	m.cfg.Status.RunStarted(run.ID, attempt, treat)
 	runArgs := map[string]string{
@@ -711,6 +744,12 @@ func (m *Master) executeRun(run desc.Run, attempt int) RunResult {
 	m.cfg.Status.PhaseChanged("prepare")
 	prepSpan := m.cfg.Tracer.Begin(runSpan, "master", "phase", "prepare",
 		run.ID, attempt, nil)
+	// Preflight probes and other pre-broadcast RPCs parent under the
+	// prepare phase; each broadcast site then narrows the parent to its
+	// per-node rpc span.
+	for _, id := range m.order {
+		setTraceParent(m.cfg.Nodes[id], prepSpan)
+	}
 	m.cfg.Bus.Reset()
 	m.rec.SetRun(run.ID)
 	if attempt > 1 {
@@ -745,6 +784,12 @@ func (m *Master) executeRun(run desc.Run, attempt int) RunResult {
 	m.cfg.Status.PhaseChanged("execute")
 	execSpan := m.cfg.Tracer.Begin(runSpan, "master", "phase", "execute",
 		run.ID, attempt, nil)
+	// Execution-phase RPCs (Execute, Emit) come from concurrent process
+	// tasks sharing each node's handle, so the whole phase parents under
+	// the execute span rather than per-action spans.
+	for _, id := range m.order {
+		setTraceParent(m.cfg.Nodes[id], execSpan)
+	}
 	roles := desc.RolesFor(m.cfg.Exp, run)
 	wg := s.NewWaitGroup(fmt.Sprintf("run %d", run.ID))
 	// Process outcomes are written from multiple scheduler tasks; under
@@ -843,7 +888,7 @@ func (m *Master) executeRun(run desc.Run, attempt int) RunResult {
 
 	if !wg.WaitTimeout(m.cfg.MaxRunTime) {
 		rr.Aborted = true
-		m.counter("excovery_runs_aborted_total",
+		m.counter(obs.MRunsAborted,
 			"run attempts aborted by MaxRunTime").Inc()
 		m.rec.Emit(eventlog.EvRunAborted, map[string]string{"run": fmt.Sprint(run.ID)})
 		// Cancel leftover process tasks: waiters on the bus give up at

@@ -30,6 +30,7 @@ import (
 	"sort"
 	"time"
 
+	"excovery/internal/obs"
 	"excovery/internal/sched"
 	"excovery/internal/vclock"
 )
@@ -193,6 +194,9 @@ type Network struct {
 	ruleSeq int
 	seed    int64
 	stats   Stats
+	// obs, when non-nil, makes nodes and rules resolve per-node/per-rule
+	// instruments (see metrics.go). Nil leaves the data path bare.
+	obs *obs.Registry
 
 	// DefaultTTL limits multicast/broadcast flooding; default 8 hops.
 	DefaultTTL int
@@ -250,6 +254,9 @@ func (nw *Network) AddNode(id NodeID, params NodeParams) *Node {
 		up:     true,
 	}
 	n.egress = sched.NewQueue[*transmission](nw.s, "egress "+string(id))
+	if nw.obs != nil {
+		n.instrument(nw.obs)
+	}
 	nw.s.GoDaemon("pump "+string(id), n.pump)
 	nw.nodes[id] = n
 	nw.order = append(nw.order, id)

@@ -40,6 +40,10 @@ type Node struct {
 
 	rules []*Rule
 	seen  map[uint64]bool // flood duplicate suppression
+
+	// m holds the node's pre-resolved instruments (metrics.go); the zero
+	// value keeps the data path uninstrumented and allocation-free.
+	m nodeMetrics
 }
 
 // transmission is one queued radio transmission.
@@ -98,6 +102,7 @@ func (n *Node) ResetRunState() {
 		}
 		n.queued--
 	}
+	n.m.queueDepth.Set(int64(n.queued))
 	n.pausedQ = nil
 	n.paused = false
 	n.stress = 0
@@ -148,6 +153,7 @@ func (n *Node) SetKilled(on bool) {
 			}
 			n.queued--
 		}
+		n.m.queueDepth.Set(int64(n.queued))
 		n.pausedQ = nil
 	}
 	n.net.dirty, n.net.nbrs = true, nil
@@ -209,6 +215,7 @@ func (n *Node) capture(p *Packet, dir CaptureDir) {
 func (n *Node) Send(dst Dest, proto string, payload []byte) (id uint64, ok bool) {
 	nw := n.net
 	nw.stats.Sent++
+	n.m.sent.Inc()
 	nw.pktSeq++
 	p := &Packet{
 		ID:      nw.pktSeq,
@@ -235,31 +242,31 @@ func (n *Node) Send(dst Dest, proto string, payload []byte) (id uint64, ok bool)
 func (n *Node) enqueue(p *Packet) bool {
 	nw := n.net
 	if !n.up || n.txDown {
-		nw.stats.Dropped[DropIfDown]++
+		n.drop(DropIfDown)
 		return false
 	}
 	if n.killed || n.paused {
 		// A killed or frozen process cannot send; attempts by its still-
 		// scheduled tasks are discarded.
-		nw.stats.Dropped[DropProc]++
+		n.drop(DropProc)
 		return false
 	}
 	v := n.evalRules(p, CaptureTx)
 	if v.drop {
-		nw.stats.Dropped[DropRule]++
+		n.drop(DropRule)
 		return false
 	}
 	x := &transmission{pkt: p, extraDelay: v.delay}
 	if p.Dst.IsUnicast() && p.Dst.Node != n.id {
 		hop, ok := nw.NextHop(n.id, p.Dst.Node)
 		if !ok {
-			nw.stats.Dropped[DropNoRoute]++
+			n.drop(DropNoRoute)
 			return false
 		}
 		x.nextHop = hop
 	}
 	if n.queued >= n.params.QueueLen {
-		nw.stats.Dropped[DropQueue]++
+		n.drop(DropQueue)
 		return false
 	}
 	n.queued++
@@ -269,9 +276,11 @@ func (n *Node) enqueue(p *Packet) bool {
 		// The copy bypasses rule evaluation so a duplication probability
 		// of 1 cannot cascade.
 		nw.stats.RuleDuplicates++
+		n.m.dupRule.Inc()
 		n.queued++
 		n.egress.Push(&transmission{pkt: p, nextHop: x.nextHop, extraDelay: v.delay})
 	}
+	n.m.queueDepth.Set(int64(n.queued))
 	return true
 }
 
@@ -284,6 +293,7 @@ func (n *Node) pump() {
 			return
 		}
 		n.queued--
+		n.m.queueDepth.Set(int64(n.queued))
 		// Serialization: the radio occupies the medium for size*8/rate.
 		// Rule-injected delay does NOT occupy the medium; it is applied
 		// per propagation below, like a real qdisc netem delay.
@@ -315,7 +325,7 @@ func (n *Node) pump() {
 		}
 		n.net.s.Sleep(txTime)
 		if !n.up || n.txDown || n.killed {
-			n.net.stats.Dropped[DropIfDown]++
+			n.drop(DropIfDown)
 			continue
 		}
 		n.transmit(x)
@@ -326,6 +336,7 @@ func (n *Node) pump() {
 func (n *Node) transmit(x *transmission) {
 	nw := n.net
 	nw.stats.Transmissions++
+	n.m.transmit.Inc()
 	n.capture(x.pkt, CaptureTx)
 	if x.pkt.Dst.IsUnicast() {
 		if x.pkt.Dst.Node == n.id {
@@ -349,7 +360,7 @@ func (n *Node) propagate(p *Packet, nb NodeID, extra time.Duration) {
 	nw := n.net
 	lp := nw.links[n.id][nb]
 	if lp == nil {
-		nw.stats.Dropped[DropNoRoute]++
+		n.drop(DropNoRoute)
 		return
 	}
 	if lp.Burst != nil {
@@ -368,11 +379,11 @@ func (n *Node) propagate(p *Packet, nb NodeID, extra time.Duration) {
 			loss = b.LossBad
 		}
 		if loss > 0 && n.rng.Float64() < loss {
-			nw.stats.Dropped[DropLoss]++
+			n.drop(DropLoss)
 			return
 		}
 	} else if lp.Loss > 0 && n.rng.Float64() < lp.Loss {
-		nw.stats.Dropped[DropLoss]++
+		n.drop(DropLoss)
 		return
 	}
 	delay := lp.Delay + extra
@@ -389,16 +400,15 @@ func (n *Node) propagate(p *Packet, nb NodeID, extra time.Duration) {
 // receive admits an arriving packet: capture happens at the NIC, then the
 // packet is either buffered (paused process) or processed.
 func (n *Node) receive(p *Packet) {
-	nw := n.net
 	if !n.up || n.rxDown || n.killed {
-		nw.stats.Dropped[DropIfDown]++
+		n.drop(DropIfDown)
 		return
 	}
 	p.Path = append(p.Path, n.id)
 	n.capture(p, CaptureRx)
 	if n.paused {
 		if len(n.pausedQ) >= n.params.QueueLen {
-			nw.stats.Dropped[DropProc]++
+			n.drop(DropProc)
 			return
 		}
 		n.pausedQ = append(n.pausedQ, p)
@@ -414,7 +424,7 @@ func (n *Node) process(p *Packet) {
 	nw := n.net
 	v := n.evalRules(p, CaptureRx)
 	if v.drop {
-		nw.stats.Dropped[DropRule]++
+		n.drop(DropRule)
 		return
 	}
 	if v.delay > 0 {
@@ -426,6 +436,7 @@ func (n *Node) process(p *Packet) {
 			n.deliver(p)
 			if v.dup {
 				nw.stats.RuleDuplicates++
+				n.m.dupRule.Inc()
 				n.deliver(p.clone())
 			}
 			return
@@ -434,6 +445,7 @@ func (n *Node) process(p *Packet) {
 		n.enqueue(p)
 		if v.dup {
 			nw.stats.RuleDuplicates++
+			n.m.dupRule.Inc()
 			n.enqueue(p.clone())
 		}
 		return
@@ -444,6 +456,7 @@ func (n *Node) process(p *Packet) {
 	// suppressed by every receiver's seen map anyway.
 	if n.seen[p.ID] {
 		nw.stats.Duplicates++
+		n.m.dupFlood.Inc()
 		return
 	}
 	n.seen[p.ID] = true
@@ -451,12 +464,13 @@ func (n *Node) process(p *Packet) {
 		n.deliver(p)
 		if v.dup {
 			nw.stats.RuleDuplicates++
+			n.m.dupRule.Inc()
 			n.deliver(p.clone())
 		}
 	}
 	p.TTL--
 	if p.TTL <= 0 {
-		nw.stats.Dropped[DropTTL]++
+		n.drop(DropTTL)
 		return
 	}
 	n.enqueue(p)
@@ -464,6 +478,7 @@ func (n *Node) process(p *Packet) {
 
 func (n *Node) deliver(p *Packet) {
 	n.net.stats.Delivered++
+	n.m.delivered.Inc()
 	if n.handler != nil {
 		n.handler(p)
 	}

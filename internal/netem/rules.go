@@ -104,6 +104,10 @@ type Rule struct {
 	tokens      float64
 	lastFill    time.Time
 	filled      bool
+
+	// m holds the rule's pre-resolved instruments (metrics.go); the zero
+	// value keeps evaluation uninstrumented and allocation-free.
+	m ruleMetrics
 }
 
 // ID returns the rule identifier assigned at installation.
@@ -200,16 +204,21 @@ func (n *Node) evalRules(p *Packet, c CaptureDir) verdict {
 			r.lastReorder = reorder
 			if reorder {
 				v.delay += r.ReorderDelay
+				r.m.reordered.Inc()
 			}
 		}
 		if r.RateBps > 0 {
-			v.delay += r.shape(p, n.net.s.Now())
+			if stall := r.shape(p, n.net.s.Now()); stall > 0 {
+				v.delay += stall
+				r.m.rateStalls.Inc()
+			}
 		}
 		if r.DupProb > 0 && rng.Float64() < r.DupProb {
 			v.dup = true
 		}
 		if r.Modify != nil && (r.CorruptProb <= 0 || rng.Float64() < r.CorruptProb) {
 			r.Modify(p)
+			r.m.corrupted.Inc()
 		}
 	}
 	return v
@@ -221,6 +230,9 @@ func (n *Node) InstallRule(r Rule) *Rule {
 	n.net.ruleSeq++
 	r.id = n.net.ruleSeq
 	rp := &r
+	if n.net.obs != nil {
+		rp.instrument(n.net.obs, n.id)
+	}
 	n.rules = append(n.rules, rp)
 	return rp
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"excovery/internal/eventlog"
+	"excovery/internal/obs"
 	"excovery/internal/sched"
 	"excovery/internal/store"
 	"excovery/internal/xmlrpc"
@@ -22,10 +23,29 @@ type RemoteNode struct {
 	// C is the host's XML-RPC endpoint.
 	C *xmlrpc.Client
 
-	mu        sync.Mutex
-	runErr    error
-	runErrs   int
-	totalErrs int
+	mu          sync.Mutex
+	runErr      error
+	runErrs     int
+	totalErrs   int
+	traceParent uint64
+}
+
+// SetTraceParent sets the master-side span id attached to every subsequent
+// RPC of this proxy as the trailing trace_parent parameter, so the host's
+// request spans parent under the master's run/phase tree (DESIGN.md §13).
+// The master updates it at each broadcast site; zero detaches.
+func (r *RemoteNode) SetTraceParent(id uint64) {
+	r.mu.Lock()
+	r.traceParent = id
+	r.mu.Unlock()
+}
+
+// call issues one control-channel RPC, folding in the current trace parent.
+func (r *RemoteNode) call(method string, params ...any) (any, error) {
+	r.mu.Lock()
+	tp := r.traceParent
+	r.mu.Unlock()
+	return r.C.Call(method, xmlrpc.WithTraceParent(params, tp)...)
 }
 
 func (r *RemoteNode) fail(err error) {
@@ -67,7 +87,7 @@ func (r *RemoteNode) TotalErrCount() int {
 // Health implements master.HealthChecker: a node-scoped ping over the
 // control channel, used by the master's preflight check.
 func (r *RemoteNode) Health() error {
-	_, err := r.C.Call("node.ping", r.NodeID)
+	_, err := r.call("node.ping", r.NodeID)
 	return err
 }
 
@@ -81,19 +101,19 @@ func (r *RemoteNode) PrepareRun(run int) {
 	r.runErr = nil
 	r.runErrs = 0
 	r.mu.Unlock()
-	_, err := r.C.Call("node.prepare_run", r.NodeID, run)
+	_, err := r.call("node.prepare_run", r.NodeID, run)
 	r.fail(err)
 }
 
 // CleanupRun implements master.NodeHandle.
 func (r *RemoteNode) CleanupRun(run int) {
-	_, err := r.C.Call("node.cleanup_run", r.NodeID, run)
+	_, err := r.call("node.cleanup_run", r.NodeID, run)
 	r.fail(err)
 }
 
 // Execute implements master.NodeHandle.
 func (r *RemoteNode) Execute(action string, params map[string]string) error {
-	_, err := r.C.Call("node.execute", r.NodeID, action, params)
+	_, err := r.call("node.execute", r.NodeID, action, params)
 	return err
 }
 
@@ -102,14 +122,14 @@ func (r *RemoteNode) Emit(typ string, params map[string]string) {
 	if params == nil {
 		params = map[string]string{}
 	}
-	_, err := r.C.Call("node.emit", r.NodeID, typ, params)
+	_, err := r.call("node.emit", r.NodeID, typ, params)
 	r.fail(err)
 }
 
 // LocalTime implements master.NodeHandle; RFC3339Nano over the wire keeps
 // sub-second resolution that plain XML-RPC dateTime lacks.
 func (r *RemoteNode) LocalTime() time.Time {
-	v, err := r.C.Call("node.local_time", r.NodeID)
+	v, err := r.call("node.local_time", r.NodeID)
 	if err != nil {
 		r.fail(err)
 		return time.Time{}
@@ -125,7 +145,7 @@ func (r *RemoteNode) LocalTime() time.Time {
 
 // HarvestEvents implements master.NodeHandle.
 func (r *RemoteNode) HarvestEvents(run int) []eventlog.Event {
-	v, err := r.C.Call("node.harvest_events", r.NodeID, run)
+	v, err := r.call("node.harvest_events", r.NodeID, run)
 	if err != nil {
 		r.fail(err)
 		return nil
@@ -141,7 +161,7 @@ func (r *RemoteNode) HarvestEvents(run int) []eventlog.Event {
 
 // HarvestPackets implements master.NodeHandle.
 func (r *RemoteNode) HarvestPackets() []store.PacketRecord {
-	v, err := r.C.Call("node.harvest_packets", r.NodeID)
+	v, err := r.call("node.harvest_packets", r.NodeID)
 	if err != nil {
 		r.fail(err)
 		return nil
@@ -157,7 +177,7 @@ func (r *RemoteNode) HarvestPackets() []store.PacketRecord {
 
 // HarvestExtras implements master.NodeHandle.
 func (r *RemoteNode) HarvestExtras() []store.ExtraMeasurement {
-	v, err := r.C.Call("node.harvest_extras", r.NodeID)
+	v, err := r.call("node.harvest_extras", r.NodeID)
 	if err != nil {
 		r.fail(err)
 		return nil
@@ -170,6 +190,43 @@ func (r *RemoteNode) HarvestExtras() []store.ExtraMeasurement {
 	}
 	return extras
 }
+
+// HarvestTrace implements the master's optional trace-harvest extension:
+// it fetches the host tracer's closed spans of one run for merging into the
+// per-run trace.json artifact. Best-effort — transport or decode errors
+// yield nil without poisoning the run's error accounting.
+func (r *RemoteNode) HarvestTrace(run int) []obs.Span {
+	v, err := r.call("host.harvest_trace", run)
+	if err != nil {
+		return nil
+	}
+	s, _ := v.(string)
+	spans, err := obs.UnmarshalSpans([]byte(s))
+	if err != nil {
+		return nil
+	}
+	return spans
+}
+
+// ObsSnapshot implements the master's campaign fan-in extension: one RPC
+// fetches the host's full metric registry as a flat sample list.
+func (r *RemoteNode) ObsSnapshot() ([]obs.MetricPoint, error) {
+	v, err := r.call("host.obs_snapshot")
+	if err != nil {
+		return nil, err
+	}
+	s, _ := v.(string)
+	var pts []obs.MetricPoint
+	if err := json.Unmarshal([]byte(s), &pts); err != nil {
+		return nil, err
+	}
+	return pts, nil
+}
+
+// ObsSource identifies the host behind this proxy so the master collects
+// each host registry (and trace) once even when one host serves several
+// nodes.
+func (r *RemoteNode) ObsSource() string { return r.C.URL }
 
 // RemoteEnv proxies environment actions to the host; it implements
 // master.EnvExecutor.

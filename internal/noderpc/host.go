@@ -14,6 +14,7 @@ package noderpc
 import (
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"sync"
 	"time"
@@ -49,6 +50,14 @@ type Host struct {
 	defaultTTL   time.Duration
 	now          func() time.Time // wall clock; overridable in tests
 
+	// Cross-process tracing (DESIGN.md §13): the host records one span per
+	// control-channel request on its own tracer. Span ids are seeded into a
+	// space disjoint from the master's, so when the master merges harvested
+	// host spans into the per-run trace.json, parent links stay unambiguous.
+	tracer *obs.Tracer
+	track  string
+	curRun int // run of the last node.prepare_run; attributes runless RPCs
+
 	// Event-pump instrumentation (nil-safe without Instrument).
 	obs        *obs.Registry
 	mForwarded *obs.Counter
@@ -62,9 +71,23 @@ type Host struct {
 
 // NewHost wraps an assembled experiment.
 func NewHost(x *core.Experiment) *Host {
+	track := "host"
+	if ids := sortedKeys(x.Managers); len(ids) > 0 {
+		track += ":" + ids[0]
+	}
+	tr := obs.NewTracer(x.S.Now)
+	// Host span ids live in the upper half of a 64-bit space keyed by the
+	// host's track name: merged master+host traces keep disjoint id spaces
+	// without any coordination (the master allocates from 1 upward).
+	fh := fnv.New32a()
+	fh.Write([]byte(track))
+	tr.SeedIDs((uint64(fh.Sum32()) | 1) << 32)
 	return &Host{x: x, kick: make(chan struct{}, 1), stop: make(chan struct{}),
-		now: time.Now}
+		now: time.Now, tracer: tr, track: track, curRun: -1}
 }
+
+// Tracer returns the host's span tracer (never nil).
+func (h *Host) Tracer() *obs.Tracer { return h.tracer }
 
 // SetDefaultLeaseTTL makes the host impose a lease on session-aware
 // masters that register without one (excovery-node -lease-ttl). Sessionless
@@ -77,19 +100,19 @@ func (h *Host) SetDefaultLeaseTTL(ttl time.Duration) { h.defaultTTL = ttl }
 // before serving.
 func (h *Host) Instrument(reg *obs.Registry) {
 	h.obs = reg
-	h.mForwarded = reg.Counter("excovery_host_events_forwarded_total",
+	h.mForwarded = reg.Counter(obs.MHostEventsForwarded,
 		"node events queued for push to the master")
-	h.mBatches = reg.Counter("excovery_host_event_batches_total",
+	h.mBatches = reg.Counter(obs.MHostEventBatches,
 		"event batches delivered to the master endpoint")
-	h.mPushErrs = reg.Counter("excovery_host_event_push_errors_total",
+	h.mPushErrs = reg.Counter(obs.MHostEventPushErrors,
 		"failed event pushes (batch requeued for redelivery)")
-	h.mOutbox = reg.Gauge("excovery_host_outbox_len",
+	h.mOutbox = reg.Gauge(obs.MHostOutboxLen,
 		"events waiting in the push outbox")
-	h.mAdopt = reg.Counter("excovery_host_master_adoptions_total",
+	h.mAdopt = reg.Counter(obs.MHostMasterAdoptions,
 		"master sessions that registered or re-adopted this host")
-	h.mRenew = reg.Counter("excovery_host_lease_renewals_total",
+	h.mRenew = reg.Counter(obs.MHostLeaseRenewals,
 		"master lease renewals accepted")
-	h.mExpire = reg.Counter("excovery_host_lease_expiries_total",
+	h.mExpire = reg.Counter(obs.MHostLeaseExpiries,
 		"master leases that expired without renewal")
 }
 
@@ -235,6 +258,42 @@ func (h *Host) pump() {
 // Close stops the event pump.
 func (h *Host) Close() { close(h.stop) }
 
+// traced wraps a data-path handler with cross-process span recording: the
+// trailing trace_parent parameter (appended by the master's RemoteNode
+// proxy) is stripped and becomes the span's parent, so host spans slot
+// into the master's run/phase tree when the traces are merged.
+func (h *Host) traced(method string, fn xmlrpc.Handler) xmlrpc.Handler {
+	return func(params []any) (any, error) {
+		parent, params := xmlrpc.TraceParent(params)
+		sp := h.tracer.Begin(parent, h.track, "rpc", method, h.spanRun(params), 0, nil)
+		res, err := fn(params)
+		if err != nil {
+			h.tracer.EndWith(sp, map[string]string{"err": err.Error()})
+		} else {
+			h.tracer.End(sp)
+		}
+		return res, err
+	}
+}
+
+// spanRun attributes an RPC to a run: methods carrying (node, run) use the
+// explicit argument; the rest (execute, emit, harvests, env actions) fall
+// back to the run of the last prepare_run.
+func (h *Host) spanRun(params []any) int {
+	if run, ok := arg[int](params, 1); ok {
+		return run
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.curRun
+}
+
+func (h *Host) setRun(run int) {
+	h.mu.Lock()
+	h.curRun = run
+	h.mu.Unlock()
+}
+
 // Server builds the XML-RPC method registry for this host.
 func (h *Host) Server() *xmlrpc.Server {
 	srv := xmlrpc.NewServer()
@@ -321,7 +380,7 @@ func (h *Host) Server() *xmlrpc.Server {
 
 	// node.ping is the health probe of the master's preflight check: it
 	// verifies the control channel and that the node is served here.
-	srv.Register("node.ping", func(params []any) (any, error) {
+	srv.Register("node.ping", h.traced("node.ping", func(params []any) (any, error) {
 		id, ok := arg[string](params, 0)
 		if !ok {
 			return nil, fmt.Errorf("node.ping: want node")
@@ -330,8 +389,8 @@ func (h *Host) Server() *xmlrpc.Server {
 			return nil, fmt.Errorf("no node %q", id)
 		}
 		return "pong", nil
-	})
-	srv.Register("node.prepare_run", func(params []any) (any, error) {
+	}))
+	srv.Register("node.prepare_run", h.traced("node.prepare_run", func(params []any) (any, error) {
 		id, run, err := nodeRunArgs(params)
 		if err != nil {
 			return nil, err
@@ -340,10 +399,11 @@ func (h *Host) Server() *xmlrpc.Server {
 		if mgr == nil {
 			return nil, fmt.Errorf("no node %q", id)
 		}
+		h.setRun(run)
 		s.InjectWait("rpc prepare_run", func() { mgr.PrepareRun(run) })
 		return true, nil
-	})
-	srv.Register("node.cleanup_run", func(params []any) (any, error) {
+	}))
+	srv.Register("node.cleanup_run", h.traced("node.cleanup_run", func(params []any) (any, error) {
 		id, run, err := nodeRunArgs(params)
 		if err != nil {
 			return nil, err
@@ -354,8 +414,8 @@ func (h *Host) Server() *xmlrpc.Server {
 		}
 		s.InjectWait("rpc cleanup_run", func() { mgr.CleanupRun(run) })
 		return true, nil
-	})
-	srv.Register("node.execute", func(params []any) (any, error) {
+	}))
+	srv.Register("node.execute", h.traced("node.execute", func(params []any) (any, error) {
 		id, ok := arg[string](params, 0)
 		action, ok2 := arg[string](params, 1)
 		if !ok || !ok2 {
@@ -377,8 +437,8 @@ func (h *Host) Server() *xmlrpc.Server {
 			return nil, execErr
 		}
 		return true, nil
-	})
-	srv.Register("node.emit", func(params []any) (any, error) {
+	}))
+	srv.Register("node.emit", h.traced("node.emit", func(params []any) (any, error) {
 		id, ok := arg[string](params, 0)
 		typ, ok2 := arg[string](params, 1)
 		if !ok || !ok2 {
@@ -396,8 +456,8 @@ func (h *Host) Server() *xmlrpc.Server {
 		}
 		s.InjectWait("rpc emit", func() { mgr.Emit(typ, pm) })
 		return true, nil
-	})
-	srv.Register("node.local_time", func(params []any) (any, error) {
+	}))
+	srv.Register("node.local_time", h.traced("node.local_time", func(params []any) (any, error) {
 		id, ok := arg[string](params, 0)
 		if !ok {
 			return nil, fmt.Errorf("node.local_time: want node")
@@ -409,8 +469,8 @@ func (h *Host) Server() *xmlrpc.Server {
 		var t time.Time
 		s.InjectWait("rpc local_time", func() { t = mgr.LocalTime() })
 		return t.Format(time.RFC3339Nano), nil
-	})
-	srv.Register("node.harvest_events", func(params []any) (any, error) {
+	}))
+	srv.Register("node.harvest_events", h.traced("node.harvest_events", func(params []any) (any, error) {
 		id, run, err := nodeRunArgs(params)
 		if err != nil {
 			return nil, err
@@ -426,8 +486,8 @@ func (h *Host) Server() *xmlrpc.Server {
 			return nil, err
 		}
 		return string(data), nil
-	})
-	srv.Register("node.harvest_packets", func(params []any) (any, error) {
+	}))
+	srv.Register("node.harvest_packets", h.traced("node.harvest_packets", func(params []any) (any, error) {
 		id, ok := arg[string](params, 0)
 		if !ok {
 			return nil, fmt.Errorf("node.harvest_packets: want node")
@@ -445,8 +505,8 @@ func (h *Host) Server() *xmlrpc.Server {
 			return nil, jerr
 		}
 		return string(data), nil
-	})
-	srv.Register("node.harvest_extras", func(params []any) (any, error) {
+	}))
+	srv.Register("node.harvest_extras", h.traced("node.harvest_extras", func(params []any) (any, error) {
 		id, ok := arg[string](params, 0)
 		if !ok {
 			return nil, fmt.Errorf("node.harvest_extras: want node")
@@ -464,8 +524,8 @@ func (h *Host) Server() *xmlrpc.Server {
 			return nil, jerr
 		}
 		return string(data), nil
-	})
-	srv.Register("env.execute", func(params []any) (any, error) {
+	}))
+	srv.Register("env.execute", h.traced("env.execute", func(params []any) (any, error) {
 		action, ok := arg[string](params, 0)
 		if !ok {
 			return nil, fmt.Errorf("env.execute: want (action, params)")
@@ -482,10 +542,30 @@ func (h *Host) Server() *xmlrpc.Server {
 			return nil, execErr
 		}
 		return true, nil
-	})
-	srv.Register("env.reset", func(params []any) (any, error) {
+	}))
+	srv.Register("env.reset", h.traced("env.reset", func(params []any) (any, error) {
 		s.InjectWait("rpc env reset", func() { h.x.Env.Reset() })
 		return true, nil
+	}))
+	// host.harvest_trace returns the host tracer's closed spans of one run
+	// as a trace.json document; the master merges them (dedup'd by span id)
+	// into the per-run level-2 trace artifact.
+	srv.Register("host.harvest_trace", func(params []any) (any, error) {
+		run, ok := arg[int](params, 0)
+		if !ok {
+			return nil, fmt.Errorf("host.harvest_trace: want run")
+		}
+		return string(obs.MarshalSpans(h.tracer.RunSpans(run))), nil
+	})
+	// host.obs_snapshot ships the host's metric registry — including the
+	// emulator data-path series of internal/netem and internal/sched — to
+	// the master's campaign fan-in as a JSON []obs.MetricPoint.
+	srv.Register("host.obs_snapshot", func(params []any) (any, error) {
+		data, err := json.Marshal(h.obs.Snapshot())
+		if err != nil {
+			return nil, err
+		}
+		return string(data), nil
 	})
 	return srv
 }

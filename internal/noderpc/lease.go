@@ -60,16 +60,16 @@ func (l *Lease) Register() error {
 // expired, host adopted by someone else) falls back to re-registering.
 func (l *Lease) Renew() error {
 	if _, err := l.C.Call("host.renew_lease", l.Session, l.ttlMS()); err == nil {
-		l.count(&l.renewals, "excovery_lease_renewals_total",
+		l.count(&l.renewals, obs.MLeaseRenewals,
 			"successful host lease renewals")
 		return nil
 	}
 	if err := l.Register(); err != nil {
-		l.count(&l.errs, "excovery_lease_errors_total",
+		l.count(&l.errs, obs.MLeaseErrors,
 			"heartbeats that could neither renew nor re-register")
 		return err
 	}
-	l.count(&l.rebinds, "excovery_lease_rebinds_total",
+	l.count(&l.rebinds, obs.MLeaseRebinds,
 		"heartbeats that had to re-register an unknown or expired session")
 	return nil
 }

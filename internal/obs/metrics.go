@@ -143,7 +143,8 @@ func (h *Histogram) Sum() float64 {
 
 // metric is one registered instrument with its resolved labels.
 type metric struct {
-	labels string // canonical rendered label set, `k="v",...` or ""
+	labels string   // canonical rendered label set, `k="v",...` or ""
+	pairs  []string // the original alternating key/value pairs
 	c      *Counter
 	g      *Gauge
 	h      *Histogram
@@ -217,7 +218,7 @@ func (r *Registry) get(name, help, typ string, labels []string) *metric {
 	}
 	m := f.by[ls]
 	if m == nil {
-		m = &metric{labels: ls}
+		m = &metric{labels: ls, pairs: append([]string(nil), labels...)}
 		f.by[ls] = m
 		f.keys = append(f.keys, ls)
 		sort.Strings(f.keys)
@@ -342,6 +343,52 @@ func writeMetric(w io.Writer, f *family, m *metric) error {
 		return series(f.name+"_count", "", fmt.Sprint(h.Count()))
 	}
 	return nil
+}
+
+// MetricPoint is one sample of a registry Snapshot — the JSON-friendly
+// unit the campaign fan-in ships from a node host to the master. Labels
+// are the original alternating key/value pairs, so the master can re-label
+// (adding a node=... pair) without parsing the rendered form. Histograms
+// flatten into two counter points, <name>_count and <name>_sum_seconds.
+type MetricPoint struct {
+	Name   string   `json:"name"`
+	Type   string   `json:"type"` // "counter" or "gauge"
+	Help   string   `json:"help,omitempty"`
+	Labels []string `json:"labels,omitempty"`
+	Value  float64  `json:"value"`
+}
+
+// Snapshot returns every registered series as a flat, deterministic list
+// (families sorted by name, series by canonical label set). A nil registry
+// snapshots to nil.
+func (r *Registry) Snapshot() []MetricPoint {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []MetricPoint
+	for _, name := range r.names {
+		f := r.families[name]
+		for _, k := range f.keys {
+			m := f.by[k]
+			switch {
+			case m.c != nil:
+				out = append(out, MetricPoint{Name: f.name, Type: "counter",
+					Help: f.help, Labels: m.pairs, Value: float64(m.c.Value())})
+			case m.g != nil:
+				out = append(out, MetricPoint{Name: f.name, Type: "gauge",
+					Help: f.help, Labels: m.pairs, Value: float64(m.g.Value())})
+			case m.h != nil:
+				out = append(out,
+					MetricPoint{Name: f.name + "_count", Type: "counter",
+						Help: f.help, Labels: m.pairs, Value: float64(m.h.Count())},
+					MetricPoint{Name: f.name + "_sum_seconds", Type: "counter",
+						Help: f.help, Labels: m.pairs, Value: m.h.Sum()})
+			}
+		}
+	}
+	return out
 }
 
 // CounterValue returns the current value of a registered counter series (0

@@ -45,6 +45,9 @@ type Snapshot struct {
 	RunsRetried   int `json:"runs_retried,omitempty"`
 	// Nodes maps node ids to their health/quarantine state.
 	Nodes map[string]NodeState `json:"nodes,omitempty"`
+	// NodesReporting is how many node hosts delivered a metric snapshot at
+	// the last campaign fan-in (0 before the first fan-in).
+	NodesReporting int `json:"nodes_reporting,omitempty"`
 	// UpdatedAt is the reference-clock time of the last update.
 	UpdatedAt time.Time `json:"updated_at"`
 }
@@ -192,6 +195,12 @@ func (s *Status) NodeProbation(id string, ok, need int) {
 		ns.ProbationNeed = need
 		sn.Nodes[id] = ns
 	})
+}
+
+// FanIn records the outcome of a campaign metric fan-in: how many node
+// hosts delivered a registry snapshot.
+func (s *Status) FanIn(sources int) {
+	s.update(func(sn *Snapshot) { sn.NodesReporting = sources })
 }
 
 // NodeReadmitted clears a node's quarantine after it served probation.

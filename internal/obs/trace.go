@@ -69,6 +69,23 @@ func NewTracer(now func() time.Time) *Tracer {
 	return &Tracer{now: now, open: map[uint64]int{}}
 }
 
+// SeedIDs moves the tracer's id allocator to start above base. A tracer
+// whose spans will be merged with another process's trace (the node hosts,
+// whose spans the master folds into the per-run trace.json) must allocate
+// from a disjoint id space, or parent links in the merged file become
+// ambiguous. Calling it after spans exist, or with a base below the
+// current allocator, is a no-op.
+func (t *Tracer) SeedIDs(base uint64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if base > t.next {
+		t.next = base
+	}
+}
+
 // Begin opens a span and returns its id. parent 0 makes a root span.
 func (t *Tracer) Begin(parent uint64, track, cat, name string, run, attempt int, args map[string]string) uint64 {
 	if t == nil {
@@ -123,22 +140,29 @@ func (t *Tracer) EndWith(id uint64, args map[string]string) {
 	}
 }
 
-// compactLocked drops the oldest closed spans to stay under traceCap.
+// compactLocked drops the oldest closed spans to stay under traceCap. The
+// open map is rebuilt from scratch, and membership in it — not a zero End
+// time — decides which spans survive as open: a span closed while the
+// tracer clock still read the zero instant (virtual clocks start there) is
+// evicted like any other closed span instead of being resurrected, and no
+// stale id→index entry can outlive the compaction and redirect a later
+// End to the wrong span.
 func (t *Tracer) compactLocked() {
-	keep := make([]Span, 0, len(t.spans))
 	drop := len(t.spans) - traceCap/2
+	keep := make([]Span, 0, len(t.spans)-drop+len(t.open))
+	open := make(map[uint64]int, len(t.open))
 	for i, sp := range t.spans {
-		if i < drop && !sp.End.IsZero() {
+		_, isOpen := t.open[sp.ID]
+		if i < drop && !isOpen {
 			continue
+		}
+		if isOpen {
+			open[sp.ID] = len(keep)
 		}
 		keep = append(keep, sp)
 	}
 	t.spans = keep
-	for i := range t.spans {
-		if t.spans[i].End.IsZero() {
-			t.open[t.spans[i].ID] = i
-		}
-	}
+	t.open = open
 }
 
 // Spans returns a snapshot of all recorded spans in begin order.

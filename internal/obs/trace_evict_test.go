@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTracerEvictionKeepsOpenSpans opens a span, pushes the tracer across
+// the traceCap eviction boundary with closed filler spans, and verifies
+// End still closes exactly the held span: compaction must re-point the
+// open-map index at the span's new position.
+func TestTracerEvictionKeepsOpenSpans(t *testing.T) {
+	base := time.Unix(1000, 0)
+	var tick int64
+	tr := NewTracer(func() time.Time {
+		tick++
+		return base.Add(time.Duration(tick) * time.Microsecond)
+	})
+	held := tr.Begin(0, "master", "run", "held", 1, 1, nil)
+	for i := 0; i < traceCap+16; i++ {
+		id := tr.Begin(held, "master", "action", "filler", 1, 1, nil)
+		tr.End(id)
+	}
+	tr.EndWith(held, map[string]string{"mark": "held"})
+
+	spans := tr.Spans()
+	if len(spans) > traceCap {
+		t.Fatalf("compaction did not bound the ring: %d spans", len(spans))
+	}
+	found := 0
+	for _, sp := range spans {
+		if sp.ID == held {
+			found++
+			if sp.End.IsZero() {
+				t.Fatalf("held span %d not closed after eviction", held)
+			}
+			if sp.Args["mark"] != "held" {
+				t.Fatalf("held span %d lost EndWith args: %v", held, sp.Args)
+			}
+			continue
+		}
+		if sp.Args["mark"] == "held" {
+			t.Fatalf("EndWith mutated the wrong span: id %d", sp.ID)
+		}
+		if sp.End.IsZero() {
+			t.Fatalf("filler span %d reopened by compaction", sp.ID)
+		}
+	}
+	if found != 1 {
+		t.Fatalf("held span appears %d times after eviction", found)
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if len(tr.open) != 0 {
+		t.Fatalf("open map retains %d entries after everything closed", len(tr.open))
+	}
+}
+
+// TestTracerEvictionZeroTimeClose closes a span while the tracer clock
+// still reads the zero instant — exactly what a virtual-time clock
+// produces at experiment start. Compaction used to treat the zero End as
+// "still open", resurrecting the span into the open map, where a stray
+// duplicate End could then mutate the long-closed span.
+func TestTracerEvictionZeroTimeClose(t *testing.T) {
+	var now time.Time // zero epoch, as a virtual scheduler clock starts
+	tr := NewTracer(func() time.Time { return now })
+	early := tr.Begin(0, "master", "action", "early", 0, 1, nil)
+	tr.End(early) // End stamped at the zero time
+	now = now.Add(time.Second)
+	for i := 0; i < traceCap+16; i++ {
+		id := tr.Begin(0, "master", "action", "filler", 1, 1, nil)
+		tr.End(id)
+	}
+	// A duplicate End on the long-closed early span must be a no-op.
+	tr.EndWith(early, map[string]string{"corrupt": "yes"})
+	for _, sp := range tr.Spans() {
+		if sp.Args["corrupt"] == "yes" {
+			t.Fatalf("duplicate End mutated span %d after eviction", sp.ID)
+		}
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	for id := range tr.open {
+		if id == early {
+			t.Fatalf("compaction resurrected closed span %d into the open map", early)
+		}
+	}
+	if len(tr.open) != 0 {
+		t.Fatalf("open map retains %d entries after everything closed", len(tr.open))
+	}
+}

@@ -31,7 +31,10 @@ import (
 	"runtime/debug"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"excovery/internal/obs"
 )
 
 // Mode selects how the scheduler maps virtual time onto wall-clock time.
@@ -140,6 +143,13 @@ type Scheduler struct {
 	// stats
 	switches uint64
 	fired    uint64
+
+	// m holds the scheduler's pre-resolved instruments (metrics.go); the
+	// zero value keeps the run loop uninstrumented and allocation-free.
+	// lockWait lives outside m so Inject can consult it before taking
+	// s.mu without racing Instrument.
+	m        schedMetrics
+	lockWait atomic.Pointer[obs.Histogram]
 }
 
 // New creates a scheduler starting at the given epoch. The epoch becomes the
@@ -279,7 +289,17 @@ func (s *Scheduler) finishTaskLocked(t *task) {
 // call from goroutines not managed by the scheduler (e.g. RPC handlers). If
 // the scheduler is between Run calls the work is queued until the next Run.
 func (s *Scheduler) Inject(name string, fn func()) {
-	s.mu.Lock()
+	if h := s.lockWait.Load(); h != nil {
+		// Instrumented path only: the uninstrumented scheduler must not
+		// read the wall clock.
+		//lint:ignore walltime the lock-wait histogram measures wall time by definition
+		t0 := time.Now()
+		s.mu.Lock()
+		//lint:ignore walltime the lock-wait histogram measures wall time by definition
+		h.Observe(time.Since(t0).Seconds())
+	} else {
+		s.mu.Lock()
+	}
 	t := s.newTaskLocked(name)
 	s.runnable = append(s.runnable, t)
 	s.mu.Unlock()
@@ -377,6 +397,8 @@ func (s *Scheduler) run(deadline time.Time) error {
 			t.state = stateRunning
 			s.current = t
 			s.switches++
+			s.m.switches.Inc()
+			s.m.runnable.Set(int64(len(s.runnable)))
 			s.mu.Unlock()
 			t.wake <- struct{}{}
 			<-s.ctrl // wait until t blocks or exits
@@ -418,6 +440,9 @@ func (s *Scheduler) run(deadline time.Time) error {
 			}
 			if !tm.stopped {
 				s.fired++
+				s.m.fired.Inc()
+				s.m.queueLen.Set(int64(s.timers.Len()))
+				s.observeVtimeLagLocked(wallBase, virtBase)
 				// Runs with s.mu held; only queue manipulation.
 				switch {
 				case tm.wake != nil:

@@ -263,7 +263,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 	s.mu.Lock()
 	s.stats.Requests++
 	s.mu.Unlock()
-	s.Obs.Counter("excovery_rpc_server_requests_total",
+	s.Obs.Counter(obs.MRPCServerRequests,
 		"accepted XML-RPC POST requests (after failpoint drops)").Inc()
 	body, err := io.ReadAll(io.LimitReader(req.Body, 16<<20))
 	if err != nil {
@@ -277,7 +277,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 		if e, dup := s.dedup[key]; dup {
 			s.stats.DedupReplays++
 			s.mu.Unlock()
-			s.Obs.Counter("excovery_rpc_server_dedup_replays_total",
+			s.Obs.Counter(obs.MRPCServerDedupReplays,
 				"responses replayed from the idempotency cache").Inc()
 			<-e.done
 			s.deliver(w, e.resp)
@@ -314,7 +314,7 @@ func (s *Server) dispatch(body []byte, key string) []byte {
 	s.mu.Lock()
 	s.stats.HandlerCalls++
 	s.mu.Unlock()
-	s.Obs.Counter("excovery_rpc_server_handler_calls_total",
+	s.Obs.Counter(obs.MRPCServerHandlerCalls,
 		"handler executions by method", "method", method).Inc()
 	if s.OnDispatch != nil {
 		s.OnDispatch(method, key)
@@ -322,7 +322,7 @@ func (s *Server) dispatch(body []byte, key string) []byte {
 	//lint:ignore walltime handler latency is an operator metric measuring real elapsed time
 	start := time.Now()
 	result, err := h(params)
-	s.Obs.Histogram("excovery_rpc_server_handler_latency_seconds",
+	s.Obs.Histogram(obs.MRPCServerHandlerLatency,
 		"handler execution latency by method", nil, "method", method).
 		ObserveDuration(time.Since(start))
 	if err != nil {
@@ -359,7 +359,7 @@ func (s *Server) inject(w http.ResponseWriter, site string) bool {
 	s.mu.Lock()
 	s.stats.Injected++
 	s.mu.Unlock()
-	s.Obs.Counter("excovery_rpc_server_failpoint_injections_total",
+	s.Obs.Counter(obs.MRPCServerFailpointInjections,
 		"failpoint decisions fired on the serving path", "site", site).Inc()
 	switch d.Act {
 	case failpoint.Drop:
@@ -594,12 +594,12 @@ func (c *Client) Call(method string, params ...any) (any, error) {
 		return nil, err
 	}
 	c.calls.Add(1)
-	c.Obs.Counter("excovery_rpc_client_calls_total",
+	c.Obs.Counter(obs.MRPCClientCalls,
 		"logical XML-RPC calls by method", "method", method).Inc()
 	//lint:ignore walltime call latency is an operator metric measuring real elapsed time
 	start := time.Now()
 	defer func() {
-		c.Obs.Histogram("excovery_rpc_client_latency_seconds",
+		c.Obs.Histogram(obs.MRPCClientLatency,
 			"XML-RPC call latency (all attempts and backoffs) by method",
 			nil, "method", method).ObserveDuration(time.Since(start))
 	}()
@@ -611,7 +611,7 @@ func (c *Client) Call(method string, params ...any) (any, error) {
 	var lastErr error
 	for attempt := 1; ; attempt++ {
 		c.attempts.Add(1)
-		c.Obs.Counter("excovery_rpc_client_attempts_total",
+		c.Obs.Counter(obs.MRPCClientAttempts,
 			"HTTP exchanges by method (>= calls under retry)", "method", method).Inc()
 		res, err := c.do(method, body, key)
 		if err == nil {
@@ -623,7 +623,7 @@ func (c *Client) Call(method string, params ...any) (any, error) {
 		}
 		backoff := c.backoff(attempt)
 		c.retries.Add(1)
-		c.Obs.Counter("excovery_rpc_client_retries_total",
+		c.Obs.Counter(obs.MRPCClientRetries,
 			"re-attempts after retryable transport errors by method", "method", method).Inc()
 		if c.OnRetry != nil {
 			c.OnRetry(method, attempt, backoff, err)
@@ -631,7 +631,7 @@ func (c *Client) Call(method string, params ...any) (any, error) {
 		c.sleep(backoff)
 	}
 	c.failures.Add(1)
-	c.Obs.Counter("excovery_rpc_client_errors_total",
+	c.Obs.Counter(obs.MRPCClientErrors,
 		"calls failed after all attempts by method", "method", method).Inc()
 	return nil, lastErr
 }

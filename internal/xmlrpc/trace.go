@@ -1,0 +1,45 @@
+package xmlrpc
+
+import "strconv"
+
+// TraceParentKey is the member name of the optional trailing struct
+// parameter that carries the caller's span id across the RPC boundary
+// (DESIGN.md §13). The id is transported as a decimal string because
+// XML-RPC integers are 32-bit and span ids are uint64.
+const TraceParentKey = "trace_parent"
+
+// WithTraceParent appends a non-zero parent span id to params as a
+// trailing {trace_parent: "<id>"} struct. The parameter is strictly
+// trailing, so handlers that parse positionally and ignore it keep
+// working; handlers that honor it strip it first with TraceParent. A zero
+// parent returns params unchanged (and unshared: callers may append).
+func WithTraceParent(params []any, parent uint64) []any {
+	if parent == 0 {
+		return params
+	}
+	out := make([]any, 0, len(params)+1)
+	out = append(out, params...)
+	return append(out, map[string]any{TraceParentKey: strconv.FormatUint(parent, 10)})
+}
+
+// TraceParent extracts the trailing trace_parent parameter, returning the
+// caller's span id (0 when absent or malformed) and the params with the
+// marker stripped.
+func TraceParent(params []any) (uint64, []any) {
+	if len(params) == 0 {
+		return 0, params
+	}
+	m, ok := params[len(params)-1].(map[string]any)
+	if !ok || len(m) != 1 {
+		return 0, params
+	}
+	s, ok := m[TraceParentKey].(string)
+	if !ok {
+		return 0, params
+	}
+	id, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, params
+	}
+	return id, params[:len(params)-1]
+}

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"excovery/internal/desc"
+	"excovery/internal/discovery"
 	"excovery/internal/eventlog"
 	"excovery/internal/failpoint"
 	"excovery/internal/master"
@@ -31,7 +32,9 @@ import (
 
 func main() {
 	var (
-		hostURL    = flag.String("host", "http://127.0.0.1:8800", "node host XML-RPC endpoint")
+		hostURL    = flag.String("host", "http://127.0.0.1:8800", "node host XML-RPC endpoint (static wiring; ignored with -registry)")
+		registry   = flag.String("registry", "", "discovery registry XML-RPC endpoint: claim node hosts from the registry instead of -host, and replace dead hosts mid-campaign")
+		region     = flag.String("region", "", "preferred placement region when claiming hosts from -registry")
 		listen     = flag.String("listen", ":8801", "this master's event endpoint listen address")
 		builtin    = flag.String("builtin", "", "built-in description: casestudy, oneshot, threeparty")
 		reps       = flag.Int("reps", 0, "override the replication count")
@@ -101,44 +104,86 @@ func main() {
 		Timeout:     *rpcTimeout,
 		Seed:        *rpcSeed,
 	}
-	newClient := func() *xmlrpc.Client {
-		c := xmlrpc.NewRetryingClient(*hostURL, rpcPolicy)
+	dial := func(url string) *xmlrpc.Client {
+		c := xmlrpc.NewRetryingClient(url, rpcPolicy)
 		c.Obs = reg
 		return c
 	}
-	hostClient := newClient()
-	if _, err := hostClient.Call("host.ping"); err != nil {
-		fatal(fmt.Errorf("node host unreachable: %w", err))
-	}
-	// Register under a fresh session id. With a lease TTL the host tracks
-	// this master's liveness: a heartbeat renews the lease, a silent master
-	// is dropped at the deadline, and a restarted master (new session id)
-	// simply re-adopts the host — no manual node restart needed. The
-	// heartbeat also heals a restarted node host: its refused renewal
-	// triggers re-registration.
-	if *leaseTTL > 0 {
-		lease := &noderpc.Lease{C: hostClient, MasterURL: selfURL,
-			Session: noderpc.NewSessionID(), TTL: *leaseTTL, Obs: reg}
-		if err := lease.Register(); err != nil {
+	newClient := func() *xmlrpc.Client { return dial(*hostURL) }
+	var handles map[string]master.NodeHandle
+	var env master.EnvExecutor
+	var fleetMgr master.FleetManager
+	if *registry != "" {
+		// Registry wiring (DESIGN.md §14): claim node hosts from the
+		// discovery registry under a fencing epoch. The first claim backs
+		// the campaign, the rest stay warm spares; when the active host
+		// dies mid-campaign, the fleet re-places the run's nodes on a
+		// survivor (or a host that joined since) and the run replays from
+		// its derived seed.
+		fleet := &discovery.Fleet{
+			Reg:       dial(*registry),
+			MasterID:  noderpc.NewSessionID(),
+			MasterURL: selfURL,
+			Region:    *region,
+			LeaseTTL:  *leaseTTL,
+			NewClient: dial,
+			Obs:       reg,
+			OnHostChange: func(event, hostID string) {
+				fmt.Printf("excovery-master: fleet %s -> host %s\n", event, hostID)
+			},
+		}
+		if err := fleet.Connect(); err != nil {
 			fatal(err)
 		}
-		lease.Start()
-		defer lease.Stop()
-		fmt.Printf("excovery-master: session %s, lease ttl %s\n", lease.Session, *leaseTTL)
-	} else if _, err := hostClient.Call("host.set_master", selfURL); err != nil {
-		fatal(err)
+		defer fleet.Close()
+		handles = fleet.Handles()
+		env = fleet.Env()
+		fleetMgr = fleet
+		if *maxAtt < 2 {
+			// A failover only helps if a further attempt lands on the
+			// replacement host.
+			*maxAtt = 2
+		}
+		active := fleet.ActiveHost()
+		fmt.Printf("excovery-master: session %s claimed host %s (%s, epoch %d) via registry %s, events at %s\n",
+			fleet.MasterID, active.ID, active.URL, active.Epoch, *registry, selfURL)
+	} else {
+		// Static wiring: one host, no registry — the graceful-degradation
+		// fallback. The fleet machinery is bypassed entirely.
+		hostClient := newClient()
+		if _, err := hostClient.Call("host.ping"); err != nil {
+			fatal(fmt.Errorf("node host unreachable: %w", err))
+		}
+		// Register under a fresh session id. With a lease TTL the host tracks
+		// this master's liveness: a heartbeat renews the lease, a silent master
+		// is dropped at the deadline, and a restarted master (new session id)
+		// simply re-adopts the host — no manual node restart needed. The
+		// heartbeat also heals a restarted node host: its refused renewal
+		// triggers re-registration.
+		if *leaseTTL > 0 {
+			lease := &noderpc.Lease{C: hostClient, MasterURL: selfURL,
+				Session: noderpc.NewSessionID(), TTL: *leaseTTL, Obs: reg}
+			if err := lease.Register(); err != nil {
+				fatal(err)
+			}
+			lease.Start()
+			defer lease.Stop()
+			fmt.Printf("excovery-master: session %s, lease ttl %s\n", lease.Session, *leaseTTL)
+		} else if _, err := hostClient.Call("host.set_master", selfURL); err != nil {
+			fatal(err)
+		}
+		nodes, err := noderpc.FetchNodes(hostClient, 5, 500*time.Millisecond)
+		if err != nil {
+			fatal(err)
+		}
+		handles = map[string]master.NodeHandle{}
+		for _, id := range nodes {
+			handles[id] = &noderpc.RemoteNode{NodeID: id, C: newClient()}
+		}
+		env = &noderpc.RemoteEnv{C: newClient()}
+		fmt.Printf("excovery-master: %d remote nodes at %s, events at %s\n",
+			len(handles), *hostURL, selfURL)
 	}
-	nodesV, err := hostClient.Call("host.nodes")
-	if err != nil {
-		fatal(err)
-	}
-	handles := map[string]master.NodeHandle{}
-	for _, v := range nodesV.([]any) {
-		id := v.(string)
-		handles[id] = &noderpc.RemoteNode{NodeID: id, C: newClient()}
-	}
-	fmt.Printf("excovery-master: %d remote nodes at %s, events at %s\n",
-		len(handles), *hostURL, selfURL)
 	// The XML-RPC node proxies are goroutine-safe, so the distributed
 	// master defaults to full fan-out across the nodes.
 	fo := *fanout
@@ -172,7 +217,8 @@ func main() {
 	m, err := master.New(master.Config{
 		Exp: e, S: s, Bus: bus, Nodes: handles,
 		Fanout:     fo,
-		Env:        &noderpc.RemoteEnv{C: newClient()},
+		Env:        env,
+		Fleet:      fleetMgr,
 		Store:      st,
 		Journal:    jnl,
 		Resume:     *resume,

@@ -17,7 +17,7 @@ import (
 )
 
 func main() {
-	builtin := flag.String("builtin", "", "validate a built-in description: casestudy, oneshot, threeparty")
+	builtin := flag.String("builtin", "", "validate a built-in description: casestudy, oneshot, threeparty, registry-churn")
 	dump := flag.String("dump", "", "write the (built-in or parsed) description as XML to this file (- for stdout)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: excovery-validate [-builtin name] [-dump file] [description.xml]\n")
@@ -103,6 +103,8 @@ func loadDescription(builtin, path string) (*desc.Experiment, error) {
 		return desc.OneShot(30), nil
 	case "threeparty":
 		return desc.ThreeParty(30, 1000), nil
+	case "registry-churn":
+		return desc.RegistryChurn(100), nil
 	case "":
 	default:
 		return nil, fmt.Errorf("unknown builtin %q", builtin)

@@ -80,3 +80,36 @@ func TestPartitionHealDeterministicLevel3(t *testing.T) {
 			len(raw1), len(raw2))
 	}
 }
+
+// TestRegistryChurnDeterministicLevel3 runs the self-healing fleet's
+// companion scenario (DESIGN.md §14): the SU claims the active publisher,
+// that publisher's node is killed at the claim, and the standby must be
+// re-discovered before the deadline. "Discovery measured by discovery."
+func TestRegistryChurnDeterministicLevel3(t *testing.T) {
+	raw1, events := runToLevel3(t, desc.RegistryChurn(1))
+	// The churn sequence actually happened, in order: first claim, kill,
+	// then the re-discovery completing the run.
+	claimed, ok := findEvent(events, "claimed")
+	if !ok {
+		t.Fatal("SU never claimed the first publisher")
+	}
+	kill, ok := findEvent(events, string(eventlog.EvFaultNodeKillStart))
+	if !ok {
+		t.Fatal("no fault_node_kill_start event in run 0")
+	}
+	done, ok := findEvent(events, "done")
+	if !ok {
+		t.Fatal("SU never finished")
+	}
+	// The kill reacts to the claim in zero virtual time, so order on the
+	// bus arrival sequence, not timestamps.
+	if claimed.Seq >= kill.Seq || kill.Seq >= done.Seq {
+		t.Fatalf("churn out of order: claimed #%d, kill #%d, done #%d",
+			claimed.Seq, kill.Seq, done.Seq)
+	}
+	raw2, _ := runToLevel3(t, desc.RegistryChurn(1))
+	if !bytes.Equal(raw1, raw2) {
+		t.Fatalf("level-3 artifacts differ across identical experiments (%d vs %d bytes)",
+			len(raw1), len(raw2))
+	}
+}

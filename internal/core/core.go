@@ -119,6 +119,14 @@ type Options struct {
 	// OnEvent observes every event published on the bus (the node-host
 	// side of the distributed deployment forwards them to the master).
 	OnEvent func(ev eventlog.Event)
+	// S, if set, hosts the platform on an existing scheduler instead of
+	// creating one; RealTime and Speed are ignored. Multi-replica fleet
+	// tests use it to run several platform instances in one deterministic
+	// virtual timeline.
+	S *sched.Scheduler
+	// Bus, if set, overrides the platform's event bus (shared-bus fleet
+	// tests). Requires S.
+	Bus *eventlog.Bus
 	// Metrics, if set, instruments the emulator data path: the network
 	// gets per-node/per-rule packet counters and queue-depth gauges, the
 	// scheduler event-loop counters (see internal/obs/names.go). Nil
@@ -258,23 +266,28 @@ func New(e *desc.Experiment, opts Options) (*Experiment, error) {
 	if seed == 0 {
 		seed = 1
 	}
-	var s *sched.Scheduler
-	if opts.RealTime {
-		s = sched.New(sched.RealTime, time.Date(2014, 5, 19, 0, 0, 0, 0, time.UTC))
-		if opts.Speed > 0 {
-			s.SetSpeed(opts.Speed)
+	s := opts.S
+	if s == nil {
+		if opts.RealTime {
+			s = sched.New(sched.RealTime, time.Date(2014, 5, 19, 0, 0, 0, 0, time.UTC))
+			if opts.Speed > 0 {
+				s.SetSpeed(opts.Speed)
+			}
+		} else {
+			s = sched.NewVirtual()
 		}
-	} else {
-		s = sched.NewVirtual()
-	}
-	if opts.Metrics != nil {
-		s.Instrument(opts.Metrics)
+		if opts.Metrics != nil {
+			s.Instrument(opts.Metrics)
+		}
 	}
 	nw := netem.New(s, seed)
 	nw.Instrument(opts.Metrics)
-	bus := eventlog.NewBus(s)
-	if opts.Metrics != nil {
-		bus.Instrument(opts.Metrics)
+	bus := opts.Bus
+	if bus == nil {
+		bus = eventlog.NewBus(s)
+		if opts.Metrics != nil {
+			bus.Instrument(opts.Metrics)
+		}
 	}
 
 	actorIDs, envIDs := platformNodeIDs(e)

@@ -191,3 +191,116 @@ func RateLimited(replications int) *Experiment {
 		}, "fault_rate_limit")}
 	return e
 }
+
+// RegistryChurn builds registry-churn: "discovery measured by discovery"
+// — the claim-after-host-death responsiveness the self-healing fleet
+// (DESIGN.md §14) relies on, expressed as a pure SD experiment. The SU
+// discovers the active publisher (SM1) and flags the claim; at that exact
+// moment SM1's node is killed, the standby (SM2) observes the kill and
+// starts publishing, and the measured quantity is how long the SU needs
+// to re-discover the replacement — under a swept message-loss rate at the
+// SU, since real failovers never happen on a quiet network.
+func RegistryChurn(replications int) *Experiment {
+	e := &Experiment{
+		Name:    "sd-registry-churn",
+		Comment: "SU re-discovers a standby publisher after the active one is killed mid-claim, under swept SU-side message loss",
+		Params: []Param{
+			{Key: "sd_architecture", Value: "two-party"},
+			{Key: "sd_protocol", Value: "zeroconf"},
+			{Key: "sd_scheme", Value: "active"},
+		},
+		AbstractNodes: []string{"A", "B", "C"},
+		Factors: []Factor{
+			ActorMapFactor("fact_nodes", UsageBlocking, map[string][]string{
+				"actor0": {"A"},
+				"actor1": {"B"},
+				"actor2": {"C"},
+			}),
+			FloatFactor("fact_loss_prob", UsageConstant, 0, 0.2, 0.4),
+		},
+		Repl: Replication{ID: "fact_replication_id", Count: replications},
+		Seed: 20140520,
+	}
+	e.NodeProcesses = []NodeProcess{
+		{
+			Actor: "actor0", Name: "SM", NodesRef: "fact_nodes",
+			Actions: []Action{
+				Act("sd_init"),
+				Act("sd_start_publish"),
+				WaitEvent(WaitSpec{Event: "done"}),
+				Act("sd_stop_publish"),
+				Act("sd_exit"),
+			},
+		},
+		{
+			// The standby: it publishes only once the active publisher's
+			// node is observed dead — the SD analogue of a spare host
+			// picking up a failed-over campaign.
+			Actor: "actor1", Name: "SM", NodesRef: "fact_nodes",
+			Actions: []Action{
+				WaitEvent(WaitSpec{
+					Event:     "fault_node_kill_start",
+					FromActor: "actor0", FromInstance: "all",
+				}),
+				Act("sd_init"),
+				Act("sd_start_publish"),
+				WaitEvent(WaitSpec{Event: "done"}),
+				Act("sd_stop_publish"),
+				Act("sd_exit"),
+			},
+		},
+		{
+			Actor: "actor2", Name: "SU", NodesRef: "fact_nodes",
+			Actions: []Action{
+				WaitEvent(WaitSpec{
+					Event:     "sd_start_publish",
+					FromActor: "actor0", FromInstance: "all",
+				}),
+				// Let SM1's unsolicited announcements pass (Fig. 11) so
+				// the first discovery measures the query/response path.
+				WaitTime(5),
+				Act("sd_init"),
+				WaitMarker(),
+				Act("sd_start_search"),
+				WaitEvent(WaitSpec{
+					Event:     "sd_service_add",
+					FromActor: "actor2", FromInstance: "all",
+					ParamActor: "actor0", ParamInstance: "all",
+					TimeoutSec: 30,
+				}),
+				Flag("claimed"),
+				WaitEvent(WaitSpec{
+					Event:     "sd_service_add",
+					FromActor: "actor2", FromInstance: "all",
+					ParamActor: "actor1", ParamInstance: "all",
+					TimeoutSec: 30,
+				}),
+				Flag("done"),
+				Act("sd_stop_search"),
+				Act("sd_exit"),
+			},
+		},
+	}
+	e.ManipProcesses = []ManipulationProcess{
+		{
+			// The churn itself: the kill lands exactly when the SU has
+			// claimed SM1, never earlier, so every run measures the same
+			// transition.
+			Actor: "actor0",
+			Actions: []Action{
+				WaitEvent(WaitSpec{Event: "claimed"}),
+				Act("fault_node_kill").
+					WithFactorRef("randomseed", "fact_replication_id"),
+				WaitEvent(WaitSpec{Event: "done"}),
+				Act("fault_stop", "kind", "fault_node_kill"),
+			},
+		},
+		manipUntilDone("actor2",
+			[]Action{
+				Act("fault_msg_loss", "direction", "receive").
+					WithFactorRef("prob", "fact_loss_prob").
+					WithFactorRef("randomseed", "fact_replication_id"),
+			}, "fault_msg_loss"),
+	}
+	return e
+}

@@ -40,6 +40,7 @@ func TestShippedDescriptionsMatchBuilders(t *testing.T) {
 		"partition-heal.xml":      PartitionHeal(100),
 		"ramped-loss.xml":         RampedLoss(100),
 		"rate-limited.xml":        RateLimited(100),
+		"registry-churn.xml":      RegistryChurn(100),
 	}
 	for file, want := range cases {
 		t.Run(file, func(t *testing.T) {

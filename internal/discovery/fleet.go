@@ -1,0 +1,347 @@
+package discovery
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"excovery/internal/eventlog"
+	"excovery/internal/master"
+	"excovery/internal/noderpc"
+	"excovery/internal/obs"
+	"excovery/internal/store"
+	"excovery/internal/xmlrpc"
+)
+
+// Fleet is the master-side placement manager over a discovery registry:
+// it claims node hosts (one active, the rest kept as warm spares), builds
+// the fenced control-channel proxies for the master's run loop, keeps the
+// active host leased, and — as master.FleetManager — re-places the run's
+// nodes onto a surviving or newly joined host when the active one dies
+// mid-campaign. Each adoption carries the claim's fencing epoch, so the
+// displaced host refuses any RPC from the epoch it outgrew.
+type Fleet struct {
+	// Reg is the registry's XML-RPC endpoint.
+	Reg *xmlrpc.Client
+	// MasterID is this master's session id (doubles as the claim owner).
+	MasterID string
+	// MasterURL is the master's event endpoint, registered on the host.
+	MasterURL string
+	// Region is the preferred placement region ("" for no preference).
+	Region string
+	// LeaseTTL is the session lease imposed on the adopted host.
+	LeaseTTL time.Duration
+	// NewClient dials a claimed host's control endpoint.
+	NewClient func(url string) *xmlrpc.Client
+	// ReplaceTimeout bounds how long a failover polls for a replacement
+	// host — surviving spares first, then newly joining hosts (default 30s).
+	ReplaceTimeout time.Duration
+	// Poll is the registry polling interval during a failover (default 500ms).
+	Poll time.Duration
+	// Obs, if set, receives the lease and failover counters.
+	Obs *obs.Registry
+	// OnHostChange, if set, observes adoptions: event is "adopt" on
+	// Connect and "failover" on a mid-campaign replacement.
+	OnHostChange func(event, hostID string)
+
+	mu     sync.Mutex
+	active Host
+	spares []Host
+	nodes  map[string]*FleetNode
+	env    *switchEnv
+	lease  *noderpc.Lease
+}
+
+// Connect claims hosts from the registry and adopts the first as the
+// campaign's backing host; the remaining claims stay as warm spares for
+// failover. It fails when the registry has no usable host.
+func (f *Fleet) Connect() error {
+	claimed, err := f.claim()
+	if err != nil {
+		return err
+	}
+	var errs []string
+	for i, h := range claimed {
+		if err := f.adopt(h, claimed[i+1:], false); err != nil {
+			errs = append(errs, fmt.Sprintf("%s: %v", h.ID, err))
+			continue
+		}
+		if f.OnHostChange != nil {
+			f.OnHostChange("adopt", h.ID)
+		}
+		return nil
+	}
+	return fmt.Errorf("fleet: no usable host among %d claimed (registry %s): %v",
+		len(claimed), f.Reg.URL, errs)
+}
+
+// claim asks the registry for every available host in one call: the first
+// becomes active, the rest are spares. Claiming eagerly is what makes
+// failover fast — the spare's fencing epoch is already minted.
+func (f *Fleet) claim() ([]Host, error) {
+	v, err := f.Reg.Call("registry.claim", f.MasterID, 0, f.Region)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: claim from registry %s: %w", f.Reg.URL, err)
+	}
+	s, _ := v.(string)
+	var hosts []Host
+	if err := json.Unmarshal([]byte(s), &hosts); err != nil {
+		return nil, fmt.Errorf("fleet: bad claim reply from %s: %w", f.Reg.URL, err)
+	}
+	return hosts, nil
+}
+
+// adopt makes h the active host: register the master session under the
+// claim's fencing epoch, verify the node set, rebind every proxy and start
+// the lease heartbeat. rebind is false on the first adoption (the proxies
+// are created) and true on failover (they are re-pointed, so the master's
+// handle map stays valid mid-campaign).
+func (f *Fleet) adopt(h Host, spares []Host, rebind bool) error {
+	c := f.NewClient(h.URL)
+	nodes, err := noderpc.FetchNodes(c, 3, 200*time.Millisecond)
+	if err != nil {
+		return err
+	}
+	lease := &noderpc.Lease{
+		C:         c,
+		MasterURL: f.MasterURL,
+		Session:   f.MasterID,
+		TTL:       f.LeaseTTL,
+		Epoch:     h.Epoch,
+		Obs:       f.Obs,
+	}
+	if err := lease.Register(); err != nil {
+		return fmt.Errorf("adopt %s: %w", h.URL, err)
+	}
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if rebind {
+		have := map[string]bool{}
+		for _, id := range nodes {
+			have[id] = true
+		}
+		for id := range f.nodes {
+			if !have[id] {
+				return fmt.Errorf("adopt %s: host does not serve node %q", h.URL, id)
+			}
+		}
+	} else {
+		f.nodes = make(map[string]*FleetNode, len(nodes))
+		for _, id := range nodes {
+			f.nodes[id] = &FleetNode{id: id}
+		}
+		f.env = &switchEnv{}
+	}
+	for _, n := range f.nodes {
+		r := &noderpc.RemoteNode{NodeID: n.id, C: c}
+		r.SetFenceEpoch(h.Epoch)
+		n.rebind(r)
+	}
+	f.env.rebind(&noderpc.RemoteEnv{C: c, Epoch: h.Epoch})
+	if f.lease != nil {
+		f.lease.Stop()
+	}
+	f.lease = lease
+	lease.Start()
+	f.active = h
+	f.spares = append([]Host(nil), spares...)
+	return nil
+}
+
+// Handles returns the master's node handle map. The handles are stable
+// across failovers — they re-point at the replacement host internally.
+func (f *Fleet) Handles() map[string]master.NodeHandle {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string]master.NodeHandle, len(f.nodes))
+	for id, n := range f.nodes {
+		out[id] = n
+	}
+	return out
+}
+
+// Env returns the environment executor, stable across failovers.
+func (f *Fleet) Env() master.EnvExecutor {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.env
+}
+
+// ActiveHost returns the currently adopted host.
+func (f *Fleet) ActiveHost() Host {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.active
+}
+
+// Failover implements master.FleetManager: the active host failed the
+// given run, so report it dead, then re-place the nodes onto the first
+// usable replacement — surviving spares first, then whatever the registry
+// can claim within ReplaceTimeout (this is how elastic hosts that joined
+// mid-campaign pick up work). Returns the replacement's host id.
+func (f *Fleet) Failover(run int, nodeErrs map[string]string) (string, error) {
+	f.mu.Lock()
+	dead := f.active
+	spares := append([]Host(nil), f.spares...)
+	if f.lease != nil {
+		f.lease.Stop()
+		f.lease = nil
+	}
+	f.mu.Unlock()
+
+	// Best-effort: tell the registry the host is gone so nobody else
+	// claims it until it re-registers. The claim itself dies with this.
+	f.Reg.Call("registry.report_down", f.MasterID, dead.ID)
+
+	poll := f.Poll
+	if poll <= 0 {
+		poll = 500 * time.Millisecond
+	}
+	timeout := f.ReplaceTimeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	attempts := int(timeout/poll) + 1
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			time.Sleep(poll)
+		}
+		for len(spares) > 0 {
+			h := spares[0]
+			spares = spares[1:]
+			if err := f.adopt(h, spares, true); err != nil {
+				f.Reg.Call("registry.release", f.MasterID, h.ID)
+				continue
+			}
+			if f.OnHostChange != nil {
+				f.OnHostChange("failover", h.ID)
+			}
+			return h.ID, nil
+		}
+		// No spare left: poll the registry for survivors or new joiners.
+		if claimed, err := f.claim(); err == nil {
+			spares = claimed
+		}
+	}
+	return "", fmt.Errorf("fleet: no replacement host for %s within %s (run %d, %d node errors)",
+		dead.ID, timeout, run, len(nodeErrs))
+}
+
+// Close stops the lease heartbeat and releases every claim.
+func (f *Fleet) Close() {
+	f.mu.Lock()
+	lease := f.lease
+	f.lease = nil
+	active := f.active
+	spares := append([]Host(nil), f.spares...)
+	f.mu.Unlock()
+	if lease != nil {
+		lease.Stop()
+	}
+	if active.ID != "" {
+		f.Reg.Call("registry.release", f.MasterID, active.ID)
+	}
+	for _, h := range spares {
+		f.Reg.Call("registry.release", f.MasterID, h.ID)
+	}
+}
+
+// FleetNode is a stable node handle over a swappable noderpc.RemoteNode:
+// the master's Config.Nodes map keeps pointing at the same FleetNode while
+// a failover re-points it at the replacement host. It forwards the full
+// NodeHandle contract plus every optional extension the XML-RPC proxy
+// implements (health probe, run error accounting, trace propagation and
+// harvest, metric fan-in).
+type FleetNode struct {
+	id string
+	mu sync.Mutex
+	r  *noderpc.RemoteNode
+}
+
+func (n *FleetNode) rebind(r *noderpc.RemoteNode) {
+	n.mu.Lock()
+	n.r = r
+	n.mu.Unlock()
+}
+
+func (n *FleetNode) proxy() *noderpc.RemoteNode {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.r
+}
+
+// ID implements master.NodeHandle.
+func (n *FleetNode) ID() string { return n.id }
+
+// PrepareRun implements master.NodeHandle.
+func (n *FleetNode) PrepareRun(run int) { n.proxy().PrepareRun(run) }
+
+// CleanupRun implements master.NodeHandle.
+func (n *FleetNode) CleanupRun(run int) { n.proxy().CleanupRun(run) }
+
+// Execute implements master.NodeHandle.
+func (n *FleetNode) Execute(action string, params map[string]string) error {
+	return n.proxy().Execute(action, params)
+}
+
+// Emit implements master.NodeHandle.
+func (n *FleetNode) Emit(typ string, params map[string]string) { n.proxy().Emit(typ, params) }
+
+// LocalTime implements master.NodeHandle.
+func (n *FleetNode) LocalTime() time.Time { return n.proxy().LocalTime() }
+
+// HarvestEvents implements master.NodeHandle.
+func (n *FleetNode) HarvestEvents(run int) []eventlog.Event { return n.proxy().HarvestEvents(run) }
+
+// HarvestPackets implements master.NodeHandle.
+func (n *FleetNode) HarvestPackets() []store.PacketRecord { return n.proxy().HarvestPackets() }
+
+// HarvestExtras implements master.NodeHandle.
+func (n *FleetNode) HarvestExtras() []store.ExtraMeasurement { return n.proxy().HarvestExtras() }
+
+// Health implements master.HealthChecker.
+func (n *FleetNode) Health() error { return n.proxy().Health() }
+
+// Err reports the current run's first control-channel error (the master's
+// quarantine accounting extension).
+func (n *FleetNode) Err() error { return n.proxy().Err() }
+
+// SetTraceParent implements the master's trace-propagation extension.
+func (n *FleetNode) SetTraceParent(id uint64) { n.proxy().SetTraceParent(id) }
+
+// HarvestTrace implements the master's trace-harvest extension.
+func (n *FleetNode) HarvestTrace(run int) []obs.Span { return n.proxy().HarvestTrace(run) }
+
+// ObsSnapshot implements the master's metric fan-in extension.
+func (n *FleetNode) ObsSnapshot() ([]obs.MetricPoint, error) { return n.proxy().ObsSnapshot() }
+
+// ObsSource implements the master's metric fan-in extension.
+func (n *FleetNode) ObsSource() string { return n.proxy().ObsSource() }
+
+// switchEnv is the swappable environment executor counterpart of FleetNode.
+type switchEnv struct {
+	mu sync.Mutex
+	e  *noderpc.RemoteEnv
+}
+
+func (s *switchEnv) rebind(e *noderpc.RemoteEnv) {
+	s.mu.Lock()
+	s.e = e
+	s.mu.Unlock()
+}
+
+func (s *switchEnv) proxy() *noderpc.RemoteEnv {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.e
+}
+
+// Execute implements master.EnvExecutor.
+func (s *switchEnv) Execute(action string, params map[string]string) error {
+	return s.proxy().Execute(action, params)
+}
+
+// Reset implements master.EnvExecutor.
+func (s *switchEnv) Reset() { s.proxy().Reset() }

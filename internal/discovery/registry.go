@@ -1,0 +1,367 @@
+// Package discovery implements the fleet registry of the distributed
+// deployment (DESIGN.md §14): node hosts register their capabilities —
+// control endpoint, served platform nodes, region tag — under a TTL lease
+// renewed by heartbeats, and masters claim hosts for a campaign under a
+// monotonically increasing fencing epoch. Missed heartbeats mark a host
+// dead, which the master's placement loop turns into a mid-campaign
+// re-placement of the in-flight run; a claim's epoch fences the previous
+// owner out of the host (noderpc fencing), so a partitioned master can
+// never double-drive a node after a takeover.
+//
+// The registry is deliberately soft-state: every fact it holds is
+// re-asserted by the next round of heartbeats/re-registrations, so a
+// crashed-and-restarted registry rebuilds the fleet view — including the
+// epoch high-water mark, which hosts echo back — within one heartbeat
+// interval, without any persistence.
+package discovery
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"excovery/internal/obs"
+)
+
+// Host is one registered node host as seen by the registry: the snapshot
+// handed to claiming masters and the /status document entry.
+type Host struct {
+	// ID is the host's self-chosen stable identity.
+	ID string `json:"id"`
+	// URL is the host's XML-RPC control endpoint.
+	URL string `json:"url"`
+	// Nodes are the platform node ids the host serves.
+	Nodes []string `json:"nodes"`
+	// Region is an optional placement tag; masters prefer (but are not
+	// restricted to) hosts of their own region.
+	Region string `json:"region,omitempty"`
+	// Epoch is the fencing epoch of the host's current claim (0 unclaimed).
+	Epoch int64 `json:"epoch,omitempty"`
+	// ClaimedBy is the claiming master's session id ("" unclaimed).
+	ClaimedBy string `json:"claimed_by,omitempty"`
+	// Alive reports whether the lease is current.
+	Alive bool `json:"alive"`
+	// ExpiresIn is the remaining lease time in seconds (alive hosts only).
+	ExpiresIn float64 `json:"expires_in_s,omitempty"`
+}
+
+// entry is the registry's mutable record of one host.
+type entry struct {
+	Host
+	ttl     time.Duration
+	expires time.Time
+}
+
+// Registry is the in-memory fleet registry. All methods are safe for
+// concurrent use; expiry is checked lazily on every operation and by an
+// optional watchdog (Start) so dead hosts are detected even while the
+// registry is idle.
+type Registry struct {
+	defaultTTL time.Duration
+	now        func() time.Time // wall clock; overridable in tests
+
+	mu    sync.Mutex
+	hosts map[string]*entry
+	epoch int64
+
+	stop     chan struct{}
+	done     chan struct{}
+	watching bool
+
+	// Instrumentation (nil-safe without Instrument).
+	mAlive    *obs.Gauge
+	mClaimed  *obs.Gauge
+	mEpoch    *obs.Gauge
+	mRegister *obs.Counter
+	mResur    *obs.Counter
+	mBeats    *obs.Counter
+	mUnknown  *obs.Counter
+	mExpiries *obs.Counter
+	mClaims   *obs.Counter
+	mReleases *obs.Counter
+	mDown     *obs.Counter
+}
+
+// NewRegistry creates a registry granting defaultTTL to registrations
+// that do not name their own lease duration (15s when zero).
+func NewRegistry(defaultTTL time.Duration) *Registry {
+	if defaultTTL <= 0 {
+		defaultTTL = 15 * time.Second
+	}
+	return &Registry{
+		defaultTTL: defaultTTL,
+		now:        time.Now,
+		hosts:      map[string]*entry{},
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+}
+
+// Instrument registers the registry's metrics. Call before serving.
+func (r *Registry) Instrument(reg *obs.Registry) {
+	r.mAlive = reg.Gauge(obs.MRegistryHostsAlive,
+		"node hosts with a current lease")
+	r.mClaimed = reg.Gauge(obs.MRegistryHostsClaimed,
+		"alive hosts currently claimed by a master")
+	r.mEpoch = reg.Gauge(obs.MRegistryFenceEpoch,
+		"fencing epoch high-water mark")
+	r.mRegister = reg.Counter(obs.MRegistryRegistrations,
+		"host registrations, including re-registrations")
+	r.mResur = reg.Counter(obs.MRegistryResurrections,
+		"registrations that revived a host previously marked dead")
+	r.mBeats = reg.Counter(obs.MRegistryHeartbeats,
+		"accepted host heartbeats")
+	r.mUnknown = reg.Counter(obs.MRegistryHeartbeatUnknown,
+		"heartbeats refused for an unknown or expired host (caller re-registers)")
+	r.mExpiries = reg.Counter(obs.MRegistryExpiries,
+		"host leases that expired without a heartbeat")
+	r.mClaims = reg.Counter(obs.MRegistryClaims,
+		"hosts granted to claiming masters")
+	r.mReleases = reg.Counter(obs.MRegistryReleases,
+		"claims released by their master")
+	r.mDown = reg.Counter(obs.MRegistryReportsDown,
+		"hosts reported dead by their claiming master")
+}
+
+// Register upserts a host under a fresh lease and returns the granted TTL.
+// A dead host registering again is resurrected (its stale claim, whose
+// master has long failed over, is dissolved). The host echoes the highest
+// fencing epoch it has accepted, so a restarted registry re-learns the
+// fleet's epoch high-water mark from ordinary re-registration traffic and
+// can never hand out an epoch that a host would consider stale.
+func (r *Registry) Register(id, url string, nodes []string, region string, ttl time.Duration, epoch int64) time.Duration {
+	if ttl <= 0 {
+		ttl = r.defaultTTL
+	}
+	r.mu.Lock()
+	r.expireLocked()
+	e := r.hosts[id]
+	if e == nil {
+		e = &entry{Host: Host{ID: id}}
+		r.hosts[id] = e
+	} else if !e.Alive {
+		e.ClaimedBy = ""
+		e.Epoch = 0
+		r.mResur.Inc()
+	}
+	e.URL = url
+	e.Nodes = append([]string(nil), nodes...)
+	sort.Strings(e.Nodes)
+	e.Region = region
+	e.Alive = true
+	e.ttl = ttl
+	e.expires = r.now().Add(ttl)
+	if epoch > r.epoch {
+		r.epoch = epoch
+	}
+	if epoch > e.Epoch {
+		e.Epoch = epoch
+	}
+	r.gaugesLocked()
+	r.mu.Unlock()
+	r.mRegister.Inc()
+	return ttl
+}
+
+// Heartbeat renews a registered host's lease. An unknown or expired host
+// is refused — the caller falls back to a full Register, which is exactly
+// how a crashed registry rebuilds its state from the fleet's ordinary
+// lease traffic.
+func (r *Registry) Heartbeat(id string, ttl time.Duration) error {
+	r.mu.Lock()
+	r.expireLocked()
+	e := r.hosts[id]
+	if e == nil || !e.Alive {
+		r.mu.Unlock()
+		r.mUnknown.Inc()
+		return fmt.Errorf("registry: unknown host %q (re-register)", id)
+	}
+	if ttl > 0 {
+		e.ttl = ttl
+	}
+	e.expires = r.now().Add(e.ttl)
+	r.mu.Unlock()
+	r.mBeats.Inc()
+	return nil
+}
+
+// Claim grants up to want alive, unclaimed hosts to the master session,
+// each under a fresh fencing epoch (strictly increasing across all claims
+// registry-wide). Hosts in the master's region are preferred; when the
+// region cannot satisfy the claim, hosts from other regions fill in —
+// placement degrades gracefully rather than failing. want <= 0 claims
+// every available host. The selection is deterministic (region match,
+// then host id).
+func (r *Registry) Claim(masterID string, want int, region string) []Host {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.expireLocked()
+	var avail []*entry
+	for _, e := range r.hosts {
+		if e.Alive && e.ClaimedBy == "" {
+			avail = append(avail, e)
+		}
+	}
+	sort.Slice(avail, func(i, j int) bool {
+		mi := region != "" && avail[i].Region == region
+		mj := region != "" && avail[j].Region == region
+		if mi != mj {
+			return mi
+		}
+		return avail[i].ID < avail[j].ID
+	})
+	if want > 0 && len(avail) > want {
+		avail = avail[:want]
+	}
+	out := make([]Host, 0, len(avail))
+	for _, e := range avail {
+		r.epoch++
+		e.Epoch = r.epoch
+		e.ClaimedBy = masterID
+		out = append(out, r.snapLocked(e))
+		r.mClaims.Inc()
+	}
+	r.gaugesLocked()
+	return out
+}
+
+// Release returns a claimed host to the pool. Only the claiming master
+// may release; stale callers are ignored.
+func (r *Registry) Release(masterID, hostID string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.hosts[hostID]
+	if e == nil || e.ClaimedBy != masterID {
+		return
+	}
+	e.ClaimedBy = ""
+	r.mReleases.Inc()
+	r.gaugesLocked()
+}
+
+// ReportDown marks a claimed host dead on its master's authority: the
+// master's lease heartbeats and RPC retries against the host failed, which
+// is faster and no less reliable than waiting out the registry-side TTL.
+// Only the claiming master is believed.
+func (r *Registry) ReportDown(masterID, hostID string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.hosts[hostID]
+	if e == nil || e.ClaimedBy != masterID {
+		return fmt.Errorf("registry: %q does not hold a claim on %q", masterID, hostID)
+	}
+	e.Alive = false
+	e.ClaimedBy = ""
+	r.mDown.Inc()
+	r.gaugesLocked()
+	return nil
+}
+
+// Snapshot returns the fleet view, sorted by host id, for /status and the
+// registry.fleet RPC.
+func (r *Registry) Snapshot() []Host {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.expireLocked()
+	out := make([]Host, 0, len(r.hosts))
+	for _, e := range r.hosts {
+		out = append(out, r.snapLocked(e))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Epoch returns the fencing epoch high-water mark.
+func (r *Registry) Epoch() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.epoch
+}
+
+// Start launches the expiry watchdog so hosts are marked dead on schedule
+// even while no master polls the registry. Close tears it down.
+func (r *Registry) Start() {
+	r.mu.Lock()
+	if r.watching {
+		r.mu.Unlock()
+		return
+	}
+	r.watching = true
+	r.mu.Unlock()
+	go func() {
+		defer close(r.done)
+		interval := r.defaultTTL / 3
+		if interval <= 0 {
+			interval = time.Second
+		}
+		for {
+			select {
+			case <-r.stop:
+				return
+			case <-time.After(interval):
+			}
+			r.mu.Lock()
+			r.expireLocked()
+			r.mu.Unlock()
+		}
+	}()
+}
+
+// Close stops the watchdog.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	watching := r.watching
+	r.watching = false
+	r.mu.Unlock()
+	if watching {
+		close(r.stop)
+		<-r.done
+	}
+}
+
+// expireLocked sweeps lapsed leases: the host is marked dead and its claim
+// dissolved, so the next Claim no longer sees it and the claiming master's
+// own failure detection (lease errors, RPC failures) converges with the
+// registry view. Callers hold r.mu.
+func (r *Registry) expireLocked() {
+	now := r.now()
+	changed := false
+	for _, e := range r.hosts {
+		if e.Alive && !now.Before(e.expires) {
+			e.Alive = false
+			e.ClaimedBy = ""
+			r.mExpiries.Inc()
+			changed = true
+		}
+	}
+	if changed {
+		r.gaugesLocked()
+	}
+}
+
+// snapLocked copies an entry into its public snapshot.
+func (r *Registry) snapLocked(e *entry) Host {
+	h := e.Host
+	h.Nodes = append([]string(nil), e.Nodes...)
+	if e.Alive {
+		h.ExpiresIn = e.expires.Sub(r.now()).Seconds()
+	}
+	return h
+}
+
+// gaugesLocked refreshes the membership gauges. Callers hold r.mu.
+func (r *Registry) gaugesLocked() {
+	alive, claimed := 0, 0
+	for _, e := range r.hosts {
+		if e.Alive {
+			alive++
+			if e.ClaimedBy != "" {
+				claimed++
+			}
+		}
+	}
+	r.mAlive.Set(int64(alive))
+	r.mClaimed.Set(int64(claimed))
+	r.mEpoch.Set(r.epoch)
+}

@@ -1,0 +1,193 @@
+package discovery
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"excovery/internal/obs"
+)
+
+// fakeClock drives the registry's failure detection deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newTestRegistry(ttl time.Duration) (*Registry, *fakeClock) {
+	r := NewRegistry(ttl)
+	c := &fakeClock{t: time.Unix(1400000000, 0)}
+	r.now = c.now
+	return r, c
+}
+
+func TestRegisterClaimLifecycle(t *testing.T) {
+	r, _ := newTestRegistry(time.Second)
+	r.Instrument(obs.NewRegistry())
+	r.Register("h-b", "http://b", []string{"A", "B"}, "eu", 0, 0)
+	r.Register("h-a", "http://a", []string{"A", "B"}, "us", 0, 0)
+
+	got := r.Claim("m-1", 1, "")
+	if len(got) != 1 || got[0].ID != "h-a" {
+		t.Fatalf("claim = %+v, want h-a (id order)", got)
+	}
+	if got[0].Epoch != 1 {
+		t.Fatalf("first claim epoch = %d, want 1", got[0].Epoch)
+	}
+	if got[0].Nodes[0] != "A" || got[0].Nodes[1] != "B" {
+		t.Fatalf("claim nodes = %v", got[0].Nodes)
+	}
+
+	// A second master cannot claim the same host; it gets the other one
+	// under a strictly higher epoch.
+	got2 := r.Claim("m-2", 0, "")
+	if len(got2) != 1 || got2[0].ID != "h-b" || got2[0].Epoch != 2 {
+		t.Fatalf("second claim = %+v", got2)
+	}
+
+	// Release returns the host to the pool; a stale releaser is ignored.
+	r.Release("m-2", "h-a")
+	if got := r.Claim("m-2", 0, ""); len(got) != 0 {
+		t.Fatalf("claim after stale release = %+v, want none", got)
+	}
+	r.Release("m-1", "h-a")
+	got3 := r.Claim("m-2", 0, "")
+	if len(got3) != 1 || got3[0].ID != "h-a" || got3[0].Epoch != 3 {
+		t.Fatalf("claim after release = %+v", got3)
+	}
+}
+
+func TestClaimPrefersRegionButDegrades(t *testing.T) {
+	r, _ := newTestRegistry(time.Second)
+	r.Register("h-a", "http://a", nil, "us", 0, 0)
+	r.Register("h-b", "http://b", nil, "eu", 0, 0)
+	r.Register("h-c", "http://c", nil, "eu", 0, 0)
+
+	got := r.Claim("m-1", 2, "eu")
+	if len(got) != 2 || got[0].ID != "h-b" || got[1].ID != "h-c" {
+		t.Fatalf("regional claim = %+v, want h-b,h-c", got)
+	}
+	// The region is drained: the next claim falls through to the other
+	// region instead of failing.
+	got = r.Claim("m-1", 2, "eu")
+	if len(got) != 1 || got[0].ID != "h-a" {
+		t.Fatalf("degraded claim = %+v, want h-a", got)
+	}
+}
+
+func TestExpiryAndResurrection(t *testing.T) {
+	r, clk := newTestRegistry(time.Second)
+	r.Register("h-a", "http://a", nil, "", 0, 0)
+	if got := r.Claim("m-1", 0, ""); len(got) != 1 {
+		t.Fatalf("claim = %+v", got)
+	}
+
+	// Heartbeats hold the lease.
+	clk.advance(700 * time.Millisecond)
+	if err := r.Heartbeat("h-a", 0); err != nil {
+		t.Fatalf("heartbeat: %v", err)
+	}
+	clk.advance(700 * time.Millisecond)
+	if snap := r.Snapshot(); !snap[0].Alive {
+		t.Fatalf("host dead despite heartbeat: %+v", snap[0])
+	}
+
+	// Silence kills it: lease lapses, claim dissolves, heartbeat refused.
+	clk.advance(1100 * time.Millisecond)
+	snap := r.Snapshot()
+	if snap[0].Alive || snap[0].ClaimedBy != "" {
+		t.Fatalf("host should be dead and unclaimed: %+v", snap[0])
+	}
+	if err := r.Heartbeat("h-a", 0); err == nil {
+		t.Fatal("heartbeat of expired host must be refused")
+	}
+	if got := r.Claim("m-2", 0, ""); len(got) != 0 {
+		t.Fatalf("dead host claimable: %+v", got)
+	}
+
+	// Re-registration resurrects; the next claim epoch stays monotonic.
+	r.Register("h-a", "http://a", nil, "", 0, 0)
+	got := r.Claim("m-2", 0, "")
+	if len(got) != 1 || got[0].Epoch != 2 {
+		t.Fatalf("post-resurrection claim = %+v, want epoch 2", got)
+	}
+}
+
+func TestReportDown(t *testing.T) {
+	r, _ := newTestRegistry(time.Minute)
+	r.Register("h-a", "http://a", nil, "", 0, 0)
+	r.Claim("m-1", 0, "")
+	if err := r.ReportDown("m-2", "h-a"); err == nil {
+		t.Fatal("non-claimer may not report a host down")
+	}
+	if err := r.ReportDown("m-1", "h-a"); err != nil {
+		t.Fatalf("report down: %v", err)
+	}
+	if snap := r.Snapshot(); snap[0].Alive {
+		t.Fatalf("reported-down host still alive: %+v", snap[0])
+	}
+	// The host's own re-registration brings it back.
+	r.Register("h-a", "http://a", nil, "", 0, 0)
+	if snap := r.Snapshot(); !snap[0].Alive || snap[0].ClaimedBy != "" {
+		t.Fatalf("re-registered host: %+v", snap[0])
+	}
+}
+
+// TestEpochRebuildAfterRegistryCrash is the crash-tolerance contract: a
+// fresh registry learns the fleet's fencing epoch high-water mark from the
+// hosts' re-registrations, so it can never grant a claim a host would
+// refuse as stale.
+func TestEpochRebuildAfterRegistryCrash(t *testing.T) {
+	r1, _ := newTestRegistry(time.Second)
+	r1.Register("h-a", "http://a", nil, "", 0, 0)
+	r1.Register("h-b", "http://b", nil, "", 0, 0)
+	var last int64
+	for i := 0; i < 5; i++ {
+		got := r1.Claim(fmt.Sprintf("m-%d", i), 1, "")
+		r1.Release(fmt.Sprintf("m-%d", i), got[0].ID)
+		last = got[0].Epoch
+	}
+
+	// "Restart": a brand-new registry; the hosts re-register, echoing the
+	// epochs their noderpc fencing state has accepted.
+	r2, _ := newTestRegistry(time.Second)
+	r2.Register("h-a", "http://a", nil, "", 0, last)
+	r2.Register("h-b", "http://b", nil, "", 0, last-1)
+	got := r2.Claim("m-9", 1, "")
+	if len(got) != 1 || got[0].Epoch <= last {
+		t.Fatalf("post-crash claim epoch = %+v, want > %d", got, last)
+	}
+}
+
+func BenchmarkRegistryHeartbeat(b *testing.B) {
+	r, _ := newTestRegistry(time.Minute)
+	const hosts = 64
+	ids := make([]string, hosts)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("h-%03d", i)
+		r.Register(ids[i], "http://h", []string{"A", "B"}, "eu", 0, 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.Heartbeat(ids[i%hosts], 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRegistryClaim(b *testing.B) {
+	r, _ := newTestRegistry(time.Minute)
+	const hosts = 64
+	for i := 0; i < hosts; i++ {
+		r.Register(fmt.Sprintf("h-%03d", i), "http://h", []string{"A", "B"}, "eu", 0, 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got := r.Claim("m-1", 1, "eu")
+		if len(got) != 1 {
+			b.Fatal("no host")
+		}
+		r.Release("m-1", got[0].ID)
+	}
+}

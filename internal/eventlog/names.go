@@ -96,4 +96,12 @@ const (
 	// with its interpolated level and the end of the sweep.
 	EvFaultRampStep Name = "fault_ramp_step"
 	EvFaultRampDone Name = "fault_ramp_done"
+
+	// Self-healing fleet (DESIGN.md §14): a backing node host lost
+	// mid-campaign, the re-placement of the in-flight run onto a
+	// replacement host, and a failover that found no replacement (the
+	// campaign then degrades through the ordinary retry/quarantine path).
+	EvFleetHostLost       Name = "fleet_host_lost"
+	EvRunReplaced         Name = "run_replaced"
+	EvFleetFailoverFailed Name = "fleet_failover_failed"
 )

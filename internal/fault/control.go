@@ -1,0 +1,52 @@
+package fault
+
+import (
+	"excovery/internal/failpoint"
+	"excovery/internal/netem"
+)
+
+// NewRPCPartition extends the partition vocabulary from the emulated
+// platform to the control plane: the netem-based injections of this
+// package cut links between emulated nodes, but the chaos the
+// self-healing fleet (DESIGN.md §14) must survive lives one layer up, on
+// the real XML-RPC channel between master, registry and node hosts. Start
+// installs a drop-everything rule at each given failpoint registry's
+// server-receive site (requests vanish before the handler, exactly like a
+// partitioned network), Stop heals by clearing the site. Composable with
+// the scenario machinery (Scenario, Flap) like any other injection.
+//
+// The heal clears the whole SiteServerRecv rule list of each registry, so
+// do not combine it with test wirings that install their own rules at
+// that site on the same registry.
+func NewRPCPartition(regs ...*failpoint.Registry) Injection {
+	return &rpcPartition{regs: regs}
+}
+
+type rpcPartition struct {
+	regs   []*failpoint.Registry
+	active bool
+}
+
+func (p *rpcPartition) Kind() string         { return "rpc_partition" }
+func (p *rpcPartition) Target() netem.NodeID { return netem.NodeID("control-plane") }
+func (p *rpcPartition) Active() bool         { return p.active }
+
+func (p *rpcPartition) Start() {
+	if p.active {
+		return
+	}
+	p.active = true
+	for _, r := range p.regs {
+		r.Enable(failpoint.SiteServerRecv, failpoint.Rule{Prob: 1, Act: failpoint.Drop})
+	}
+}
+
+func (p *rpcPartition) Stop() {
+	if !p.active {
+		return
+	}
+	p.active = false
+	for _, r := range p.regs {
+		r.Disable(failpoint.SiteServerRecv)
+	}
+}

@@ -117,6 +117,15 @@ type metricSnapshotter interface {
 	ObsSource() string
 }
 
+// FleetManager is the master's hook into a discovery-backed host fleet
+// (internal/discovery.Fleet implements it). Failover re-places the run's
+// nodes onto a surviving or newly joined host after the active one died;
+// it returns the replacement's host id. The existing Config.Nodes handles
+// must remain valid — the fleet re-points them internally.
+type FleetManager interface {
+	Failover(run int, nodeErrs map[string]string) (hostID string, err error)
+}
+
 // setTraceParent forwards a span id to handles that propagate it.
 func setTraceParent(h NodeHandle, id uint64) {
 	if t, ok := h.(traceParentSetter); ok {
@@ -194,6 +203,12 @@ type Config struct {
 	CrashFn func()
 	// OnRunDone, if set, observes each completed run.
 	OnRunDone func(run desc.Run, rr RunResult)
+	// Fleet, if set, is the self-healing placement hook (DESIGN.md §14):
+	// when a run attempt fails with control-channel node errors and
+	// attempts remain, the master asks the fleet to re-place the run's
+	// nodes onto a replacement host before the next attempt, and resets
+	// the health accounting that described the dead host.
+	Fleet FleetManager
 	// TopologyMeasure, if set, returns a serialized topology snapshot;
 	// it is recorded before and after the experiment (§IV-B4).
 	TopologyMeasure func() string
@@ -422,6 +437,12 @@ func (m *Master) RunAll() (*Report, error) {
 			if rr.Err == nil && !rr.Aborted {
 				break
 			}
+			if attempt < maxAttempts {
+				// Self-healing fleet (DESIGN.md §14): if the failure looks
+				// like a dead backing host, re-place the run's nodes before
+				// the next attempt re-executes from the same derived seed.
+				m.maybeFailover(run, &rr)
+			}
 		}
 		retried := rr.Attempts > 1
 		if retried {
@@ -570,15 +591,49 @@ func (m *Master) prepareDurability() (store.Replay, error) {
 	return replay, nil
 }
 
+// maybeFailover asks the fleet for a replacement host after a failed
+// attempt whose node errors implicate the control channel. On success the
+// per-node health accounting is reset — consecutive failures, quarantine
+// and probation described the dead host, not its replacement — so the
+// retry starts with a clean slate on the new host.
+func (m *Master) maybeFailover(run desc.Run, rr *RunResult) {
+	if m.cfg.Fleet == nil || len(rr.NodeErrs) == 0 {
+		return
+	}
+	m.rec.Emit(eventlog.EvFleetHostLost, map[string]string{
+		"run": fmt.Sprint(run.ID), "node_errs": fmt.Sprint(len(rr.NodeErrs))})
+	host, err := m.cfg.Fleet.Failover(run.ID, rr.NodeErrs)
+	if err != nil {
+		m.counter(obs.MMasterFailoverErrors,
+			"failovers that found no replacement host").Inc()
+		m.rec.Emit(eventlog.EvFleetFailoverFailed, map[string]string{
+			"run": fmt.Sprint(run.ID), "err": err.Error()})
+		return
+	}
+	for _, id := range m.order {
+		m.health[id] = 0
+		delete(m.quarantined, id)
+		delete(m.probation, id)
+		m.cfg.Status.NodeHealthy(id)
+	}
+	m.counter(obs.MMasterFailovers,
+		"mid-campaign host replacements").Inc()
+	m.rec.Emit(eventlog.EvRunReplaced, map[string]string{
+		"run": fmt.Sprint(run.ID), "host": host})
+}
+
 // preflight verifies every node's control channel before a run attempt
 // (§IV-C1 preparation, hardened). Quarantined nodes fail fast — unless
 // ProbationProbes grants them a probation probe, through which they earn
-// re-admission; probe failures count toward quarantine.
-func (m *Master) preflight(run desc.Run) error {
+// re-admission; probe failures count toward quarantine. On failure the
+// offending node id is returned alongside the error, so the attempt's
+// NodeErrs implicate the node (and its backing host) even though the run
+// never reached the wire — the fleet failover path keys off that.
+func (m *Master) preflight(run desc.Run) (string, error) {
 	for _, id := range m.nodeOrder() {
 		if m.quarantined[id] {
 			if err := m.probeProbation(run, id); err != nil {
-				return err
+				return id, err
 			}
 			// The node served probation and is re-admitted; its probe
 			// already succeeded, so move on to the next node.
@@ -597,12 +652,12 @@ func (m *Master) preflight(run desc.Run) error {
 			m.rec.Emit(eventlog.EvNodeHealthFailed, map[string]string{
 				"node": id, "err": err.Error()})
 			m.noteNodeFailure(id, err.Error())
-			return fmt.Errorf("master: run %d: node %s unhealthy: %w", run.ID, id, err)
+			return id, fmt.Errorf("master: run %d: node %s unhealthy: %w", run.ID, id, err)
 		}
 		m.health[id] = 0
 		m.cfg.Status.NodeHealthy(id)
 	}
-	return nil
+	return "", nil
 }
 
 // probeProbation gives a quarantined node its probation probe: with
@@ -756,8 +811,11 @@ func (m *Master) executeRun(run desc.Run, attempt int) RunResult {
 		m.rec.Emit(eventlog.EvRunRetry, map[string]string{
 			"run": fmt.Sprint(run.ID), "attempt": fmt.Sprint(attempt)})
 	}
-	if err := m.preflight(run); err != nil {
+	if id, err := m.preflight(run); err != nil {
 		rr.Err = err
+		if id != "" {
+			rr.NodeErrs = map[string]string{id: err.Error()}
+		}
 		rr.Duration = m.cfg.Ref.Now().Sub(rr.Start)
 		rr.Events = m.cfg.Bus.Snapshot()
 		m.cfg.Tracer.EndWith(prepSpan, map[string]string{"err": err.Error()})

@@ -2,6 +2,8 @@ package noderpc
 
 import (
 	"encoding/json"
+	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -28,6 +30,7 @@ type RemoteNode struct {
 	runErrs     int
 	totalErrs   int
 	traceParent uint64
+	fenceEpoch  int64
 }
 
 // SetTraceParent sets the master-side span id attached to every subsequent
@@ -40,11 +43,26 @@ func (r *RemoteNode) SetTraceParent(id uint64) {
 	r.mu.Unlock()
 }
 
-// call issues one control-channel RPC, folding in the current trace parent.
+// SetFenceEpoch attaches a registry claim epoch to every subsequent RPC of
+// this proxy as the trailing fence_epoch parameter (DESIGN.md §14): the
+// host refuses the call once a newer claim has taken the host over, so a
+// master that lost its claim cannot keep driving the node. Zero (static
+// wiring) detaches.
+func (r *RemoteNode) SetFenceEpoch(epoch int64) {
+	r.mu.Lock()
+	r.fenceEpoch = epoch
+	r.mu.Unlock()
+}
+
+// call issues one control-channel RPC, folding in the current fence epoch
+// and trace parent (in that order: the host's traced wrapper strips the
+// outermost trace marker first, then the fencing check strips the epoch).
 func (r *RemoteNode) call(method string, params ...any) (any, error) {
 	r.mu.Lock()
 	tp := r.traceParent
+	fe := r.fenceEpoch
 	r.mu.Unlock()
+	params = xmlrpc.WithFenceEpoch(params, fe)
 	return r.C.Call(method, xmlrpc.WithTraceParent(params, tp)...)
 }
 
@@ -231,8 +249,10 @@ func (r *RemoteNode) ObsSource() string { return r.C.URL }
 // RemoteEnv proxies environment actions to the host; it implements
 // master.EnvExecutor.
 type RemoteEnv struct {
-	C   *xmlrpc.Client
-	Err error
+	C *xmlrpc.Client
+	// Epoch, when positive, fences env RPCs like RemoteNode.SetFenceEpoch.
+	Epoch int64
+	Err   error
 }
 
 // Execute implements master.EnvExecutor.
@@ -240,15 +260,53 @@ func (r *RemoteEnv) Execute(action string, params map[string]string) error {
 	if params == nil {
 		params = map[string]string{}
 	}
-	_, err := r.C.Call("env.execute", action, params)
+	_, err := r.C.Call("env.execute", xmlrpc.WithFenceEpoch([]any{action, params}, r.Epoch)...)
 	return err
 }
 
 // Reset implements master.EnvExecutor.
 func (r *RemoteEnv) Reset() {
-	if _, err := r.C.Call("env.reset"); err != nil && r.Err == nil {
+	if _, err := r.C.Call("env.reset", xmlrpc.WithFenceEpoch(nil, r.Epoch)...); err != nil && r.Err == nil {
 		r.Err = err
 	}
+}
+
+// FetchNodes lists the platform node ids a host serves (host.nodes), with
+// a bounded retry: a node host that is still assembling its platform when
+// the master preflights it — the cold-start race of a fleet brought up by
+// one script — answers after a beat instead of failing the campaign. The
+// error names the host, the attempt budget and the last failure so the
+// operator knows exactly which endpoint to look at.
+func FetchNodes(c *xmlrpc.Client, attempts int, backoff time.Duration) ([]string, error) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			time.Sleep(backoff)
+		}
+		v, err := c.Call("host.nodes")
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		raw, ok := v.([]any)
+		if !ok {
+			lastErr = fmt.Errorf("host.nodes: unexpected reply %T", v)
+			continue
+		}
+		ids := make([]string, 0, len(raw))
+		for _, n := range raw {
+			if s, ok := n.(string); ok {
+				ids = append(ids, s)
+			}
+		}
+		sort.Strings(ids)
+		return ids, nil
+	}
+	return nil, fmt.Errorf("host %s: host.nodes failed after %d attempts: %w",
+		c.URL, attempts, lastErr)
 }
 
 // MasterServer receives event pushes from node hosts and publishes them

@@ -50,6 +50,14 @@ type Host struct {
 	defaultTTL   time.Duration
 	now          func() time.Time // wall clock; overridable in tests
 
+	// Fencing (DESIGN.md §14): the highest registry claim epoch accepted
+	// on host.set_master. A set_master or fenced data-path RPC carrying an
+	// older epoch is refused — a master that lost its claim to a registry
+	// takeover cannot keep driving the nodes (split-brain prevention).
+	// Epoch 0 (static -host wiring, no registry) is never fenced.
+	epoch         int64
+	fencedRejects int
+
 	// Cross-process tracing (DESIGN.md §13): the host records one span per
 	// control-channel request on its own tracer. Span ids are seeded into a
 	// space disjoint from the master's, so when the master merges harvested
@@ -67,6 +75,7 @@ type Host struct {
 	mAdopt     *obs.Counter
 	mRenew     *obs.Counter
 	mExpire    *obs.Counter
+	mFenced    *obs.Counter
 }
 
 // NewHost wraps an assembled experiment.
@@ -114,6 +123,18 @@ func (h *Host) Instrument(reg *obs.Registry) {
 		"master lease renewals accepted")
 	h.mExpire = reg.Counter(obs.MHostLeaseExpiries,
 		"master leases that expired without renewal")
+	h.mFenced = reg.Counter(obs.MHostFencedRejections,
+		"RPCs refused because they carried a stale fencing epoch")
+}
+
+// FenceEpoch returns the highest registry claim epoch this host has
+// accepted. The discovery agent sends it with every re-registration, so a
+// restarted registry re-learns the fleet's epoch high-water mark from one
+// heartbeat interval of traffic.
+func (h *Host) FenceEpoch() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.epoch
 }
 
 // HostStatus is the /status document of a node host.
@@ -133,6 +154,11 @@ type HostStatus struct {
 	Adoptions int `json:"adoptions,omitempty"`
 	// LeaseExpiries counts leases lost to a silent master.
 	LeaseExpiries int `json:"lease_expiries,omitempty"`
+	// FenceEpoch is the highest registry claim epoch accepted (0 when the
+	// host has only ever been driven by static wiring).
+	FenceEpoch int64 `json:"fence_epoch,omitempty"`
+	// FencedRejections counts RPCs refused for carrying a stale epoch.
+	FencedRejections int `json:"fenced_rejections,omitempty"`
 	// OutboxLen is the number of events awaiting push.
 	OutboxLen int `json:"outbox_len"`
 	// VirtualTime is the host scheduler's current time.
@@ -145,11 +171,13 @@ func (h *Host) Status() HostStatus {
 	h.mu.Lock()
 	h.checkLeaseLocked()
 	st := HostStatus{
-		MasterSet:     h.master != nil,
-		Session:       h.session,
-		Adoptions:     h.adoptions,
-		LeaseExpiries: h.expiries,
-		OutboxLen:     len(h.outbox),
+		MasterSet:        h.master != nil,
+		Session:          h.session,
+		Adoptions:        h.adoptions,
+		LeaseExpiries:    h.expiries,
+		FenceEpoch:       h.epoch,
+		FencedRejections: h.fencedRejects,
+		OutboxLen:        len(h.outbox),
 	}
 	if h.leaseTTL > 0 {
 		st.LeaseRemaining = h.leaseExpires.Sub(h.now()).Seconds()
@@ -276,6 +304,33 @@ func (h *Host) traced(method string, fn xmlrpc.Handler) xmlrpc.Handler {
 	}
 }
 
+// fenced wraps a data-path handler with the fencing check: the trailing
+// fence_epoch parameter (appended by a registry-claiming master's
+// RemoteNode proxy) is stripped and compared against the epoch of the
+// last accepted host.set_master. A stale epoch means the caller's claim
+// was superseded — the RPC is refused so two masters can never drive the
+// same node. Calls without a fence (static wiring) pass through. Compose
+// inside traced, which strips the outermost trace_parent marker first.
+func (h *Host) fenced(method string, fn xmlrpc.Handler) xmlrpc.Handler {
+	return func(params []any) (any, error) {
+		epoch, params := xmlrpc.FenceEpoch(params)
+		if epoch > 0 {
+			h.mu.Lock()
+			cur := h.epoch
+			if epoch < cur {
+				h.fencedRejects++
+			}
+			h.mu.Unlock()
+			if epoch < cur {
+				h.mFenced.Inc()
+				return nil, fmt.Errorf("%s: fenced: stale epoch %d (host claimed at epoch %d)",
+					method, epoch, cur)
+			}
+		}
+		return fn(params)
+	}
+}
+
 // spanRun attributes an RPC to a run: methods carrying (node, run) use the
 // explicit argument; the rest (execute, emit, harvests, env actions) fall
 // back to the run of the last prepare_run.
@@ -299,6 +354,11 @@ func (h *Host) Server() *xmlrpc.Server {
 	srv := xmlrpc.NewServer()
 	srv.Obs = h.obs
 	s := h.x.S
+	// Data-path methods are traced and fenced; the trailing markers nest
+	// as [args..., fence_epoch?, trace_parent?], so traced strips first.
+	dataPath := func(method string, fn xmlrpc.Handler) xmlrpc.Handler {
+		return h.traced(method, h.fenced(method, fn))
+	}
 
 	srv.Register("host.ping", func(params []any) (any, error) {
 		return "pong", nil
@@ -315,7 +375,9 @@ func (h *Host) Server() *xmlrpc.Server {
 	// the registration expires unless host.renew_lease keeps it alive. A
 	// later registration — same master restarted under a new session id,
 	// or a different master — adopts the host, superseding the old
-	// binding; queued events flow to the adopter.
+	// binding; queued events flow to the adopter. The optional fourth
+	// parameter is the registry claim epoch: a registration older than one
+	// already accepted is refused (the caller's claim was superseded).
 	srv.Register("host.set_master", func(params []any) (any, error) {
 		url, ok := arg[string](params, 0)
 		if !ok {
@@ -323,6 +385,20 @@ func (h *Host) Server() *xmlrpc.Server {
 		}
 		session, _ := arg[string](params, 1)
 		ttlMS, _ := arg[int](params, 2)
+		epoch, _ := arg[int](params, 3)
+		if epoch > 0 {
+			h.mu.Lock()
+			cur := h.epoch
+			if int64(epoch) < cur {
+				h.fencedRejects++
+			}
+			h.mu.Unlock()
+			if int64(epoch) < cur {
+				h.mFenced.Inc()
+				return nil, fmt.Errorf("host.set_master: fenced: stale epoch %d (host claimed at epoch %d)",
+					epoch, cur)
+			}
+		}
 		// Event pushes ride the same resilient transport as the master's
 		// calls: retried with backoff, deduplicated by idempotency key so
 		// a lost response cannot double-publish a batch.
@@ -338,6 +414,9 @@ func (h *Host) Server() *xmlrpc.Server {
 		}
 		if h.leaseTTL > 0 {
 			h.leaseExpires = h.now().Add(h.leaseTTL)
+		}
+		if int64(epoch) > h.epoch {
+			h.epoch = int64(epoch)
 		}
 		h.adoptions++
 		h.mu.Unlock()
@@ -380,7 +459,7 @@ func (h *Host) Server() *xmlrpc.Server {
 
 	// node.ping is the health probe of the master's preflight check: it
 	// verifies the control channel and that the node is served here.
-	srv.Register("node.ping", h.traced("node.ping", func(params []any) (any, error) {
+	srv.Register("node.ping", dataPath("node.ping", func(params []any) (any, error) {
 		id, ok := arg[string](params, 0)
 		if !ok {
 			return nil, fmt.Errorf("node.ping: want node")
@@ -390,7 +469,7 @@ func (h *Host) Server() *xmlrpc.Server {
 		}
 		return "pong", nil
 	}))
-	srv.Register("node.prepare_run", h.traced("node.prepare_run", func(params []any) (any, error) {
+	srv.Register("node.prepare_run", dataPath("node.prepare_run", func(params []any) (any, error) {
 		id, run, err := nodeRunArgs(params)
 		if err != nil {
 			return nil, err
@@ -403,7 +482,7 @@ func (h *Host) Server() *xmlrpc.Server {
 		s.InjectWait("rpc prepare_run", func() { mgr.PrepareRun(run) })
 		return true, nil
 	}))
-	srv.Register("node.cleanup_run", h.traced("node.cleanup_run", func(params []any) (any, error) {
+	srv.Register("node.cleanup_run", dataPath("node.cleanup_run", func(params []any) (any, error) {
 		id, run, err := nodeRunArgs(params)
 		if err != nil {
 			return nil, err
@@ -415,7 +494,7 @@ func (h *Host) Server() *xmlrpc.Server {
 		s.InjectWait("rpc cleanup_run", func() { mgr.CleanupRun(run) })
 		return true, nil
 	}))
-	srv.Register("node.execute", h.traced("node.execute", func(params []any) (any, error) {
+	srv.Register("node.execute", dataPath("node.execute", func(params []any) (any, error) {
 		id, ok := arg[string](params, 0)
 		action, ok2 := arg[string](params, 1)
 		if !ok || !ok2 {
@@ -438,7 +517,7 @@ func (h *Host) Server() *xmlrpc.Server {
 		}
 		return true, nil
 	}))
-	srv.Register("node.emit", h.traced("node.emit", func(params []any) (any, error) {
+	srv.Register("node.emit", dataPath("node.emit", func(params []any) (any, error) {
 		id, ok := arg[string](params, 0)
 		typ, ok2 := arg[string](params, 1)
 		if !ok || !ok2 {
@@ -457,7 +536,7 @@ func (h *Host) Server() *xmlrpc.Server {
 		s.InjectWait("rpc emit", func() { mgr.Emit(typ, pm) })
 		return true, nil
 	}))
-	srv.Register("node.local_time", h.traced("node.local_time", func(params []any) (any, error) {
+	srv.Register("node.local_time", dataPath("node.local_time", func(params []any) (any, error) {
 		id, ok := arg[string](params, 0)
 		if !ok {
 			return nil, fmt.Errorf("node.local_time: want node")
@@ -470,7 +549,7 @@ func (h *Host) Server() *xmlrpc.Server {
 		s.InjectWait("rpc local_time", func() { t = mgr.LocalTime() })
 		return t.Format(time.RFC3339Nano), nil
 	}))
-	srv.Register("node.harvest_events", h.traced("node.harvest_events", func(params []any) (any, error) {
+	srv.Register("node.harvest_events", dataPath("node.harvest_events", func(params []any) (any, error) {
 		id, run, err := nodeRunArgs(params)
 		if err != nil {
 			return nil, err
@@ -487,7 +566,7 @@ func (h *Host) Server() *xmlrpc.Server {
 		}
 		return string(data), nil
 	}))
-	srv.Register("node.harvest_packets", h.traced("node.harvest_packets", func(params []any) (any, error) {
+	srv.Register("node.harvest_packets", dataPath("node.harvest_packets", func(params []any) (any, error) {
 		id, ok := arg[string](params, 0)
 		if !ok {
 			return nil, fmt.Errorf("node.harvest_packets: want node")
@@ -506,7 +585,7 @@ func (h *Host) Server() *xmlrpc.Server {
 		}
 		return string(data), nil
 	}))
-	srv.Register("node.harvest_extras", h.traced("node.harvest_extras", func(params []any) (any, error) {
+	srv.Register("node.harvest_extras", dataPath("node.harvest_extras", func(params []any) (any, error) {
 		id, ok := arg[string](params, 0)
 		if !ok {
 			return nil, fmt.Errorf("node.harvest_extras: want node")
@@ -525,7 +604,7 @@ func (h *Host) Server() *xmlrpc.Server {
 		}
 		return string(data), nil
 	}))
-	srv.Register("env.execute", h.traced("env.execute", func(params []any) (any, error) {
+	srv.Register("env.execute", dataPath("env.execute", func(params []any) (any, error) {
 		action, ok := arg[string](params, 0)
 		if !ok {
 			return nil, fmt.Errorf("env.execute: want (action, params)")
@@ -543,30 +622,30 @@ func (h *Host) Server() *xmlrpc.Server {
 		}
 		return true, nil
 	}))
-	srv.Register("env.reset", h.traced("env.reset", func(params []any) (any, error) {
+	srv.Register("env.reset", dataPath("env.reset", func(params []any) (any, error) {
 		s.InjectWait("rpc env reset", func() { h.x.Env.Reset() })
 		return true, nil
 	}))
 	// host.harvest_trace returns the host tracer's closed spans of one run
 	// as a trace.json document; the master merges them (dedup'd by span id)
 	// into the per-run level-2 trace artifact.
-	srv.Register("host.harvest_trace", func(params []any) (any, error) {
+	srv.Register("host.harvest_trace", h.fenced("host.harvest_trace", func(params []any) (any, error) {
 		run, ok := arg[int](params, 0)
 		if !ok {
 			return nil, fmt.Errorf("host.harvest_trace: want run")
 		}
 		return string(obs.MarshalSpans(h.tracer.RunSpans(run))), nil
-	})
+	}))
 	// host.obs_snapshot ships the host's metric registry — including the
 	// emulator data-path series of internal/netem and internal/sched — to
 	// the master's campaign fan-in as a JSON []obs.MetricPoint.
-	srv.Register("host.obs_snapshot", func(params []any) (any, error) {
+	srv.Register("host.obs_snapshot", h.fenced("host.obs_snapshot", func(params []any) (any, error) {
 		data, err := json.Marshal(h.obs.Snapshot())
 		if err != nil {
 			return nil, err
 		}
 		return string(data), nil
-	})
+	}))
 	return srv
 }
 

@@ -3,6 +3,8 @@ package noderpc
 import (
 	"crypto/rand"
 	"encoding/hex"
+	"hash/fnv"
+	mrand "math/rand"
 	"sync"
 	"time"
 
@@ -34,6 +36,22 @@ type Lease struct {
 	Session string
 	// TTL is the lease duration granted per renewal.
 	TTL time.Duration
+	// Epoch, when positive, is the fencing epoch granted by the discovery
+	// registry's claim; it rides on host.set_master so the host can refuse
+	// a registration that is older than one it already accepted.
+	Epoch int64
+	// Interval overrides the heartbeat period (default TTL/3).
+	Interval time.Duration
+	// Seed seeds the heartbeat jitter PRNG; 0 derives a seed from Session.
+	// Each beat is jittered by ±20% so a large fleet's renewals spread out
+	// instead of synchronizing into a thundering herd.
+	Seed int64
+	// RegisterFn and RenewFn, when set, replace the host.set_master /
+	// host.renew_lease wire calls. The discovery registry agent reuses the
+	// heartbeat/rebind loop this way: RenewFn is registry.heartbeat and
+	// RegisterFn the full registry.register recovery path.
+	RegisterFn func() error
+	RenewFn    func() error
 	// Obs, if set, receives the heartbeat counters.
 	Obs *obs.Registry
 
@@ -50,16 +68,33 @@ type Lease struct {
 func (l *Lease) ttlMS() int { return int(l.TTL / time.Millisecond) }
 
 // Register claims the host for this session: host.set_master with the
-// session id and TTL. Also the recovery path of a failed renewal.
+// session id, TTL and — when claimed through a registry — the fencing
+// epoch. Also the recovery path of a failed renewal.
 func (l *Lease) Register() error {
+	if l.RegisterFn != nil {
+		return l.RegisterFn()
+	}
+	if l.Epoch > 0 {
+		_, err := l.C.Call("host.set_master", l.MasterURL, l.Session, l.ttlMS(), int(l.Epoch))
+		return err
+	}
 	_, err := l.C.Call("host.set_master", l.MasterURL, l.Session, l.ttlMS())
+	return err
+}
+
+// renewOnce issues one renewal on the wire (or via the RenewFn override).
+func (l *Lease) renewOnce() error {
+	if l.RenewFn != nil {
+		return l.RenewFn()
+	}
+	_, err := l.C.Call("host.renew_lease", l.Session, l.ttlMS())
 	return err
 }
 
 // Renew extends the lease once. A refused renewal (host restarted, lease
 // expired, host adopted by someone else) falls back to re-registering.
 func (l *Lease) Renew() error {
-	if _, err := l.C.Call("host.renew_lease", l.Session, l.ttlMS()); err == nil {
+	if err := l.renewOnce(); err == nil {
 		l.count(&l.renewals, obs.MLeaseRenewals,
 			"successful host lease renewals")
 		return nil
@@ -74,8 +109,9 @@ func (l *Lease) Renew() error {
 	return nil
 }
 
-// Start launches the heartbeat goroutine, renewing at TTL/3. Safe to call
-// once; Stop tears it down.
+// Start launches the heartbeat goroutine, renewing at Interval (default
+// TTL/3) with ±20% seeded jitter per beat. Safe to call once; Stop tears
+// it down.
 func (l *Lease) Start() {
 	l.mu.Lock()
 	if l.started {
@@ -86,21 +122,43 @@ func (l *Lease) Start() {
 	l.stop = make(chan struct{})
 	l.done = make(chan struct{})
 	l.mu.Unlock()
-	interval := l.TTL / 3
+	interval := l.Interval
+	if interval <= 0 {
+		interval = l.TTL / 3
+	}
 	if interval <= 0 {
 		interval = time.Second
 	}
+	rng := mrand.New(mrand.NewSource(l.jitterSeed()))
 	go func() {
 		defer close(l.done)
 		for {
 			select {
 			case <-l.stop:
 				return
-			case <-time.After(interval):
+			case <-time.After(jitter(interval, rng)):
 			}
 			l.Renew()
 		}
 	}()
+}
+
+// jitterSeed derives the heartbeat jitter seed: the explicit Seed, or a
+// hash of the session id so every lease in a fleet gets its own stream
+// without any wall-clock entropy.
+func (l *Lease) jitterSeed() int64 {
+	if l.Seed != 0 {
+		return l.Seed
+	}
+	h := fnv.New64a()
+	h.Write([]byte(l.Session))
+	return int64(h.Sum64())
+}
+
+// jitter spreads one heartbeat period by ±20%.
+func jitter(interval time.Duration, rng *mrand.Rand) time.Duration {
+	f := 0.8 + 0.4*rng.Float64()
+	return time.Duration(f * float64(interval))
 }
 
 // Stop halts the heartbeat and waits for it to exit.

@@ -1,0 +1,85 @@
+package noderpc
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"excovery/internal/core"
+	"excovery/internal/desc"
+	"excovery/internal/failpoint"
+	"excovery/internal/fault"
+	"excovery/internal/xmlrpc"
+)
+
+// TestLeaseSurvivesControlPlanePartition drives a live heartbeat loop
+// through a control-plane partition (fault.NewRPCPartition): while the
+// host is unreachable its lease watchdog evicts the silent master; after
+// the heal the very next heartbeat notices the refused renewal, falls
+// back to registration, and the host re-adopts the same session — no
+// operator, no restart.
+func TestLeaseSurvivesControlPlanePartition(t *testing.T) {
+	x, err := core.New(desc.OneShot(30), core.Options{RealTime: true, Speed: 0.002})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHost(x)
+	t.Cleanup(h.Close)
+	fp := failpoint.New(7)
+	srv := h.Server()
+	srv.FP = fp
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	l := &Lease{C: xmlrpc.NewClient(ts.URL), MasterURL: "http://master",
+		Session: "s-part", TTL: 150 * time.Millisecond, Interval: 40 * time.Millisecond}
+	if err := l.Register(); err != nil {
+		t.Fatal(err)
+	}
+	l.Start()
+	defer l.Stop()
+
+	// Let at least one heartbeat land before cutting the channel.
+	waitFor(t, "first renewal", func() bool {
+		renewals, _, _ := l.Stats()
+		return renewals >= 1
+	})
+
+	part := fault.NewRPCPartition(fp)
+	part.Start()
+	// The master falls silent from the host's point of view; the lease
+	// watchdog must free the host at the TTL deadline.
+	waitFor(t, "lease expiry under partition", func() bool {
+		st := h.Status()
+		return !st.MasterSet && st.LeaseExpiries >= 1
+	})
+
+	part.Stop()
+	// Healing converges without intervention: a refused renewal turns
+	// into a re-registration (rebind), and the host re-adopts.
+	waitFor(t, "rebind after heal", func() bool {
+		_, rebinds, _ := l.Stats()
+		return rebinds >= 1
+	})
+	waitFor(t, "host re-adoption", func() bool {
+		st := h.Status()
+		return st.MasterSet && st.Session == "s-part" && st.Adoptions >= 2
+	})
+	if _, _, errs := l.Stats(); errs == 0 {
+		t.Error("partition left no failed-heartbeat trace in the stats")
+	}
+}
+
+// waitFor polls cond until it holds or a generous deadline passes. The
+// loop keys on observable state, not sleep lengths, so the test stays
+// stable under -race scheduling noise.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -92,6 +92,28 @@ const (
 	MCampaignFanins         MetricName = "excovery_campaign_fanins_total"
 	MCampaignFaninErrors    MetricName = "excovery_campaign_fanin_errors_total"
 	MCampaignNodesReporting MetricName = "excovery_campaign_nodes_reporting"
+
+	// Discovery registry (internal/discovery, DESIGN.md §14): fleet
+	// membership, lease traffic and claim/fencing accounting.
+	MRegistryHostsAlive       MetricName = "excovery_registry_hosts_alive"
+	MRegistryHostsClaimed     MetricName = "excovery_registry_hosts_claimed"
+	MRegistryRegistrations    MetricName = "excovery_registry_registrations_total"
+	MRegistryResurrections    MetricName = "excovery_registry_resurrections_total"
+	MRegistryHeartbeats       MetricName = "excovery_registry_heartbeats_total"
+	MRegistryHeartbeatUnknown MetricName = "excovery_registry_heartbeat_unknown_total"
+	MRegistryExpiries         MetricName = "excovery_registry_expiries_total"
+	MRegistryClaims           MetricName = "excovery_registry_claims_total"
+	MRegistryReleases         MetricName = "excovery_registry_releases_total"
+	MRegistryReportsDown      MetricName = "excovery_registry_reports_down_total"
+	MRegistryFenceEpoch       MetricName = "excovery_registry_fence_epoch"
+
+	// Host-side fencing (internal/noderpc, DESIGN.md §14).
+	MHostFencedRejections MetricName = "excovery_host_fenced_rejections_total"
+
+	// Self-healing fleet placement (internal/master + internal/discovery):
+	// mid-campaign host replacement accounting.
+	MMasterFailovers      MetricName = "excovery_master_failovers_total"
+	MMasterFailoverErrors MetricName = "excovery_master_failover_errors_total"
 )
 
 // MNodePrefix prefixes node-host series re-exported by the master's

@@ -1,0 +1,50 @@
+package xmlrpc
+
+import "strconv"
+
+// FenceEpochKey is the member name of the optional trailing struct
+// parameter that carries a master's fencing epoch across the RPC boundary
+// (DESIGN.md §14). A host refuses calls whose epoch is older than the one
+// it last accepted on host.set_master, so a master that lost its claim to
+// a registry takeover cannot keep driving the nodes. The epoch is
+// transported as a decimal string for symmetry with trace_parent and to
+// stay clear of XML-RPC's 32-bit integers.
+const FenceEpochKey = "fence_epoch"
+
+// WithFenceEpoch appends a positive fencing epoch to params as a trailing
+// {fence_epoch: "<n>"} struct. The parameter is strictly trailing — when a
+// call also carries a trace parent, the fence comes first and the trace
+// parent last — so handlers that parse positionally and ignore it keep
+// working. A non-positive epoch (static wiring, no registry) returns
+// params unchanged (and unshared: callers may append).
+func WithFenceEpoch(params []any, epoch int64) []any {
+	if epoch <= 0 {
+		return params
+	}
+	out := make([]any, 0, len(params)+1)
+	out = append(out, params...)
+	return append(out, map[string]any{FenceEpochKey: strconv.FormatInt(epoch, 10)})
+}
+
+// FenceEpoch extracts the trailing fence_epoch parameter, returning the
+// caller's epoch (0 when absent or malformed) and the params with the
+// marker stripped. Call after TraceParent, which strips the outermost
+// trailing marker.
+func FenceEpoch(params []any) (int64, []any) {
+	if len(params) == 0 {
+		return 0, params
+	}
+	m, ok := params[len(params)-1].(map[string]any)
+	if !ok || len(m) != 1 {
+		return 0, params
+	}
+	s, ok := m[FenceEpochKey].(string)
+	if !ok {
+		return 0, params
+	}
+	epoch, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || epoch <= 0 {
+		return 0, params
+	}
+	return epoch, params[:len(params)-1]
+}

@@ -3,15 +3,21 @@
 //
 //	file:line: [check] message
 //
-// with module-root-relative filenames. Exit status: 0 with no findings,
-// 1 with findings, 2 when the module cannot be loaded. Arguments are
-// accepted for familiarity ("excovery-lint ./...") but the tool always
-// analyzes the whole module — the invariants are module-wide contracts,
-// and partial runs would let a violation hide in an unlinted package.
+// with module-root-relative filenames, or with -json as one JSON object
+// per line ({"file","line","check","message"}) for machine consumers such
+// as the CI annotation step. Exit status: 0 with no findings, 1 with
+// findings, 2 when the module cannot be loaded in full — a partial
+// analysis must never pass as clean. Arguments are accepted for
+// familiarity ("excovery-lint ./...") but the tool always analyzes the
+// whole module — the invariants are module-wide contracts, and partial
+// runs would let a violation hide in an unlinted package.
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -19,23 +25,56 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("excovery-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	asJSON := fs.Bool("json", false, "emit one JSON diagnostic per line")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	root, err := moduleRoot()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "excovery-lint: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "excovery-lint: %v\n", err)
+		return 2
 	}
 	mod, err := lint.Load(root)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "excovery-lint: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "excovery-lint: %v\n", err)
+		return 2
+	}
+	// Driver diagnostics (parse/type-check failures and skipped dependents)
+	// are printed like findings but force exit 2: the analysis did not
+	// cover the module, so "no findings" proves nothing.
+	if errs := mod.LoadErrors(); len(errs) > 0 {
+		emit(stdout, errs, *asJSON)
+		fmt.Fprintf(stderr, "excovery-lint: %d package(s) failed to load; analysis incomplete\n", len(errs))
+		return 2
 	}
 	diags := mod.Run(lint.All())
-	for _, d := range diags {
-		fmt.Println(d)
-	}
+	emit(stdout, diags, *asJSON)
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "excovery-lint: %d finding(s)\n", len(diags))
-		os.Exit(1)
+		fmt.Fprintf(stderr, "excovery-lint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+func emit(w io.Writer, diags []lint.Diagnostic, asJSON bool) {
+	enc := json.NewEncoder(w)
+	for _, d := range diags {
+		if asJSON {
+			enc.Encode(struct {
+				File    string `json:"file"`
+				Line    int    `json:"line"`
+				Check   string `json:"check"`
+				Message string `json:"message"`
+			}{d.Pos.Filename, d.Pos.Line, d.Check, d.Message})
+			continue
+		}
+		fmt.Fprintln(w, d)
 	}
 }
 

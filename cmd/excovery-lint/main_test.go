@@ -1,0 +1,96 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule materializes a throwaway module and chdirs into it so
+// moduleRoot() resolves there.
+func writeModule(t *testing.T, files map[string]string) {
+	t.Helper()
+	root := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Chdir(root)
+}
+
+func TestRunCleanModuleExitsZero(t *testing.T) {
+	writeModule(t, map[string]string{
+		"go.mod": "module demo\n\ngo 1.22\n",
+		"a/a.go": "package a\n\nfunc Add(x, y int) int { return x + y }\n",
+	})
+	var out, errOut strings.Builder
+	if code := run(nil, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, want 0; stdout=%q stderr=%q", code, out.String(), errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean module produced output: %q", out.String())
+	}
+}
+
+func TestRunFindingsExitOneAndJSON(t *testing.T) {
+	writeModule(t, map[string]string{
+		"go.mod": "module demo\n\ngo 1.22\n",
+		"a/a.go": "package a\n\nimport \"time\"\n\nfunc Now() time.Time { return time.Now() }\n",
+	})
+	var out, errOut strings.Builder
+	if code := run(nil, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1; stderr=%q", code, errOut.String())
+	}
+	if !strings.HasPrefix(out.String(), "a/a.go:5: [walltime]") {
+		t.Errorf("text output = %q, want a walltime finding at a/a.go:5", out.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-json"}, &out, &errOut); code != 1 {
+		t.Fatalf("-json exit %d, want 1; stderr=%q", code, errOut.String())
+	}
+	var d struct {
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Check   string `json:"check"`
+		Message string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(strings.TrimSpace(out.String())), &d); err != nil {
+		t.Fatalf("-json output is not one JSON object per line: %q: %v", out.String(), err)
+	}
+	if d.File != "a/a.go" || d.Line != 5 || d.Check != "walltime" || d.Message == "" {
+		t.Errorf("JSON diagnostic = %+v, want walltime at a/a.go:5", d)
+	}
+}
+
+func TestRunBrokenModuleExitsTwo(t *testing.T) {
+	writeModule(t, map[string]string{
+		"go.mod":     "module demo\n\ngo 1.22\n",
+		"bad/bad.go": "package bad\n\nfunc broken( {\n",
+	})
+	var out, errOut strings.Builder
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2; stdout=%q stderr=%q", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "[driver] cannot parse:") {
+		t.Errorf("stdout = %q, want a driver parse diagnostic", out.String())
+	}
+	if !strings.Contains(errOut.String(), "analysis incomplete") {
+		t.Errorf("stderr = %q, want the incomplete-analysis notice", errOut.String())
+	}
+}
+
+func TestRunBadFlagExitsTwo(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-definitely-not-a-flag"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

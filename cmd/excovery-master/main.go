@@ -203,7 +203,11 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			defer jnl.Close()
+			defer func() {
+				if err := jnl.Close(); err != nil {
+					fmt.Fprintln(os.Stderr, "journal close:", err)
+				}
+			}()
 		}
 	}
 

@@ -152,21 +152,21 @@ func report(rf reportFlags, arg string, stdout io.Writer) error {
 		return err
 	}
 	if rf.csvOut != "" {
-		out := stdout
-		if rf.csvOut != "-" {
-			f, err := os.Create(rf.csvOut)
-			if err != nil {
-				return err
-			}
-			defer f.Close()
-			out = f
+		if rf.csvOut == "-" {
+			return metrics.WriteCSV(stdout, ms)
 		}
-		if err := metrics.WriteCSV(out, ms); err != nil {
+		f, err := os.Create(rf.csvOut)
+		if err != nil {
 			return err
 		}
-		if rf.csvOut != "-" {
-			fmt.Fprintf(stdout, "wrote %d rows to %s\n", len(ms), rf.csvOut)
+		if err := metrics.WriteCSV(f, ms); err != nil {
+			f.Close()
+			return err
 		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %d rows to %s\n", len(ms), rf.csvOut)
 		return nil
 	}
 	var dls []time.Duration

@@ -32,20 +32,25 @@ func main() {
 	}
 	if *dump != "" {
 		out := os.Stdout
+		var f *os.File
 		if *dump != "-" {
-			f, err := os.Create(*dump)
+			var err error
+			f, err = os.Create(*dump)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "error:", err)
 				os.Exit(1)
 			}
-			defer f.Close()
 			out = f
 		}
 		if err := desc.Encode(e, out); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
-		if *dump != "-" {
+		if f != nil {
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
 			fmt.Printf("wrote %s\n", *dump)
 		}
 		return

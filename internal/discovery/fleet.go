@@ -3,6 +3,7 @@ package discovery
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -118,14 +119,8 @@ func (f *Fleet) adopt(h Host, spares []Host, rebind bool) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if rebind {
-		have := map[string]bool{}
-		for _, id := range nodes {
-			have[id] = true
-		}
-		for id := range f.nodes {
-			if !have[id] {
-				return fmt.Errorf("adopt %s: host does not serve node %q", h.URL, id)
-			}
+		if missing := missingNodes(f.nodeIDsLocked(), nodes); len(missing) > 0 {
+			return fmt.Errorf("adopt %s: host does not serve node %q", h.URL, missing[0])
 		}
 	} else {
 		f.nodes = make(map[string]*FleetNode, len(nodes))
@@ -134,7 +129,8 @@ func (f *Fleet) adopt(h Host, spares []Host, rebind bool) error {
 		}
 		f.env = &switchEnv{}
 	}
-	for _, n := range f.nodes {
+	for _, id := range f.nodeIDsLocked() {
+		n := f.nodes[id]
 		r := &noderpc.RemoteNode{NodeID: n.id, C: c}
 		r.SetFenceEpoch(h.Epoch)
 		n.rebind(r)
@@ -150,14 +146,44 @@ func (f *Fleet) adopt(h Host, spares []Host, rebind bool) error {
 	return nil
 }
 
+// nodeIDsLocked returns the run's node ids sorted: every loop that orders
+// an observable action over the node set — adoption validation, proxy
+// rebinds, handle export — iterates this slice, never the map, so
+// placement decisions and failure messages are seed-stable (§IV-C1).
+// Caller holds f.mu.
+func (f *Fleet) nodeIDsLocked() []string {
+	ids := make([]string, 0, len(f.nodes))
+	for id := range f.nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// missingNodes returns the sorted want-ids a host's node set does not
+// serve; an adoption is refused on the first one.
+func missingNodes(want, have []string) []string {
+	set := make(map[string]bool, len(have))
+	for _, id := range have {
+		set[id] = true
+	}
+	var missing []string
+	for _, id := range want {
+		if !set[id] {
+			missing = append(missing, id)
+		}
+	}
+	return missing
+}
+
 // Handles returns the master's node handle map. The handles are stable
 // across failovers — they re-point at the replacement host internally.
 func (f *Fleet) Handles() map[string]master.NodeHandle {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	out := make(map[string]master.NodeHandle, len(f.nodes))
-	for id, n := range f.nodes {
-		out[id] = n
+	for _, id := range f.nodeIDsLocked() {
+		out[id] = f.nodes[id]
 	}
 	return out
 }

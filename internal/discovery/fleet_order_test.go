@@ -1,0 +1,44 @@
+package discovery
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestNodeIDsLockedIsSorted pins the fleet's determinism contract
+// (§IV-C1): every loop that orders an observable action over the node set
+// iterates nodeIDsLocked, and nodeIDsLocked is sorted regardless of map
+// insertion order or Go's randomized map iteration. Repeated rounds with
+// different insertion orders would flip a map-range implementation on most
+// runs.
+func TestNodeIDsLockedIsSorted(t *testing.T) {
+	ids := []string{"node-c", "node-a", "node-10", "node-2", "node-b"}
+	want := fmt.Sprint([]string{"node-10", "node-2", "node-a", "node-b", "node-c"})
+	for round := 0; round < 50; round++ {
+		f := &Fleet{nodes: map[string]*FleetNode{}}
+		// Rotate the insertion order each round.
+		for i := range ids {
+			id := ids[(i+round)%len(ids)]
+			f.nodes[id] = &FleetNode{id: id}
+		}
+		if got := fmt.Sprint(f.nodeIDsLocked()); got != want {
+			t.Fatalf("round %d: nodeIDsLocked() = %v, want %v", round, got, want)
+		}
+	}
+}
+
+// TestMissingNodesDeterministic pins that adoption refusal is
+// deterministic: the same want/have sets always name the same first
+// missing node in the error, independent of set iteration order.
+func TestMissingNodesDeterministic(t *testing.T) {
+	want := []string{"node-a", "node-b", "node-c", "node-d"}
+	for round := 0; round < 50; round++ {
+		missing := missingNodes(want, []string{"node-c", "node-a"})
+		if fmt.Sprint(missing) != fmt.Sprint([]string{"node-b", "node-d"}) {
+			t.Fatalf("round %d: missingNodes = %v", round, missing)
+		}
+	}
+	if got := missingNodes(want, want); len(got) != 0 {
+		t.Errorf("missingNodes(want, want) = %v, want empty", got)
+	}
+}

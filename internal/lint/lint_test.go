@@ -151,6 +151,48 @@ func TestSuppressionRequiresReason(t *testing.T) {
 	}
 }
 
+func TestRpccontractGolden(t *testing.T) {
+	// The fixture is loaded AS excovery/internal/xmlrpc so the mini
+	// Client/Server carry the qualified names the analyzer keys on.
+	mod := loadFixture(t, "rpccontract", "excovery/internal/xmlrpc")
+	diags := checkGolden(t, mod, Rpccontract())
+	var sawArity, sawUnknown bool
+	for _, d := range diags {
+		if strings.Contains(d.Message, "passes") && strings.Contains(d.Message, "takes") {
+			sawArity = true
+		}
+		if strings.Contains(d.Message, "unregistered XML-RPC method") {
+			sawUnknown = true
+		}
+	}
+	if !sawArity {
+		t.Error("no arity-mismatch finding in golden output")
+	}
+	if !sawUnknown {
+		t.Error("no unknown-method finding in golden output")
+	}
+}
+
+func TestLockorderGolden(t *testing.T) {
+	mod := loadFixture(t, "lockorder", "excovery/internal/core/testcase")
+	diags := checkGolden(t, mod, Lockorder())
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "lock-order cycle:") {
+			t.Errorf("finding lacks cycle description: %s", d)
+		}
+	}
+}
+
+func TestMaporderGolden(t *testing.T) {
+	mod := loadFixture(t, "maporder", "excovery/internal/core/testcase")
+	checkGolden(t, mod, Maporder())
+}
+
+func TestErrdropGolden(t *testing.T) {
+	mod := loadFixture(t, "errdrop", "excovery/internal/store")
+	checkGolden(t, mod, Errdrop())
+}
+
 // TestRepoClean is the meta-test behind `make lint`: the full analyzer
 // suite over the real module must report nothing. A finding here means
 // either a genuine invariant violation or a missing //lint:ignore with a
@@ -162,6 +204,9 @@ func TestRepoClean(t *testing.T) {
 	}
 	if len(mod.Pkgs) < 10 {
 		t.Fatalf("suspiciously few packages loaded: %d", len(mod.Pkgs))
+	}
+	if errs := mod.LoadErrors(); len(errs) != 0 {
+		t.Fatalf("module does not load cleanly: %v", errs)
 	}
 	for _, d := range mod.Run(All()) {
 		t.Errorf("%s", d)

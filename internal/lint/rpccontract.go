@@ -1,0 +1,587 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// rpccontract verifies the module's XML-RPC wire contract statically: the
+// control channel, the lease protocol and the discovery registry all speak
+// stringly-typed method names with positional parameters, so a client and
+// a handler can drift apart without any compiler noticing — the drift
+// surfaces mid-campaign as a fault. The analyzer collects every handler
+// registered on an xmlrpc.Server (name plus a positional-arity profile
+// derived from the handler body's arg/argAt accesses) and checks every
+// Client.Call site with a literal method name module-wide against that
+// table: unknown method names and arities outside [min, max] are findings.
+//
+// The profile distinguishes required from optional positions by the
+// handler's own parsing idiom: a statement-level `v, ok := arg[T](params,
+// i)` is required (the handler rejects the call without it), while a
+// blank `v, _ :=` or an if-guarded `if v, ok := …; ok` access is optional
+// — this is how host.set_master's trailing (session, ttl_ms, epoch) and
+// registry.claim's (count, region) stay optional-suffix without any
+// annotation. Call-site arity is computed net of the trailing
+// trace_parent/fence_epoch markers: WithFenceEpoch/WithTraceParent
+// wrappers are peeled (the server strips them before the handler sees
+// params), and calls through a forwarder like (*RemoteNode).call — a
+// module function of shape (method string, params ...any) that forwards
+// to Client.Call — are checked like direct calls.
+
+// rpcMethodRE matches the method-name vocabulary ("host.set_master",
+// "system.listMethods"); other string literals in a Call-shaped position
+// are not treated as RPC methods.
+var rpcMethodRE = regexp.MustCompile(`^[A-Za-z_][A-Za-z0-9_]*\.[A-Za-z_][A-Za-z0-9_]*$`)
+
+const (
+	rpcClientType = "excovery/internal/xmlrpc.Client"
+	rpcServerType = "excovery/internal/xmlrpc.Server"
+	rpcPkgPath    = "excovery/internal/xmlrpc"
+)
+
+// rpcProfile is a handler's positional-parameter profile.
+type rpcProfile struct {
+	req     map[int]bool // indices the handler rejects calls without
+	opt     map[int]bool // indices the handler reads but tolerates missing
+	helpers []string     // []any-helper functions the handler delegates to
+	unknown bool         // params escapes the recognized idioms; arity unchecked
+}
+
+func newRPCProfile() *rpcProfile {
+	return &rpcProfile{req: map[int]bool{}, opt: map[int]bool{}}
+}
+
+// minArgs is the smallest accepted call arity (highest required index + 1).
+func (p *rpcProfile) minArgs() int {
+	n := 0
+	for i := range p.req {
+		if i+1 > n {
+			n = i + 1
+		}
+	}
+	return n
+}
+
+// maxArgs is the largest accepted call arity (highest referenced index + 1).
+func (p *rpcProfile) maxArgs() int {
+	n := p.minArgs()
+	for i := range p.opt {
+		if i+1 > n {
+			n = i + 1
+		}
+	}
+	return n
+}
+
+// merge folds another registration or helper profile into p, keeping the
+// union of referenced indices and of required indices.
+func (p *rpcProfile) merge(q *rpcProfile) {
+	if q == nil {
+		return
+	}
+	for i := range q.req {
+		p.req[i] = true
+	}
+	for i := range q.opt {
+		p.opt[i] = true
+	}
+	p.helpers = append(p.helpers, q.helpers...)
+	p.unknown = p.unknown || q.unknown
+}
+
+// rpcHandlerFact records one srv.Register("name", handler) site.
+type rpcHandlerFact struct {
+	name    string
+	profile *rpcProfile
+	pos     token.Position
+}
+
+// rpcCallFact records one Call site with a literal method name. callee is
+// "" for a direct Client.Call and the forwarder's full name otherwise;
+// argc is -1 when the argument count is not statically derivable.
+type rpcCallFact struct {
+	method string
+	argc   int
+	callee string
+	pos    token.Position
+}
+
+// Rpccontract returns the XML-RPC client/server drift analyzer.
+func Rpccontract() *Analyzer {
+	return &Analyzer{
+		Name:    "rpccontract",
+		Doc:     "Client.Call sites must match a registered XML-RPC handler's name and positional arity",
+		Collect: rpccontractCollect,
+		Finish:  rpccontractFinish,
+	}
+}
+
+func rpccontractCollect(f *File, fx *Facts) {
+	// Function-level facts: Call forwarders and []any-param helpers.
+	for _, decl := range f.Ast.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		obj, ok := f.Pkg.Info.Defs[fd.Name].(*types.Func)
+		if !ok {
+			continue
+		}
+		if rpcIsForwarder(f, fd) {
+			fx.Put("rpccontract", "forwarder/"+obj.FullName(), true)
+		}
+		if ident := rpcParamsIdent(fd); ident != nil {
+			p := rpcProfileOf(f, fd.Body, ident)
+			fx.Put("rpccontract", "helper/"+obj.FullName(), p)
+		}
+	}
+
+	ast.Inspect(f.Ast, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if ok && sel.Sel.Name == "Register" && len(call.Args) >= 2 &&
+			f.typeOf(sel.X) == rpcServerType {
+			name, ok := stringLit(call.Args[0])
+			if !ok {
+				return true
+			}
+			pos := f.pos(call.Pos())
+			fx.Put("rpccontract", fmt.Sprintf("handler/%s@%s:%d", name, pos.Filename, pos.Line),
+				&rpcHandlerFact{name: name, profile: rpcHandlerProfile(f, call.Args[1]), pos: pos})
+			return true
+		}
+		if fact, ok := rpcCallSite(f, call); ok {
+			fx.Put("rpccontract", fmt.Sprintf("call/%s:%d", fact.pos.Filename, fact.pos.Line), fact)
+		}
+		return true
+	})
+}
+
+func rpccontractFinish(m *Module, fx *Facts) []Diagnostic {
+	handlers := map[string]*rpcHandlerFact{}
+	helpers := map[string]*rpcProfile{}
+	forwarders := map[string]bool{}
+	var calls []*rpcCallFact
+	for _, key := range fx.Keys("rpccontract") {
+		v, _ := fx.Get("rpccontract", key)
+		switch {
+		case strings.HasPrefix(key, "handler/"):
+			h := v.(*rpcHandlerFact)
+			if cur := handlers[h.name]; cur != nil {
+				cur.profile.merge(h.profile)
+			} else {
+				cp := newRPCProfile()
+				cp.merge(h.profile)
+				handlers[h.name] = &rpcHandlerFact{name: h.name, profile: cp, pos: h.pos}
+			}
+		case strings.HasPrefix(key, "helper/"):
+			helpers[strings.TrimPrefix(key, "helper/")] = v.(*rpcProfile)
+		case strings.HasPrefix(key, "forwarder/"):
+			forwarders[strings.TrimPrefix(key, "forwarder/")] = true
+		case strings.HasPrefix(key, "call/"):
+			calls = append(calls, v.(*rpcCallFact))
+		}
+	}
+	// Fold delegated helpers (e.g. nodeRunArgs) into the handler profiles;
+	// helpers may in turn delegate, so iterate to a fixed point (depth is
+	// tiny in practice).
+	for range handlers {
+		changed := false
+		for _, h := range handlers {
+			for len(h.profile.helpers) > 0 {
+				name := h.profile.helpers[0]
+				h.profile.helpers = h.profile.helpers[1:]
+				if hp := helpers[name]; hp != nil {
+					h.profile.merge(hp)
+				} else {
+					h.profile.unknown = true
+				}
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	var out []Diagnostic
+	names := make([]string, 0, len(handlers))
+	for n := range handlers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, c := range calls {
+		if c.callee != "" && !forwarders[c.callee] {
+			continue // a string-first module call that is not an RPC forwarder
+		}
+		h := handlers[c.method]
+		if h == nil {
+			out = append(out, Diagnostic{
+				Pos:   c.pos,
+				Check: "rpccontract",
+				Message: fmt.Sprintf("call to unregistered XML-RPC method %q (known: %s)",
+					c.method, strings.Join(names, ", ")),
+			})
+			continue
+		}
+		if c.argc < 0 || h.profile.unknown {
+			continue
+		}
+		minN, maxN := h.profile.minArgs(), h.profile.maxArgs()
+		if c.argc < minN || c.argc > maxN {
+			want := fmt.Sprintf("%d", minN)
+			if maxN != minN {
+				want = fmt.Sprintf("%d..%d", minN, maxN)
+			}
+			out = append(out, Diagnostic{
+				Pos:   c.pos,
+				Check: "rpccontract",
+				Message: fmt.Sprintf("call to %s passes %d params, handler at %s:%d takes %s",
+					c.method, c.argc, h.pos.Filename, h.pos.Line, want),
+			})
+		}
+	}
+	return out
+}
+
+// rpcCallSite matches a Call-shaped site with a literal method name:
+// either method "Call" on *xmlrpc.Client, or a module function call whose
+// first argument is a method-name literal and whose signature ends in
+// ...any (a forwarder candidate, confirmed against the forwarder facts in
+// Finish).
+func rpcCallSite(f *File, call *ast.CallExpr) (*rpcCallFact, bool) {
+	if len(call.Args) == 0 {
+		return nil, false
+	}
+	method, ok := stringLit(call.Args[0])
+	if !ok || !rpcMethodRE.MatchString(method) {
+		return nil, false
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Call" &&
+		f.typeOf(sel.X) == rpcClientType {
+		return &rpcCallFact{method: method, argc: rpcArgc(f, call), pos: f.pos(call.Pos())}, true
+	}
+	fn := f.calleeFunc(call)
+	full, inModule := f.moduleFunc(fn)
+	if !inModule {
+		return nil, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || !sig.Variadic() || sig.Params().Len() < 2 {
+		return nil, false
+	}
+	return &rpcCallFact{method: method, argc: rpcArgc(f, call), callee: full, pos: f.pos(call.Pos())}, true
+}
+
+// rpcArgc computes the positional-parameter count a call puts on the wire,
+// net of trailing fence/trace markers: the plain form counts arguments
+// after the method name; the spread form Call(m, WithFenceEpoch(base,
+// e)...) peels the marker wrappers (the server strips the markers before
+// the handler sees params) down to the base slice literal. -1 when not
+// statically derivable.
+func rpcArgc(f *File, call *ast.CallExpr) int {
+	if !call.Ellipsis.IsValid() {
+		return len(call.Args) - 1
+	}
+	if len(call.Args) != 2 {
+		return -1
+	}
+	e := call.Args[1]
+	for {
+		inner, ok := e.(*ast.CallExpr)
+		if !ok {
+			break
+		}
+		fn := f.calleeFunc(inner)
+		if fn == nil || fn.Pkg() == nil || len(inner.Args) == 0 {
+			return -1
+		}
+		if fn.Pkg().Path() != rpcPkgPath ||
+			(fn.Name() != "WithFenceEpoch" && fn.Name() != "WithTraceParent") {
+			return -1
+		}
+		e = inner.Args[0]
+	}
+	switch v := e.(type) {
+	case *ast.Ident:
+		if v.Name == "nil" {
+			return 0
+		}
+	case *ast.CompositeLit:
+		return len(v.Elts)
+	}
+	return -1
+}
+
+// rpcIsForwarder reports whether fd has the forwarder shape: parameters
+// (method string, params ...any) and a body that passes the method
+// parameter on to Client.Call.
+func rpcIsForwarder(f *File, fd *ast.FuncDecl) bool {
+	params := fd.Type.Params
+	if params == nil || len(params.List) == 0 {
+		return false
+	}
+	var names []*ast.Ident
+	for _, field := range params.List {
+		names = append(names, field.Names...)
+	}
+	if len(names) != 2 {
+		return false
+	}
+	obj := f.Pkg.Info.Defs[names[0]]
+	if obj == nil || obj.Type() == nil || obj.Type().String() != "string" {
+		return false
+	}
+	fnObj, ok := f.Pkg.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	if sig, ok := fnObj.Type().(*types.Signature); !ok || !sig.Variadic() {
+		return false
+	}
+	forwards := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Call" || f.typeOf(sel.X) != rpcClientType {
+			return true
+		}
+		if id, ok := call.Args[0].(*ast.Ident); ok && f.Pkg.Info.Uses[id] == obj {
+			forwards = true
+		}
+		return true
+	})
+	return forwards
+}
+
+// rpcParamsIdent returns the sole []any parameter of a handler-shaped
+// function ("func(params []any) …" or a helper like nodeRunArgs), or nil.
+func rpcParamsIdent(fd *ast.FuncDecl) *ast.Ident {
+	return rpcParamsIdentOf(fd.Type)
+}
+
+func rpcParamsIdentOf(ft *ast.FuncType) *ast.Ident {
+	if ft.Params == nil || len(ft.Params.List) != 1 {
+		return nil
+	}
+	field := ft.Params.List[0]
+	if len(field.Names) != 1 {
+		return nil
+	}
+	arr, ok := field.Type.(*ast.ArrayType)
+	if !ok || arr.Len != nil {
+		return nil
+	}
+	if id, ok := arr.Elt.(*ast.Ident); !ok || id.Name != "any" {
+		if iface, ok := arr.Elt.(*ast.InterfaceType); !ok || iface.Methods == nil || len(iface.Methods.List) != 0 {
+			return nil
+		}
+	}
+	return field.Names[0]
+}
+
+// rpcHandlerProfile profiles the handler expression of a Register call,
+// looking through wrapper calls like dataPath("m", fn) / h.fenced("m",
+// fn) to the innermost func literal.
+func rpcHandlerProfile(f *File, expr ast.Expr) *rpcProfile {
+	for {
+		switch v := expr.(type) {
+		case *ast.FuncLit:
+			if ident := rpcParamsIdentOf(v.Type); ident != nil {
+				return rpcProfileOf(f, v.Body, ident)
+			}
+			p := newRPCProfile()
+			p.unknown = true
+			return p
+		case *ast.CallExpr:
+			var lit ast.Expr
+			for _, a := range v.Args {
+				if _, ok := a.(*ast.FuncLit); ok {
+					lit = a
+					break
+				}
+				if _, ok := a.(*ast.CallExpr); ok {
+					lit = a // nested wrapper
+				}
+			}
+			if lit == nil {
+				p := newRPCProfile()
+				p.unknown = true
+				return p
+			}
+			expr = lit
+		default:
+			p := newRPCProfile()
+			p.unknown = true
+			return p
+		}
+	}
+}
+
+// rpcProfileOf derives the positional profile of a handler body over its
+// []any parameter. Recognized accesses: `v, ok := arg[T](params, i)` at
+// statement level (required), the same with a blank ok or as an if-guard
+// init (optional), len(params), and delegation `helper(params)` to a
+// single-[]any-param function (profile merged in Finish). Any other use
+// of params makes the arity unknown — the name check still applies, the
+// arity check is skipped.
+func rpcProfileOf(f *File, body *ast.BlockStmt, params *ast.Ident) *rpcProfile {
+	p := newRPCProfile()
+	obj := f.Pkg.Info.Defs[params]
+	if obj == nil {
+		p.unknown = true
+		return p
+	}
+	recognized := map[*ast.Ident]bool{}
+
+	// classify records the index access of one arg/argAt call; optional
+	// marks if-guarded or blank-ok accesses.
+	classify := func(call *ast.CallExpr, optional bool) bool {
+		idx, paramsID, ok := rpcArgAccess(f, call, obj)
+		if !ok {
+			return false
+		}
+		recognized[paramsID] = true
+		if optional {
+			p.opt[idx] = true
+		} else {
+			p.req[idx] = true
+		}
+		return true
+	}
+	// Parents are visited before children, so an if-guard classifies its
+	// init assignment (optional) before the bare AssignStmt visit would
+	// reclassify it, and an assignment consumes its RHS call before the
+	// bare CallExpr visit reaches it.
+	consumed := map[ast.Node]bool{}
+	classifyAssign := func(as *ast.AssignStmt, guarded bool) bool {
+		if consumed[as] || len(as.Rhs) != 1 {
+			return false
+		}
+		consumed[as] = true
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		blank := len(as.Lhs) == 2 && isBlank(as.Lhs[1])
+		if !classify(call, guarded || blank) {
+			// Not an arg access: leave the call for the bare CallExpr
+			// visit, which recognizes len(params) and helper delegation.
+			return false
+		}
+		consumed[call] = true
+		return true
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.IfStmt:
+			if as, ok := v.Init.(*ast.AssignStmt); ok {
+				classifyAssign(as, true)
+			}
+		case *ast.AssignStmt:
+			classifyAssign(v, false)
+		case *ast.CallExpr:
+			if consumed[v] {
+				return true
+			}
+			// len(params) is harmless; helper(params) delegates.
+			if id, ok := v.Fun.(*ast.Ident); ok && id.Name == "len" && len(v.Args) == 1 {
+				if pid, ok := v.Args[0].(*ast.Ident); ok && f.Pkg.Info.Uses[pid] == obj {
+					recognized[pid] = true
+				}
+			}
+			if len(v.Args) == 1 {
+				if pid, ok := v.Args[0].(*ast.Ident); ok && f.Pkg.Info.Uses[pid] == obj {
+					if fn := f.calleeFunc(v); fn != nil {
+						if full, inMod := f.moduleFunc(fn); inMod {
+							recognized[pid] = true
+							p.helpers = append(p.helpers, full)
+						}
+					}
+				}
+			}
+			classify(v, false) // bare arg call (result compared inline etc.)
+		}
+		return true
+	})
+
+	// Any remaining use of params escapes the recognized idioms.
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if ok && f.Pkg.Info.Uses[id] == obj && !recognized[id] {
+			p.unknown = true
+		}
+		return true
+	})
+	return p
+}
+
+// rpcArgAccess matches arg[T](params, i) / argAt[T](params, i) against the
+// handler's params object, returning the constant index.
+func rpcArgAccess(f *File, call *ast.CallExpr, params types.Object) (int, *ast.Ident, bool) {
+	if len(call.Args) != 2 {
+		return 0, nil, false
+	}
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.IndexExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			name = id.Name
+		}
+	case *ast.IndexListExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			name = id.Name
+		}
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	}
+	if name != "arg" && name != "argAt" {
+		return 0, nil, false
+	}
+	pid, ok := call.Args[0].(*ast.Ident)
+	if !ok || f.Pkg.Info.Uses[pid] != params {
+		return 0, nil, false
+	}
+	lit, ok := call.Args[1].(*ast.BasicLit)
+	if !ok || lit.Kind != token.INT {
+		return 0, nil, false
+	}
+	idx, err := strconv.Atoi(lit.Value)
+	if err != nil {
+		return 0, nil, false
+	}
+	return idx, pid, true
+}
+
+// stringLit unquotes a string literal expression.
+func stringLit(e ast.Expr) (string, bool) {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

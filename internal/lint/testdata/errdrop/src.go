@@ -1,0 +1,80 @@
+// Fixture for the errdrop analyzer, loaded under the import path
+// "excovery/internal/store" so the mini Journal carries the qualified
+// name the analyzer keys on. Hits: discarded Sync, discarded and deferred
+// Close on a write-opened file, discarded Journal appends, blank-error
+// assignments. Misses: checked errors, read-side closes, and cleanup
+// discards on a path that already returns an error.
+package store
+
+import "os"
+
+// Journal stands in for the store's write-ahead journal.
+type Journal struct{}
+
+func (j *Journal) Begin(run int) error { return nil }
+func (j *Journal) Done(run int) error  { return nil }
+func (j *Journal) Close() error        { return nil }
+
+func dropSync(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	f.Sync()     // want errdrop
+	_ = f.Sync() // want errdrop
+	f.Close()    // want errdrop
+}
+
+func deferredClose(path string) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want errdrop
+	_, err = f.WriteString("x")
+	return err
+}
+
+func journalDrop(j *Journal) {
+	j.Begin(1)    // want errdrop
+	_ = j.Done(1) // want errdrop
+	j.Close()     // want errdrop
+}
+
+func checkedOK(path string, j *Journal) error {
+	if err := j.Begin(1); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close() // no finding: this path already returns an error
+		return err
+	}
+	return f.Close()
+}
+
+func readSideOK(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	// Read-side close: the kernel cannot owe us a delayed write here.
+	defer f.Close()
+	buf := make([]byte, 8)
+	_, err = f.Read(buf)
+	return err
+}
+
+func suppressedDrop(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	//lint:ignore errdrop demo: scratch file, durability irrelevant
+	f.Sync()
+	//lint:ignore errdrop demo: scratch file, durability irrelevant
+	f.Close()
+}

@@ -1,0 +1,103 @@
+// Fixture for the lockorder analyzer: a direct lock-order cycle (A/B), a
+// transitive one through the call graph (C/D), a clean ordered pair (E/F)
+// and a suppressed cycle (G/H). Mutex identities key on the declaring
+// Type.field, so any two instances of the same pair participate.
+package testcase
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+
+func direct1(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock() // want lockorder
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func direct2(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock()
+	a.mu.Unlock()
+}
+
+type C struct{ mu sync.Mutex }
+type D struct{ mu sync.Mutex }
+
+func lockD(d *D) {
+	d.mu.Lock()
+	d.mu.Unlock()
+}
+
+func lockC(c *C) {
+	c.mu.Lock()
+	c.mu.Unlock()
+}
+
+func trans1(c *C, d *D) {
+	c.mu.Lock()
+	lockD(d) // want lockorder
+	c.mu.Unlock()
+}
+
+func trans2(c *C, d *D) {
+	d.mu.Lock()
+	lockC(c)
+	d.mu.Unlock()
+}
+
+// E/F are always taken in the same order: no cycle, no finding.
+type E struct{ mu sync.Mutex }
+type F struct{ mu sync.Mutex }
+
+func ordered1(e *E, f *F) {
+	e.mu.Lock()
+	f.mu.Lock()
+	f.mu.Unlock()
+	e.mu.Unlock()
+}
+
+func ordered2(e *E, f *F) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	f.mu.Lock()
+	f.mu.Unlock()
+}
+
+// A goroutine or deferred call runs outside the current hold: no edge.
+func asyncOK(e *E, f *F) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	go func() {
+		e.mu.Lock()
+		e.mu.Unlock()
+	}()
+}
+
+// Two instances of the same type: a self-edge, deliberately not reported.
+func sameType(x, y *E) {
+	x.mu.Lock()
+	y.mu.Lock()
+	y.mu.Unlock()
+	x.mu.Unlock()
+}
+
+type G struct{ mu sync.Mutex }
+type H struct{ mu sync.Mutex }
+
+func supp1(g *G, h *H) {
+	g.mu.Lock()
+	//lint:ignore lockorder demo: acknowledged cycle kept for the suppression test
+	h.mu.Lock()
+	h.mu.Unlock()
+	g.mu.Unlock()
+}
+
+func supp2(g *G, h *H) {
+	h.mu.Lock()
+	g.mu.Lock()
+	g.mu.Unlock()
+	h.mu.Unlock()
+}

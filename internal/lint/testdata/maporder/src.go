@@ -1,0 +1,72 @@
+// Fixture for the maporder analyzer: map ranges whose bodies reach
+// determinism-sensitive sinks (encoder, formatted stream write, event
+// Emit) are findings; collect-then-sort loops, slice ranges and
+// commutative accumulation are not.
+package testcase
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+type recorder struct{}
+
+func (recorder) Emit(typ string, params map[string]string) {}
+
+func encodeEach(w io.Writer, m map[string]int) {
+	enc := json.NewEncoder(w)
+	for k, v := range m { // want maporder
+		_ = enc.Encode(map[string]int{k: v})
+	}
+}
+
+func printEach(m map[string]int) {
+	for k, v := range m { // want maporder
+		fmt.Fprintf(os.Stdout, "%s=%d\n", k, v)
+	}
+}
+
+func emitEach(rec recorder, m map[string]string) {
+	for k, v := range m { // want maporder
+		rec.Emit(k, map[string]string{"v": v})
+	}
+}
+
+// Sinks behind a synchronous closure are still reached from the loop body.
+func emitViaClosure(rec recorder, m map[string]string, run func(f func())) {
+	for k := range m { // want maporder
+		run(func() { rec.Emit(k, nil) })
+	}
+}
+
+// The idiomatic fix: collect, sort, then range the slice.
+func encodeSorted(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	enc := json.NewEncoder(w)
+	for _, k := range keys {
+		_ = enc.Encode(map[string]int{k: m[k]})
+	}
+}
+
+// Commutative accumulation is order-insensitive: no finding.
+func sumValues(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func suppressed(w io.Writer, m map[string]int) {
+	//lint:ignore maporder demo: debug dump, order explicitly irrelevant
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}

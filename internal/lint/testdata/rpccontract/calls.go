@@ -1,0 +1,34 @@
+package xmlrpc
+
+// Remote mimics noderpc.RemoteNode: call is a forwarder (method string +
+// variadic params, handed to Client.Call), so its sites are checked like
+// direct Call sites.
+type Remote struct{ C *Client }
+
+func (r *Remote) call(method string, params ...any) (any, error) {
+	return r.C.Call(method, WithTraceParent(params, 1)...)
+}
+
+// helper is NOT a forwarder (no Client.Call inside); its string-first
+// sites must not be treated as RPC calls.
+func helper(name string, params ...any) (any, error) { return nil, nil }
+
+func useCalls(c *Client, r *Remote, m string) {
+	c.Call("host.ok", "a")                                 // in range
+	c.Call("host.ok", "a", 1, 2)                           // max
+	c.Call("host.ok")                                      // want rpccontract
+	c.Call("host.ok", "a", 1, 2, 3)                        // want rpccontract
+	c.Call("host.gone", "a")                               // want rpccontract
+	c.Call("node.wrapped", "n", 7)                         // exact
+	c.Call("host.none")                                    // zero params ok
+	c.Call("host.opaque", "anything", "goes", 1, 2, 3)     // arity unknown: name check only
+	c.Call("host.ok", WithFenceEpoch([]any{"a", 1}, 9)...) // markers peel to 2
+	c.Call("host.none", WithFenceEpoch(nil, 9)...)         // markers peel to 0
+	c.Call("host.ok", WithFenceEpoch(nil, 9)...)           // want rpccontract
+	c.Call(m, "a")                                         // non-literal method: unchecked
+	r.call("node.wrapped", "n", 7)                         // forwarder, exact
+	r.call("node.wrapped", "n")                            // want rpccontract
+	helper("host.gone", "x")                               // not an RPC site
+	//lint:ignore rpccontract drift demo: suppressed mismatch stays silent
+	c.Call("node.wrapped", "n", 7, 8)
+}

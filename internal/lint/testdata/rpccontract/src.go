@@ -1,0 +1,37 @@
+// Fixture for the rpccontract analyzer. Loaded under the import path
+// "excovery/internal/xmlrpc", so the mini Server/Client/marker types here
+// carry exactly the qualified names the analyzer keys on; handlers and
+// call sites live in one package, exercising registration profiling
+// (required vs optional vs wrapped), forwarder calls, marker peeling,
+// arity mismatches, unknown methods and suppression.
+package xmlrpc
+
+// Handler is the mini handler contract.
+type Handler func(params []any) (any, error)
+
+// Server is the mini registration table.
+type Server struct{ methods map[string]Handler }
+
+// Register records a handler.
+func (s *Server) Register(name string, h Handler) { s.methods[name] = h }
+
+// Client is the mini caller.
+type Client struct{ URL string }
+
+// Call issues a call.
+func (c *Client) Call(method string, params ...any) (any, error) { return nil, nil }
+
+// WithFenceEpoch appends the fencing marker.
+func WithFenceEpoch(params []any, epoch int64) []any { return params }
+
+// WithTraceParent appends the tracing marker.
+func WithTraceParent(params []any, id uint64) []any { return params }
+
+func arg[T any](params []any, i int) (T, bool) {
+	var zero T
+	if i >= len(params) {
+		return zero, false
+	}
+	v, ok := params[i].(T)
+	return v, ok
+}

@@ -2,6 +2,7 @@ package master
 
 import (
 	"encoding/json"
+	"sort"
 	"strings"
 
 	"excovery/internal/obs"
@@ -95,9 +96,17 @@ func (m *Master) fanInMetrics(run int) []byte {
 		Set(int64(len(sources)))
 	m.cfg.Status.FanIn(len(sources))
 
+	// Sorted iteration both times: gauge re-export order decides metric
+	// registration order, which must be seed-stable for the campaign
+	// artifact diffs (and the maporder analyzer holds us to it).
+	srcs := make([]string, 0, len(sources))
+	for src := range sources {
+		srcs = append(srcs, src)
+	}
+	sort.Strings(srcs)
 	fleet := map[string]float64{}
-	for src, rep := range sources {
-		for _, p := range rep.Points {
+	for _, src := range srcs {
+		for _, p := range sources[src].Points {
 			name, value := reExport(p)
 			labels := append(append([]string(nil), p.Labels...), "src", src)
 			m.cfg.Metrics.Gauge(obs.MNodePrefix+name, p.Help, labels...).
@@ -105,10 +114,15 @@ func (m *Master) fanInMetrics(run int) []byte {
 			fleet[name] += value
 		}
 	}
-	for name, v := range fleet {
+	rollups := make([]string, 0, len(fleet))
+	for name := range fleet {
+		rollups = append(rollups, name)
+	}
+	sort.Strings(rollups)
+	for _, name := range rollups {
 		m.cfg.Metrics.Gauge(obs.MFleetPrefix+name,
 			"fan-in rollup: the node-host series summed across all reporting hosts").
-			Set(int64(v))
+			Set(int64(fleet[name]))
 	}
 	doc := campaignDoc{Run: run, Sources: sources, Fleet: fleet}
 	b, err := json.MarshalIndent(doc, "", " ")

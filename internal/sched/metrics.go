@@ -51,7 +51,6 @@ func (s *Scheduler) observeVtimeLagLocked(wallBase time.Time, virtBase time.Time
 	if s.m.vtimeLag == nil || s.mode != RealTime {
 		return
 	}
-	//lint:ignore walltime the pacing-lag gauge compares virtual time to the wall clock by definition
 	wallElapsed := time.Since(wallBase)
 	expected := virtBase.Add(time.Duration(float64(wallElapsed) / s.factor))
 	s.m.vtimeLag.Set(expected.Sub(s.now).Microseconds())

@@ -295,7 +295,6 @@ func (s *Scheduler) Inject(name string, fn func()) {
 		//lint:ignore walltime the lock-wait histogram measures wall time by definition
 		t0 := time.Now()
 		s.mu.Lock()
-		//lint:ignore walltime the lock-wait histogram measures wall time by definition
 		h.Observe(time.Since(t0).Seconds())
 	} else {
 		s.mu.Lock()

@@ -220,9 +220,11 @@ func (rs *RunStore) AppendLog(run int, node, text string) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	_, err = f.WriteString(text)
-	return err
+	if _, err := f.WriteString(text); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // ReadLog returns a node's log file for a run ("" if none).
@@ -443,15 +445,19 @@ func appendJSONL[T any](path string, items []T) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	w := bufio.NewWriter(f)
 	enc := json.NewEncoder(w)
 	for i := range items {
 		if err := enc.Encode(&items[i]); err != nil {
+			f.Close()
 			return err
 		}
 	}
-	return w.Flush()
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // MarkRunDone records that a run completed, enabling resume-after-abort:

@@ -11,12 +11,13 @@
 // Expected shape: responsiveness falls as more SMs must be found (the
 // slowest multicast exchange dominates) and as hop distance grows.
 //
-//	go run ./examples/meshwide -reps 30
+//	go run ./examples/meshwide -reps 30 -nodes 50
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"time"
 
@@ -26,7 +27,15 @@ import (
 	"excovery/internal/netem"
 )
 
-func buildExperiment(reps int) *desc.Experiment {
+// minNodes covers the three SMs, the SU and the six relays of the original
+// ten-node study; -nodes grows the relay population beyond that.
+const minNodes = 10
+
+func buildExperiment(reps, nodes int) *desc.Experiment {
+	abstract := []string{"M0", "M1", "M2", "U"}
+	for i := 0; i < nodes-4; i++ {
+		abstract = append(abstract, fmt.Sprintf("R%d", i))
+	}
 	e := &desc.Experiment{
 		Name:    "sd-meshwide",
 		Comment: "Mesh-wide discovery of k SMs under bursty loss",
@@ -35,7 +44,7 @@ func buildExperiment(reps int) *desc.Experiment {
 			{Key: "sd_protocol", Value: "zeroconf"},
 			{Key: "sd_scheme", Value: "active"},
 		},
-		AbstractNodes: []string{"M0", "M1", "M2", "U", "R0", "R1", "R2", "R3", "R4", "R5"},
+		AbstractNodes: abstract,
 		Factors: []desc.Factor{
 			{
 				ID: "fact_nodes", Type: desc.TypeActorNodeMap, Usage: desc.UsageBlocking,
@@ -87,14 +96,20 @@ func buildExperiment(reps int) *desc.Experiment {
 	return e
 }
 
-func main() {
-	reps := flag.Int("reps", 30, "replications per SM count")
-	flag.Parse()
-
-	exp := buildExperiment(*reps)
-	opts := core.Options{
+// buildOptions keeps the historical 0.35 radius for the original ten-node
+// mesh; larger populations use the geometric connectivity threshold
+// sqrt(1.6·ln n / (π·n)), which keeps mean node degree near ten instead of
+// densifying into a clique (wireTopology still grows the radius if a draw
+// comes out disconnected).
+func buildOptions(nodes int) core.Options {
+	radius := 0.35
+	if nodes > minNodes {
+		n := float64(nodes)
+		radius = math.Sqrt(1.6 * math.Log(n) / (math.Pi * n))
+	}
+	return core.Options{
 		Topology:  core.TopoGeometric,
-		GeoRadius: 0.35,
+		GeoRadius: radius,
 		Link: netem.LinkParams{
 			Delay: time.Millisecond, Jitter: time.Millisecond,
 			Burst: &netem.BurstLoss{
@@ -103,6 +118,18 @@ func main() {
 			},
 		},
 	}
+}
+
+func main() {
+	reps := flag.Int("reps", 30, "replications per SM count")
+	nodes := flag.Int("nodes", minNodes, "total mesh size (SMs + SU + relays)")
+	flag.Parse()
+	if *nodes < minNodes {
+		fail(fmt.Errorf("-nodes must be at least %d", minNodes))
+	}
+
+	exp := buildExperiment(*reps, *nodes)
+	opts := buildOptions(*nodes)
 	x, err := core.New(exp, opts)
 	if err != nil {
 		fail(err)

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"testing"
+
+	"excovery/internal/core"
+	"excovery/internal/metrics"
+	"excovery/internal/netem"
+)
+
+// TestMeshwide500NodeSmoke runs the mesh-wide study on a 500-node random
+// geometric mesh under virtual time: one replication per blocking level,
+// exercising flood fan-out, the packet pool and the precomputed neighbor
+// snapshots at a scale far beyond the ten-node default.
+func TestMeshwide500NodeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("500-node mesh in -short mode")
+	}
+	const nodes = 500
+	exp := buildExperiment(1, nodes)
+	x, err := core.New(exp, buildOptions(nodes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(x.Net.Nodes()); got != nodes {
+		t.Fatalf("mesh size = %d, want %d", got, nodes)
+	}
+	for _, sm := range []netem.NodeID{"M0", "M1", "M2"} {
+		if x.Net.HopCount("U", sm) < 0 {
+			t.Fatalf("mesh not connected: U cannot reach %s", sm)
+		}
+	}
+	rep, err := x.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := metrics.FromReport(exp, rep, "", "")
+	if len(ms) != 3 {
+		t.Fatalf("runs = %d, want 3 (one per blocking level)", len(ms))
+	}
+	found := 0
+	for _, m := range ms {
+		found += m.Found
+	}
+	if found == 0 {
+		t.Fatal("no SM discovered in any run on the 500-node mesh")
+	}
+}

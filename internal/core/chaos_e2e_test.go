@@ -9,6 +9,7 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
 
 	"excovery/internal/desc"
@@ -111,5 +112,29 @@ func TestRegistryChurnDeterministicLevel3(t *testing.T) {
 	if !bytes.Equal(raw1, raw2) {
 		t.Fatalf("level-3 artifacts differ across identical experiments (%d vs %d bytes)",
 			len(raw1), len(raw2))
+	}
+}
+
+// TestChaosLevel3IdenticalAcrossGOMAXPROCS pins the determinism contract
+// of the sharded emulator era at the artifact level: for one seed, the
+// serialized level-3 database of a chaos scenario must be byte-identical
+// whether the process runs on one core or eight.
+func TestChaosLevel3IdenticalAcrossGOMAXPROCS(t *testing.T) {
+	scenarios := map[string]func(int) *desc.Experiment{
+		"reorder":        desc.ChaosReorder,
+		"partition-heal": desc.PartitionHeal,
+	}
+	for name, mk := range scenarios {
+		t.Run(name, func(t *testing.T) {
+			prev := runtime.GOMAXPROCS(1)
+			raw1, _ := runToLevel3(t, mk(1))
+			runtime.GOMAXPROCS(8)
+			raw8, _ := runToLevel3(t, mk(1))
+			runtime.GOMAXPROCS(prev)
+			if !bytes.Equal(raw1, raw8) {
+				t.Fatalf("level-3 artifacts differ between GOMAXPROCS=1 (%d bytes) and 8 (%d bytes)",
+					len(raw1), len(raw8))
+			}
+		})
 	}
 }

@@ -462,3 +462,45 @@ func TestPartitionValidation(t *testing.T) {
 		t.Error("unknown node accepted")
 	}
 }
+
+// TestPartitionHealObservesTopologyNextDelivery is the fan-out snapshot
+// regression for the partition-heal scenario: when the cut is a real
+// topology change (links removed, then restored), the precomputed
+// neighbor/route snapshots must be invalidated so the very next delivery
+// after each transition observes the new topology — no stale fan-out.
+func TestPartitionHealObservesTopologyNextDelivery(t *testing.T) {
+	s := sched.NewVirtual()
+	nw := netem.New(s, 5)
+	for _, id := range []netem.NodeID{"a", "b", "c"} {
+		nw.AddNode(id, netem.NodeParams{})
+	}
+	nw.AddLink("a", "b", netem.LinkParams{Delay: time.Millisecond})
+	nw.AddLink("b", "c", netem.LinkParams{Delay: time.Millisecond})
+	nw.Join("svc", "c")
+	recv := 0
+	nw.Node("c").SetHandler(func(p *netem.Packet) { recv++ })
+	a := nw.Node("a")
+	s.Go("t", func() {
+		a.Send(netem.Multicast("svc"), "sd", nil)
+		s.Sleep(50 * time.Millisecond)
+		if recv != 1 {
+			t.Errorf("pre-partition deliveries = %d, want 1", recv)
+		}
+		// Partition: cut the only path mid-mesh.
+		nw.RemoveLink("a", "b")
+		a.Send(netem.Multicast("svc"), "sd", nil)
+		s.Sleep(50 * time.Millisecond)
+		if recv != 1 {
+			t.Errorf("deliveries across the cut = %d, want still 1", recv)
+		}
+		// Heal: the very next flood must traverse the restored link.
+		nw.AddLink("a", "b", netem.LinkParams{Delay: time.Millisecond})
+		a.Send(netem.Multicast("svc"), "sd", nil)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if recv != 2 {
+		t.Fatalf("deliveries after heal = %d, want 2 (snapshot must refresh on the next delivery)", recv)
+	}
+}

@@ -22,6 +22,13 @@
 // paths; multicast and broadcast packets flood the mesh with per-hop
 // duplicate suppression and a TTL, which is how mDNS traffic propagates in
 // a mesh under flooding-based multicast.
+//
+// The per-packet data path runs as inline scheduler events with pooled
+// packets and precomputed per-node fan-out (see DESIGN.md §16): no
+// goroutine handoff, no allocation and no neighbor recomputation per
+// delivery. A network can further be sharded across the members of a
+// sched.Group (NewSharded) so disjoint node sets advance in parallel under
+// conservative lookahead.
 package netem
 
 import (
@@ -176,24 +183,87 @@ func (st *Stats) DroppedTotal() uint64 {
 	return t
 }
 
+// add accumulates other into st (shard merge).
+func (st *Stats) add(other *Stats) {
+	st.Sent += other.Sent
+	st.Transmissions += other.Transmissions
+	st.Delivered += other.Delivered
+	st.Duplicates += other.Duplicates
+	st.RuleDuplicates += other.RuleDuplicates
+	for i := range st.Dropped {
+		st.Dropped[i] += other.Dropped[i]
+	}
+}
+
+// maxFreePackets bounds each shard's packet free list.
+const maxFreePackets = 8192
+
+// shardState is the per-shard slice of the network's mutable hot-path
+// state: the scheduler the shard's nodes run on, the shard-local packet
+// counters and sequence, and the packet free list. Every field is written
+// only by the owning shard's controller goroutine, so shards never contend
+// — the merged view (Stats) must only be read while the group is idle.
+type shardState struct {
+	idx    int
+	s      *sched.Scheduler
+	stats  Stats
+	pktSeq uint64
+	free   []*Packet
+}
+
+// newPacket returns a zeroed packet from the shard's free list (or a fresh
+// one). The caller owns it until it is handed to exactly one of: the egress
+// ring, a scheduled delivery event, the paused-process buffer — or freed.
+func (sh *shardState) newPacket() *Packet {
+	if k := len(sh.free); k > 0 {
+		p := sh.free[k-1]
+		sh.free[k-1] = nil
+		sh.free = sh.free[:k-1]
+		return p
+	}
+	return &Packet{}
+}
+
+// freePacket recycles p. The packet must not be referenced afterwards; its
+// Path backing array is retained for reuse.
+func (sh *shardState) freePacket(p *Packet) {
+	path := p.Path[:0]
+	*p = Packet{}
+	p.Path = path
+	if len(sh.free) < maxFreePackets {
+		sh.free = append(sh.free, p)
+	}
+}
+
+// edge is one precomputed outgoing link of a node: the resolved target node
+// and the link parameters, so the flood fan-out and the contention model
+// touch no maps. Rebuilt only on topology mutation.
+type edge struct {
+	n  *Node
+	lp *LinkParams
+}
+
 // Network is an emulated mesh network.
 type Network struct {
-	s      *sched.Scheduler
+	s      *sched.Scheduler // shard 0 / control scheduler
+	g      *sched.Group     // nil for a single-shard network
+	shards []*shardState
+	assign func(NodeID) int // node -> shard; nil means shard 0
+
 	nodes  map[NodeID]*Node
 	order  []NodeID // sorted, for deterministic iteration
 	links  map[NodeID]map[NodeID]*LinkParams
 	groups map[string]map[NodeID]bool
 	routes map[NodeID]map[NodeID]NodeID // routes[src][dst] = next hop
-	// nbrs caches each node's sorted neighbor list between topology
-	// changes: transmit consults it per transmission (flooding and the
-	// contention model), where rebuilding the sorted slice dominated the
-	// emulator's allocations. Invalidated alongside dirty.
-	nbrs    map[NodeID][]NodeID
-	dirty   bool
-	pktSeq  uint64
-	ruleSeq int
-	seed    int64
-	stats   Stats
+	// edgesDirty/routesDirty mark the per-node edge snapshots and the
+	// next-hop tables stale after a topology mutation. Both rebuild
+	// lazily on a single-shard network; a sharded network rebuilds them
+	// at window barriers and freezes the topology while running.
+	edgesDirty  bool
+	routesDirty bool
+	started     bool // a sharded network has begun running windows
+	ruleSeq     int
+	seed        int64
 	// obs, when non-nil, makes nodes and rules resolve per-node/per-rule
 	// instruments (see metrics.go). Nil leaves the data path bare.
 	obs *obs.Registry
@@ -205,36 +275,112 @@ type Network struct {
 	// neighbors, so background traffic steals airtime from everyone in
 	// range — the mechanism that makes generated load inflate discovery
 	// times on a real testbed. Default on; switch off for idealized
-	// point-to-point links.
+	// point-to-point links. On a sharded network, reservations apply to
+	// same-shard neighbors only.
 	Contention bool
-
-	busyUntil map[NodeID]time.Time
 }
 
-// New creates an empty network. All random decisions (loss, jitter) derive
-// from seed, so two networks with equal topology, seed and workload behave
-// identically (§IV-C1: "perfect repeatability of random sequences").
+// New creates an empty single-shard network. All random decisions (loss,
+// jitter) derive from seed, so two networks with equal topology, seed and
+// workload behave identically (§IV-C1: "perfect repeatability of random
+// sequences").
 func New(s *sched.Scheduler, seed int64) *Network {
 	return &Network{
 		s:          s,
+		shards:     []*shardState{{idx: 0, s: s}},
 		nodes:      make(map[NodeID]*Node),
 		links:      make(map[NodeID]map[NodeID]*LinkParams),
 		groups:     make(map[string]map[NodeID]bool),
 		seed:       seed,
 		DefaultTTL: 8,
 		Contention: true,
-		busyUntil:  make(map[NodeID]time.Time),
 	}
 }
 
-// Scheduler returns the scheduler the network runs on.
+// NewSharded creates a network whose nodes are distributed over the members
+// of g by assign (which must return a valid member index for every node
+// id). Cross-shard links need Delay ≥ g's lookahead — AddLink enforces it —
+// and the topology freezes once the group starts running: AddLink,
+// RemoveLink, Join, Leave, SetInterface and SetKilled panic mid-run.
+// Per-node randomness is seeded exactly as on a single-shard network, and
+// cross-shard deliveries merge deterministically (see sched.Group), so a
+// run is byte-identical at any GOMAXPROCS.
+func NewSharded(g *sched.Group, seed int64, assign func(NodeID) int) *Network {
+	members := g.Members()
+	nw := &Network{
+		s:          members[0],
+		g:          g,
+		assign:     assign,
+		nodes:      make(map[NodeID]*Node),
+		links:      make(map[NodeID]map[NodeID]*LinkParams),
+		groups:     make(map[string]map[NodeID]bool),
+		seed:       seed,
+		DefaultTTL: 8,
+		Contention: true,
+	}
+	for i, m := range members {
+		nw.shards = append(nw.shards, &shardState{idx: i, s: m})
+	}
+	g.BeforeWindow = nw.prepareWindow
+	return nw
+}
+
+// Scheduler returns the scheduler the network runs on (shard 0 when
+// sharded).
 func (nw *Network) Scheduler() *sched.Scheduler { return nw.s }
 
-// Stats returns a snapshot of the network counters.
-func (nw *Network) Stats() Stats { return nw.stats }
+// Group returns the shard group, or nil for a single-shard network.
+func (nw *Network) Group() *sched.Group { return nw.g }
 
-// ResetStats zeroes the network counters (run preparation).
-func (nw *Network) ResetStats() { nw.stats = Stats{} }
+// prepareWindow rebuilds the topology snapshots while every shard is idle;
+// it is the group's BeforeWindow hook. During windows the snapshots are
+// read-only, which is what makes concurrent shard execution race-free.
+func (nw *Network) prepareWindow() {
+	nw.started = true
+	nw.ensureEdges()
+	if nw.routesDirty {
+		nw.recomputeRoutes()
+	}
+}
+
+// frozenTopo panics when a sharded network mutates topology or group
+// membership mid-run: the snapshots other shards read concurrently cannot
+// be invalidated inside a window.
+func (nw *Network) frozenTopo() {
+	if nw.g != nil && nw.started {
+		panic("netem: topology mutation is not supported on a running sharded network")
+	}
+}
+
+// Stats returns a snapshot of the network counters, merged over all shards.
+// On a sharded network it must be called while the group is idle (before
+// Run, between windows, or after Run returns).
+func (nw *Network) Stats() Stats {
+	var out Stats
+	for _, sh := range nw.shards {
+		out.add(&sh.stats)
+	}
+	return out
+}
+
+// ResetStats zeroes the network counters (run preparation). Same idle-only
+// contract as Stats on a sharded network.
+func (nw *Network) ResetStats() {
+	for _, sh := range nw.shards {
+		sh.stats = Stats{}
+	}
+}
+
+func (nw *Network) shardFor(id NodeID) *shardState {
+	if nw.assign == nil {
+		return nw.shards[0]
+	}
+	i := nw.assign(id)
+	if i < 0 || i >= len(nw.shards) {
+		panic(fmt.Sprintf("netem: shard assignment %d for node %q out of range", i, id))
+	}
+	return nw.shards[i]
+}
 
 // AddNode creates a node. Adding an existing node panics: node identifiers
 // are host names and must be unique (§IV-E).
@@ -242,27 +388,33 @@ func (nw *Network) AddNode(id NodeID, params NodeParams) *Node {
 	if _, dup := nw.nodes[id]; dup {
 		panic(fmt.Sprintf("netem: duplicate node %q", id))
 	}
-	params.fill(nw.s)
+	nw.frozenTopo()
+	sh := nw.shardFor(id)
+	params.fill(sh.s)
 	n := &Node{
 		id:     id,
 		net:    nw,
+		sh:     sh,
 		params: params,
 		clock:  params.Clock,
 		rng:    rand.New(rand.NewSource(nw.seed ^ int64(hashID(id)))),
-		rxName: "rx " + string(id),
 		seen:   make(map[uint64]bool),
+		member: make(map[string]bool),
 		up:     true,
 	}
-	n.egress = sched.NewQueue[*transmission](nw.s, "egress "+string(id))
+	for gname, members := range nw.groups {
+		if members[id] {
+			n.member[gname] = true
+		}
+	}
 	if nw.obs != nil {
 		n.instrument(nw.obs)
 	}
-	nw.s.GoDaemon("pump "+string(id), n.pump)
 	nw.nodes[id] = n
 	nw.order = append(nw.order, id)
 	sort.Slice(nw.order, func(i, j int) bool { return nw.order[i] < nw.order[j] })
 	nw.links[id] = make(map[NodeID]*LinkParams)
-	nw.dirty, nw.nbrs = true, nil
+	nw.edgesDirty, nw.routesDirty = true, true
 	return n
 }
 
@@ -292,9 +444,14 @@ func (nw *Network) addDirected(from, to NodeID, p LinkParams) {
 	if from == to {
 		panic("netem: self link")
 	}
+	nw.frozenTopo()
+	if nw.g != nil && nw.nodes[from].sh != nw.nodes[to].sh && p.Delay < nw.g.Lookahead() {
+		panic(fmt.Sprintf("netem: cross-shard link %s->%s delay %s below group lookahead %s",
+			from, to, p.Delay, nw.g.Lookahead()))
+	}
 	cp := p
 	nw.links[from][to] = &cp
-	nw.dirty, nw.nbrs = true, nil
+	nw.edgesDirty, nw.routesDirty = true, true
 }
 
 // Link returns the parameters of the directed link from->to, or nil.
@@ -302,24 +459,38 @@ func (nw *Network) Link(from, to NodeID) *LinkParams {
 	return nw.links[from][to]
 }
 
-// RemoveLink deletes the link in both directions.
+// RemoveLink deletes the link in both directions and invalidates the
+// per-node edge snapshots and routes, so the very next transmission sees
+// the new topology.
 func (nw *Network) RemoveLink(a, b NodeID) {
+	nw.frozenTopo()
 	delete(nw.links[a], b)
 	delete(nw.links[b], a)
-	nw.dirty, nw.nbrs = true, nil
+	nw.edgesDirty, nw.routesDirty = true, true
 }
 
-// Join adds a node to a multicast group.
+// Join adds a node to a multicast group. The node's membership snapshot is
+// updated immediately, so the next flood delivery observes it.
 func (nw *Network) Join(group string, id NodeID) {
+	nw.frozenTopo()
 	if nw.groups[group] == nil {
 		nw.groups[group] = make(map[NodeID]bool)
 	}
 	nw.groups[group][id] = true
+	if n := nw.nodes[id]; n != nil {
+		n.member[group] = true
+	}
 }
 
-// Leave removes a node from a multicast group.
+// Leave removes a node from a multicast group; the node's membership
+// snapshot is invalidated immediately, so the very next flood delivery no
+// longer reaches it.
 func (nw *Network) Leave(group string, id NodeID) {
+	nw.frozenTopo()
 	delete(nw.groups[group], id)
+	if n := nw.nodes[id]; n != nil {
+		delete(n.member, group)
+	}
 }
 
 // InGroup reports group membership.
@@ -327,32 +498,34 @@ func (nw *Network) InGroup(group string, id NodeID) bool {
 	return nw.groups[group][id]
 }
 
-// neighbors returns the usable outgoing links of n in sorted order. The
-// result is cached until the topology changes; callers must not modify it.
-func (nw *Network) neighbors(n NodeID) []NodeID {
-	if nb, ok := nw.nbrs[n]; ok {
-		return nb
+// ensureEdges rebuilds every node's outgoing-edge snapshot (sorted by
+// target id) after a topology mutation. The snapshot resolves the target
+// node and link parameters once, so the per-transmission fan-out loop does
+// no map lookups and no sorting.
+func (nw *Network) ensureEdges() {
+	if !nw.edgesDirty {
+		return
 	}
-	out := make([]NodeID, 0, len(nw.links[n]))
-	for id := range nw.links[n] {
-		out = append(out, id)
+	for _, id := range nw.order {
+		n := nw.nodes[id]
+		n.edges = n.edges[:0]
+		for to, lp := range nw.links[id] {
+			n.edges = append(n.edges, edge{n: nw.nodes[to], lp: lp})
+		}
+		sort.Slice(n.edges, func(i, j int) bool { return n.edges[i].n.id < n.edges[j].n.id })
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	if nw.nbrs == nil {
-		nw.nbrs = make(map[NodeID][]NodeID, len(nw.order))
-	}
-	nw.nbrs[n] = out
-	return out
+	nw.edgesDirty = false
 }
 
 // recomputeRoutes rebuilds the next-hop tables with a BFS per source over
 // operational nodes (interface up, process not killed).
 func (nw *Network) recomputeRoutes() {
+	nw.ensureEdges()
 	nw.routes = make(map[NodeID]map[NodeID]NodeID, len(nw.order))
 	for _, src := range nw.order {
 		nw.routes[src] = nw.bfsFrom(src)
 	}
-	nw.dirty = false
+	nw.routesDirty = false
 }
 
 func (nw *Network) bfsFrom(src NodeID) map[NodeID]NodeID {
@@ -361,28 +534,28 @@ func (nw *Network) bfsFrom(src NodeID) map[NodeID]NodeID {
 		return next
 	}
 	type qe struct {
-		node  NodeID
+		node  *Node
 		first NodeID // first hop on the path from src
 	}
 	visited := map[NodeID]bool{src: true}
 	var queue []qe
-	for _, nb := range nw.neighbors(src) {
-		if nw.nodes[nb].operational() {
-			visited[nb] = true
-			next[nb] = nb
-			queue = append(queue, qe{nb, nb})
+	for _, e := range nw.nodes[src].edges {
+		if e.n.operational() {
+			visited[e.n.id] = true
+			next[e.n.id] = e.n.id
+			queue = append(queue, qe{e.n, e.n.id})
 		}
 	}
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
-		for _, nb := range nw.neighbors(cur.node) {
-			if visited[nb] || !nw.nodes[nb].operational() {
+		for _, e := range cur.node.edges {
+			if visited[e.n.id] || !e.n.operational() {
 				continue
 			}
-			visited[nb] = true
-			next[nb] = cur.first
-			queue = append(queue, qe{nb, cur.first})
+			visited[e.n.id] = true
+			next[e.n.id] = cur.first
+			queue = append(queue, qe{e.n, cur.first})
 		}
 	}
 	return next
@@ -391,7 +564,7 @@ func (nw *Network) bfsFrom(src NodeID) map[NodeID]NodeID {
 // NextHop returns the first hop on the route src->dst, recomputing routes
 // if the topology changed. ok is false when dst is unreachable.
 func (nw *Network) NextHop(src, dst NodeID) (NodeID, bool) {
-	if nw.dirty {
+	if nw.routesDirty {
 		nw.recomputeRoutes()
 	}
 	hop, ok := nw.routes[src][dst]
@@ -404,7 +577,7 @@ func (nw *Network) HopCount(a, b NodeID) int {
 	if a == b {
 		return 0
 	}
-	if nw.dirty {
+	if nw.routesDirty {
 		nw.recomputeRoutes()
 	}
 	hops := 0

@@ -15,6 +15,14 @@ func lossless(delay time.Duration) LinkParams {
 	return LinkParams{Delay: delay}
 }
 
+// keep deep-copies a delivered packet: handlers must not retain the pooled
+// packet itself (see Handler).
+func keep(p *Packet) *Packet {
+	q := *p
+	q.Path = append([]NodeID(nil), p.Path...)
+	return &q
+}
+
 func TestUnicastOneHop(t *testing.T) {
 	s := sched.NewVirtual()
 	nw := New(s, 1)
@@ -23,7 +31,7 @@ func TestUnicastOneHop(t *testing.T) {
 	nw.AddLink("a", "b", lossless(2*time.Millisecond))
 	var got *Packet
 	var at time.Time
-	b.SetHandler(func(p *Packet) { got = p; at = s.Now() })
+	b.SetHandler(func(p *Packet) { got = keep(p); at = s.Now() })
 	start := s.Now()
 	s.Go("send", func() {
 		if _, ok := a.Send(Unicast("b"), "test", []byte("hello")); !ok {
@@ -55,7 +63,7 @@ func TestUnicastMultiHopRoutingAndPath(t *testing.T) {
 	nw := New(s, 1)
 	ids := BuildChain(nw, "n", 5, NodeParams{}, lossless(time.Millisecond))
 	var got *Packet
-	nw.Node(ids[4]).SetHandler(func(p *Packet) { got = p })
+	nw.Node(ids[4]).SetHandler(func(p *Packet) { got = keep(p) })
 	s.Go("send", func() { nw.Node(ids[0]).Send(Unicast(ids[4]), "t", []byte("x")) })
 	if err := s.Run(); err != nil {
 		t.Fatal(err)
@@ -344,7 +352,7 @@ func TestInterfaceDownExcludesFromRouting(t *testing.T) {
 		t.Fatalf("initial hop count = %d", nw.HopCount(ids[0], ids[2]))
 	}
 	var got *Packet
-	nw.Node(ids[2]).SetHandler(func(p *Packet) { got = p })
+	nw.Node(ids[2]).SetHandler(func(p *Packet) { got = keep(p) })
 	s.Go("t", func() {
 		nw.Node(ids[1]).SetInterface(false) // midpoint dies
 		if hc := nw.HopCount(ids[0], ids[2]); hc != 3 {
@@ -583,8 +591,8 @@ func TestResetRunStateClearsDedupAndQueue(t *testing.T) {
 	if err := s.RunFor(time.Millisecond); err != nil {
 		t.Fatal(err)
 	}
-	if a.queued != 0 {
-		t.Fatalf("queued = %d after reset", a.queued)
+	if a.queueLen() != 0 {
+		t.Fatalf("queued = %d after reset", a.queueLen())
 	}
 	if len(a.seen) != 0 {
 		t.Fatalf("seen = %d after reset", len(a.seen))

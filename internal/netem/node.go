@@ -4,27 +4,42 @@ import (
 	"math/rand"
 	"time"
 
-	"excovery/internal/sched"
 	"excovery/internal/vclock"
 )
 
-// Handler receives packets addressed to a node. It runs in scheduler task
-// context and may use all scheduler primitives.
+// Handler receives packets addressed to a node. It runs inline on the
+// delivery path, so it must not block on scheduler primitives (Sleep,
+// Cond.Wait, Queue.Pop) — use ScheduleFunc or a task for deferred work —
+// and it must not retain p or p.Path beyond the call: the packet returns
+// to the shard's pool when the handler returns. Payload may be retained;
+// payload buffers are never pooled.
 type Handler func(p *Packet)
 
 // Node is one emulated network node.
 type Node struct {
 	id     NodeID
 	net    *Network
+	sh     *shardState
 	params NodeParams
 	clock  vclock.Clock
 	rng    *rand.Rand
-	rxName string // "rx <id>" timer label, precomputed (per-packet hot)
 
 	handler Handler
 
-	egress  *sched.Queue[*transmission]
-	queued  int // packets currently in egress (for tail drop)
+	// ring/head form the egress FIFO of queued radio transmissions; cur
+	// and curTx hold the transmission currently being serialized. pumping
+	// is true from the moment a transmission is queued on an idle radio
+	// until the ring drains — the event-driven replacement of the old
+	// per-node pump daemon task.
+	ring    []transmission
+	head    int
+	cur     transmission
+	curTx   time.Duration
+	pumping bool
+	// busyUntil is the CSMA medium reservation on this node (written by
+	// the node itself and its same-shard neighbors).
+	busyUntil time.Time
+
 	up      bool
 	rxDown  bool
 	txDown  bool
@@ -40,13 +55,22 @@ type Node struct {
 
 	rules []*Rule
 	seen  map[uint64]bool // flood duplicate suppression
+	// member is the node's multicast-membership snapshot, maintained by
+	// Join/Leave so the flood delivery check is one lookup on node-local
+	// state.
+	member map[string]bool
+	// edges is the node's outgoing-link snapshot (sorted by target id),
+	// rebuilt by Network.ensureEdges on topology mutation.
+	edges []edge
 
 	// m holds the node's pre-resolved instruments (metrics.go); the zero
 	// value keeps the data path uninstrumented and allocation-free.
 	m nodeMetrics
 }
 
-// transmission is one queued radio transmission.
+// transmission is one queued radio transmission. The transmission owns its
+// packet: duplication rules enqueue an independent clone, never a shared
+// pointer, so recycling one copy cannot alias the other.
 type transmission struct {
 	pkt *Packet
 	// nextHop is the unicast relay target; zero for flood transmissions.
@@ -69,7 +93,7 @@ func (n *Node) Clock() vclock.Clock { return n.clock }
 // clock deviation).
 func (n *Node) SetClock(c vclock.Clock) {
 	if c == nil {
-		c = vclock.Perfect{S: n.net.s}
+		c = vclock.Perfect{S: n.sh.s}
 	}
 	n.clock = c
 }
@@ -90,20 +114,49 @@ func (n *Node) Captures() []Capture { return n.captures }
 // ClearCaptures drops captured packets (between runs).
 func (n *Node) ClearCaptures() { n.captures = nil }
 
+// queueLen returns the egress ring occupancy.
+func (n *Node) queueLen() int { return len(n.ring) - n.head }
+
+func (n *Node) pushRing(x transmission) {
+	n.ring = append(n.ring, x)
+}
+
+func (n *Node) popRing() transmission {
+	x := n.ring[n.head]
+	n.ring[n.head] = transmission{}
+	n.head++
+	if n.head == len(n.ring) {
+		n.ring = n.ring[:0]
+		n.head = 0
+	}
+	return x
+}
+
+// drainRing discards all queued transmissions, recycling their packets.
+func (n *Node) drainRing() {
+	for n.queueLen() > 0 {
+		x := n.popRing()
+		n.sh.freePacket(x.pkt)
+	}
+	n.m.queueDepth.Set(0)
+}
+
+// drainPausedQ discards the paused-process receive buffer.
+func (n *Node) drainPausedQ() {
+	for _, p := range n.pausedQ {
+		n.sh.freePacket(p)
+	}
+	n.pausedQ = nil
+}
+
 // ResetRunState clears per-run transient state: flood duplicate suppression
 // and queued packets are discarded, reproducing the preparation-phase
 // requirement that "network packets generated in previous runs must be
 // dropped on all participants" (§IV-C1).
 func (n *Node) ResetRunState() {
 	n.seen = make(map[uint64]bool)
-	for {
-		if _, ok := n.egress.TryPop(); !ok {
-			break
-		}
-		n.queued--
-	}
-	n.m.queueDepth.Set(int64(n.queued))
-	n.pausedQ = nil
+	n.drainRing()
+	n.drainPausedQ()
 	n.paused = false
 	n.stress = 0
 	n.SetKilled(false)
@@ -119,8 +172,9 @@ func (n *Node) SetInterface(up bool) {
 	if n.up == up {
 		return
 	}
+	n.net.frozenTopo()
 	n.up = up
-	n.net.dirty, n.net.nbrs = true, nil
+	n.net.routesDirty = true
 }
 
 // SetInterfaceDir blocks only one direction, implementing the directional
@@ -145,18 +199,13 @@ func (n *Node) SetKilled(on bool) {
 	if n.killed == on {
 		return
 	}
+	n.net.frozenTopo()
 	n.killed = on
 	if on {
-		for {
-			if _, ok := n.egress.TryPop(); !ok {
-				break
-			}
-			n.queued--
-		}
-		n.m.queueDepth.Set(int64(n.queued))
-		n.pausedQ = nil
+		n.drainRing()
+		n.drainPausedQ()
 	}
-	n.net.dirty, n.net.nbrs = true, nil
+	n.net.routesDirty = true
 }
 
 // Paused reports whether the node's process is paused.
@@ -178,8 +227,8 @@ func (n *Node) SetPaused(on bool) {
 	q := n.pausedQ
 	n.pausedQ = nil
 	for _, p := range q {
-		p := p
-		n.net.s.ScheduleFunc(0, n.rxName, func() { n.process(p) })
+		p.rcv = n
+		n.sh.s.ScheduleEvent(0, processEvent, p)
 	}
 }
 
@@ -200,12 +249,16 @@ func (n *Node) capture(p *Packet, dir CaptureDir) {
 	if !n.capturing {
 		return
 	}
-	n.captures = append(n.captures, Capture{
+	c := Capture{
 		Time: n.clock.Now(),
 		Dir:  dir,
 		Node: n.id,
 		Pkt:  *p,
-	})
+	}
+	// The live packet is pooled; the capture needs its own Path copy.
+	c.Pkt.Path = append([]NodeID(nil), p.Path...)
+	c.Pkt.rcv = nil
+	n.captures = append(n.captures, c)
 }
 
 // Send originates a packet from this node. For unicast destinations it is
@@ -213,156 +266,214 @@ func (n *Node) capture(p *Packet, dir CaptureDir) {
 // assigned packet ID; ok is false if the packet was dropped locally (down
 // interface, full queue, tx rule, or no route).
 func (n *Node) Send(dst Dest, proto string, payload []byte) (id uint64, ok bool) {
-	nw := n.net
-	nw.stats.Sent++
+	sh := n.sh
+	sh.stats.Sent++
 	n.m.sent.Inc()
-	nw.pktSeq++
-	p := &Packet{
-		ID:      nw.pktSeq,
-		Src:     n.id,
-		Dst:     dst,
-		Proto:   proto,
-		Payload: payload,
-		TTL:     nw.DefaultTTL,
-		Path:    []NodeID{n.id},
-		SentAt:  nw.s.Now(),
-	}
+	sh.pktSeq++
+	p := sh.newPacket()
+	p.ID = sh.pktSeq*uint64(len(n.net.shards)) + uint64(sh.idx)
+	p.Src = n.id
+	p.Dst = dst
+	p.Proto = proto
+	p.Payload = payload
+	p.TTL = n.net.DefaultTTL
+	p.Path = append(p.Path, n.id)
+	p.SentAt = sh.s.Now()
 	if n.tagging {
 		n.tag++
 		p.Tag = n.tag
 	}
-	// Originating node has seen its own flood packet.
-	n.seen[p.ID] = true
-	return p.ID, n.enqueue(p)
+	// Originating node has seen its own flood packet. Unicast IDs never
+	// consult the map, so the steady-state unicast path stays free of map
+	// growth.
+	if !dst.IsUnicast() {
+		n.seen[p.ID] = true
+	}
+	id = p.ID
+	return id, n.enqueue(p)
 }
 
-// enqueue pushes a packet into the egress queue, applying tx admission
+// enqueue pushes a packet into the egress ring, applying tx admission
 // (interface state, rules, tail drop). It is used for both originated and
-// forwarded packets.
+// forwarded packets and takes ownership of p: on admission the ring owns
+// it, on any refusal it is recycled.
 func (n *Node) enqueue(p *Packet) bool {
 	nw := n.net
+	sh := n.sh
 	if !n.up || n.txDown {
 		n.drop(DropIfDown)
+		sh.freePacket(p)
 		return false
 	}
 	if n.killed || n.paused {
 		// A killed or frozen process cannot send; attempts by its still-
 		// scheduled tasks are discarded.
 		n.drop(DropProc)
+		sh.freePacket(p)
 		return false
 	}
 	v := n.evalRules(p, CaptureTx)
 	if v.drop {
 		n.drop(DropRule)
+		sh.freePacket(p)
 		return false
 	}
-	x := &transmission{pkt: p, extraDelay: v.delay}
+	x := transmission{pkt: p, extraDelay: v.delay}
 	if p.Dst.IsUnicast() && p.Dst.Node != n.id {
 		hop, ok := nw.NextHop(n.id, p.Dst.Node)
 		if !ok {
 			n.drop(DropNoRoute)
+			sh.freePacket(p)
 			return false
 		}
 		x.nextHop = hop
 	}
-	if n.queued >= n.params.QueueLen {
+	if n.queueLen() >= n.params.QueueLen {
 		n.drop(DropQueue)
+		sh.freePacket(p)
 		return false
 	}
-	n.queued++
-	n.egress.Push(x)
-	if v.dup && n.queued < n.params.QueueLen {
-		// Duplicate rule: queue a second copy of the same transmission.
-		// The copy bypasses rule evaluation so a duplication probability
-		// of 1 cannot cascade.
-		nw.stats.RuleDuplicates++
+	n.pushRing(x)
+	if v.dup && n.queueLen() < n.params.QueueLen {
+		// Duplicate rule: queue a second copy of the transmission, as an
+		// independent clone (pool ownership). The copy bypasses rule
+		// evaluation so a duplication probability of 1 cannot cascade.
+		sh.stats.RuleDuplicates++
 		n.m.dupRule.Inc()
-		n.queued++
-		n.egress.Push(&transmission{pkt: p, nextHop: x.nextHop, extraDelay: v.delay})
+		n.pushRing(transmission{pkt: p.cloneInto(sh.newPacket()), nextHop: x.nextHop, extraDelay: v.delay})
 	}
-	n.m.queueDepth.Set(int64(n.queued))
+	n.m.queueDepth.Set(int64(n.queueLen()))
+	if !n.pumping {
+		// Idle radio: start the pump at the current instant, in the same
+		// runnable-FIFO position the old pump daemon's wakeup took.
+		n.pumping = true
+		sh.s.PostEvent(pumpNextEvent, n)
+	}
 	return true
 }
 
-// pump serializes transmissions at the node's radio rate. One daemon task
-// per node.
-func (n *Node) pump() {
-	for {
-		x, ok := n.egress.Pop()
-		if !ok {
-			return
-		}
-		n.queued--
-		n.m.queueDepth.Set(int64(n.queued))
-		// Serialization: the radio occupies the medium for size*8/rate.
-		// Rule-injected delay does NOT occupy the medium; it is applied
-		// per propagation below, like a real qdisc netem delay.
-		txTime := time.Duration(float64(x.pkt.WireSize()*8) / float64(n.params.RateBps) * float64(time.Second))
-		if n.stress > 0 {
-			txTime = time.Duration(float64(txTime) * (1 + n.stress))
-		}
-		if n.net.Contention {
-			// CSMA-style deferral: wait while any neighbor occupies the
-			// channel, with a small random backoff against lockstep.
-			for {
-				busy := n.net.busyUntil[n.id]
-				now := n.net.s.Now()
-				if !busy.After(now) {
-					break
-				}
-				n.net.s.Sleep(busy.Sub(now) + time.Duration(n.rng.Int63n(int64(50*time.Microsecond))))
-			}
-			// Reserve the channel at the sender and all its neighbors.
-			until := n.net.s.Now().Add(txTime)
-			if until.After(n.net.busyUntil[n.id]) {
-				n.net.busyUntil[n.id] = until
-			}
-			for _, nb := range n.net.neighbors(n.id) {
-				if until.After(n.net.busyUntil[nb]) {
-					n.net.busyUntil[nb] = until
-				}
-			}
-		}
-		n.net.s.Sleep(txTime)
-		if !n.up || n.txDown || n.killed {
-			n.drop(DropIfDown)
-			continue
-		}
-		n.transmit(x)
-	}
+// The pump serializes transmissions at the node's radio rate. It is a
+// per-node event chain rather than a daemon task: pumpNext pops the next
+// transmission and either defers on a busy medium (pumpRetryEvent) or
+// reserves the channel and schedules the end of serialization
+// (pumpTxDoneEvent), which transmits and continues with the next queued
+// transmission.
+
+func pumpNextEvent(now time.Time, arg any) {
+	arg.(*Node).pumpNext(now)
 }
 
-// transmit propagates one radio transmission to its neighbor(s).
-func (n *Node) transmit(x *transmission) {
-	nw := n.net
-	nw.stats.Transmissions++
+func pumpRetryEvent(now time.Time, arg any) {
+	arg.(*Node).contendOrTransmit(now)
+}
+
+func pumpTxDoneEvent(now time.Time, arg any) {
+	n := arg.(*Node)
+	x := n.cur
+	n.cur = transmission{}
+	if !n.up || n.txDown || n.killed {
+		n.drop(DropIfDown)
+		n.sh.freePacket(x.pkt)
+	} else {
+		n.transmit(x, now)
+	}
+	if n.queueLen() > 0 {
+		n.pumpNext(now)
+		return
+	}
+	n.pumping = false
+}
+
+func (n *Node) pumpNext(now time.Time) {
+	if n.queueLen() == 0 {
+		// The ring was drained (reset, kill) between the pump activation
+		// and this event.
+		n.pumping = false
+		return
+	}
+	if n.net.edgesDirty {
+		n.net.ensureEdges()
+	}
+	x := n.popRing()
+	n.m.queueDepth.Set(int64(n.queueLen()))
+	// Serialization: the radio occupies the medium for size*8/rate.
+	// Rule-injected delay does NOT occupy the medium; it is applied
+	// per propagation below, like a real qdisc netem delay.
+	txTime := time.Duration(float64(x.pkt.WireSize()*8) / float64(n.params.RateBps) * float64(time.Second))
+	if n.stress > 0 {
+		txTime = time.Duration(float64(txTime) * (1 + n.stress))
+	}
+	n.cur = x
+	n.curTx = txTime
+	n.contendOrTransmit(now)
+}
+
+func (n *Node) contendOrTransmit(now time.Time) {
+	if n.net.Contention {
+		// CSMA-style deferral: wait while any neighbor occupies the
+		// channel, with a small random backoff against lockstep.
+		if n.busyUntil.After(now) {
+			wait := n.busyUntil.Sub(now) + time.Duration(n.rng.Int63n(int64(50*time.Microsecond)))
+			n.sh.s.ScheduleEvent(wait, pumpRetryEvent, n)
+			return
+		}
+		// Reserve the channel at the sender and all its (same-shard)
+		// neighbors.
+		until := now.Add(n.curTx)
+		if until.After(n.busyUntil) {
+			n.busyUntil = until
+		}
+		for _, e := range n.edges {
+			if e.n.sh == n.sh && until.After(e.n.busyUntil) {
+				e.n.busyUntil = until
+			}
+		}
+	}
+	n.sh.s.ScheduleEvent(n.curTx, pumpTxDoneEvent, n)
+}
+
+// transmit propagates one radio transmission to its neighbor(s) and
+// recycles the transmission's packet.
+func (n *Node) transmit(x transmission, now time.Time) {
+	sh := n.sh
+	sh.stats.Transmissions++
 	n.m.transmit.Inc()
 	n.capture(x.pkt, CaptureTx)
 	if x.pkt.Dst.IsUnicast() {
 		if x.pkt.Dst.Node == n.id {
 			// Loopback delivery.
-			n.receive(x.pkt.clone())
+			q := x.pkt.cloneInto(sh.newPacket())
+			sh.freePacket(x.pkt)
+			n.receive(q, now)
 			return
 		}
-		n.propagate(x.pkt, x.nextHop, x.extraDelay)
+		n.propagate(x.pkt, x.nextHop, x.extraDelay, now)
+		sh.freePacket(x.pkt)
 		return
 	}
 	// Flood: one transmission reaches every neighbor, each with an
-	// independent loss draw.
-	for _, nb := range nw.neighbors(n.id) {
-		n.propagate(x.pkt, nb, x.extraDelay)
+	// independent loss draw. The precomputed edge snapshot replaces the
+	// per-transmission neighbor lookup.
+	for _, e := range n.edges {
+		n.propagateLink(x.pkt, e.n, e.lp, x.extraDelay, now)
 	}
+	sh.freePacket(x.pkt)
 }
 
-// propagate models the link from n to neighbor nb: loss, delay, jitter,
-// plus any rule-injected extra delay.
-func (n *Node) propagate(p *Packet, nb NodeID, extra time.Duration) {
-	nw := n.net
-	lp := nw.links[n.id][nb]
+// propagate models the unicast hop from n to neighbor nb.
+func (n *Node) propagate(p *Packet, nb NodeID, extra time.Duration, now time.Time) {
+	lp := n.net.links[n.id][nb]
 	if lp == nil {
 		n.drop(DropNoRoute)
 		return
 	}
+	n.propagateLink(p, n.net.nodes[nb], lp, extra, now)
+}
+
+// propagateLink models the link from n to target: loss, delay, jitter,
+// plus any rule-injected extra delay. The delivery is an independently
+// owned clone of p, scheduled as an inline event on the target's shard.
+func (n *Node) propagateLink(p *Packet, target *Node, lp *LinkParams, extra time.Duration, now time.Time) {
 	if lp.Burst != nil {
 		b := lp.Burst
 		if lp.burstBad {
@@ -390,18 +501,48 @@ func (n *Node) propagate(p *Packet, nb NodeID, extra time.Duration) {
 	if lp.Jitter > 0 {
 		delay += time.Duration(n.rng.Int63n(int64(lp.Jitter)))
 	}
-	target := nw.nodes[nb]
-	q := p.clone()
-	nw.s.ScheduleFunc(delay, target.rxName, func() {
-		target.receive(q)
-	})
+	q := p.cloneInto(n.sh.newPacket())
+	q.rcv = target
+	if target.sh == n.sh {
+		n.sh.s.ScheduleEvent(delay, receiveEvent, q)
+	} else {
+		n.net.g.Post(target.sh.idx, n.sh.idx, now.Add(delay), receiveEvent, q)
+	}
+}
+
+// receiveEvent is the arrival of one packet at its target node; the target
+// rides in the packet's in-flight rcv field so the event needs no closure.
+func receiveEvent(now time.Time, arg any) {
+	q := arg.(*Packet)
+	t := q.rcv
+	q.rcv = nil
+	t.receive(q, now)
+}
+
+// processEvent re-enters process for a packet buffered during a process
+// pause.
+func processEvent(now time.Time, arg any) {
+	p := arg.(*Packet)
+	t := p.rcv
+	p.rcv = nil
+	t.process(p, now)
+}
+
+// processResumeEvent continues process after a rule-injected rx delay.
+func processResumeEvent(now time.Time, arg any) {
+	p := arg.(*Packet)
+	t := p.rcv
+	dup := p.rxDup
+	p.rcv, p.rxDup = nil, false
+	t.processAfterDelay(p, dup, now)
 }
 
 // receive admits an arriving packet: capture happens at the NIC, then the
-// packet is either buffered (paused process) or processed.
-func (n *Node) receive(p *Packet) {
+// packet is either buffered (paused process) or processed. receive owns p.
+func (n *Node) receive(p *Packet, now time.Time) {
 	if !n.up || n.rxDown || n.killed {
 		n.drop(DropIfDown)
+		n.sh.freePacket(p)
 		return
 	}
 	p.Path = append(p.Path, n.id)
@@ -409,45 +550,62 @@ func (n *Node) receive(p *Packet) {
 	if n.paused {
 		if len(n.pausedQ) >= n.params.QueueLen {
 			n.drop(DropProc)
+			n.sh.freePacket(p)
 			return
 		}
 		n.pausedQ = append(n.pausedQ, p)
 		return
 	}
-	n.process(p)
+	n.process(p, now)
 }
 
-// process runs rx rules, duplicate suppression, local delivery and
-// forwarding/reflooding on an admitted packet. Packets buffered during a
-// process pause resume here when the node is unpaused.
-func (n *Node) process(p *Packet) {
-	nw := n.net
+// process runs rx rules on an admitted packet; a rule-injected delay
+// parks the packet on a continuation event instead of blocking (the old
+// task-based path slept here). Packets buffered during a process pause
+// resume here when the node is unpaused.
+func (n *Node) process(p *Packet, now time.Time) {
 	v := n.evalRules(p, CaptureRx)
 	if v.drop {
 		n.drop(DropRule)
+		n.sh.freePacket(p)
 		return
 	}
 	if v.delay > 0 {
-		nw.s.Sleep(v.delay)
+		p.rcv = n
+		p.rxDup = v.dup
+		n.sh.s.ScheduleEvent(v.delay, processResumeEvent, p)
+		return
 	}
+	n.processAfterDelay(p, v.dup, now)
+}
 
+// processAfterDelay performs duplicate suppression, local delivery and
+// forwarding/reflooding.
+func (n *Node) processAfterDelay(p *Packet, dup bool, now time.Time) {
+	sh := n.sh
 	if p.Dst.IsUnicast() {
 		if p.Dst.Node == n.id {
 			n.deliver(p)
-			if v.dup {
-				nw.stats.RuleDuplicates++
+			if dup {
+				sh.stats.RuleDuplicates++
 				n.m.dupRule.Inc()
-				n.deliver(p.clone())
+				c := p.cloneInto(sh.newPacket())
+				n.deliver(c)
+				sh.freePacket(c)
 			}
+			sh.freePacket(p)
 			return
 		}
-		// Relay.
-		n.enqueue(p)
-		if v.dup {
-			nw.stats.RuleDuplicates++
+		// Relay. The duplicate clone is taken before enqueue consumes p.
+		if dup {
+			c := p.cloneInto(sh.newPacket())
+			n.enqueue(p)
+			sh.stats.RuleDuplicates++
 			n.m.dupRule.Inc()
-			n.enqueue(p.clone())
+			n.enqueue(c)
+			return
 		}
+		n.enqueue(p)
 		return
 	}
 
@@ -455,29 +613,35 @@ func (n *Node) process(p *Packet) {
 	// flood packet delivers twice but refloods once: the copy would be
 	// suppressed by every receiver's seen map anyway.
 	if n.seen[p.ID] {
-		nw.stats.Duplicates++
+		sh.stats.Duplicates++
 		n.m.dupFlood.Inc()
+		sh.freePacket(p)
 		return
 	}
 	n.seen[p.ID] = true
-	if p.Dst.Broadcast || nw.InGroup(p.Dst.Group, n.id) {
+	if p.Dst.Broadcast || n.member[p.Dst.Group] {
 		n.deliver(p)
-		if v.dup {
-			nw.stats.RuleDuplicates++
+		if dup {
+			sh.stats.RuleDuplicates++
 			n.m.dupRule.Inc()
-			n.deliver(p.clone())
+			c := p.cloneInto(sh.newPacket())
+			n.deliver(c)
+			sh.freePacket(c)
 		}
 	}
 	p.TTL--
 	if p.TTL <= 0 {
 		n.drop(DropTTL)
+		n.sh.freePacket(p)
 		return
 	}
 	n.enqueue(p)
 }
 
+// deliver hands p to the node handler; the caller retains ownership (the
+// handler must not keep the packet, see Handler).
 func (n *Node) deliver(p *Packet) {
-	n.net.stats.Delivered++
+	n.sh.stats.Delivered++
 	n.m.delivered.Inc()
 	if n.handler != nil {
 		n.handler(p)

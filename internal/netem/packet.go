@@ -75,6 +75,13 @@ type Packet struct {
 	Path []NodeID
 	// SentAt is the global virtual time the packet left its source.
 	SentAt time.Time
+
+	// In-flight routing state, carried while the packet rides a scheduled
+	// delivery event so the event needs no closure allocation. Unexported:
+	// never serialized, cleared before the packet reaches a handler or a
+	// capture.
+	rcv   *Node // delivery / continuation target
+	rxDup bool  // rx duplication verdict across a rule-delay continuation
 }
 
 // WireSize returns the size used for serialization-delay computation.
@@ -90,12 +97,15 @@ func (p *Packet) String() string {
 		p.ID, p.Tag, p.Src, p.Dst, p.Proto, len(p.Payload), p.Path)
 }
 
-// clone returns a copy of p with an independently growable Path, for
-// per-hop bookkeeping of flooded packets.
-func (p *Packet) clone() *Packet {
-	q := *p
-	q.Path = append([]NodeID(nil), p.Path...)
-	return &q
+// cloneInto copies p into the pooled packet q (reusing q's Path capacity)
+// and returns q. The clone is independently owned: recycling one copy can
+// never alias the other. Payload is shared — it is immutable between hops
+// and never pooled.
+func (p *Packet) cloneInto(q *Packet) *Packet {
+	path := q.Path
+	*q = *p
+	q.Path = append(path[:0], p.Path...)
+	return q
 }
 
 // CaptureDir distinguishes transmit from receive captures.

@@ -1,0 +1,199 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Group coordinates several shard schedulers under conservative-lookahead
+// parallel discrete-event simulation. Each member owns a disjoint set of
+// tasks and events (in the emulator: a disjoint set of nodes) and runs its
+// window on its own goroutine, so independent shards advance in parallel
+// between cross-shard events.
+//
+// The merge rule: every barrier computes tmin, the minimum NextEventTime
+// over all members, and runs each member up to the window end W = tmin +
+// lookahead. An event one shard sends to another must be timestamped at
+// least lookahead after the sender's current time (in the emulator this is
+// guaranteed by requiring cross-shard link delays ≥ lookahead), so it
+// always lands at or beyond W — outside the window every member is
+// currently executing. Cross-shard events are collected in per-member
+// inboxes and installed at the next barrier in (when, source shard, source
+// sequence) order, which is a total order independent of goroutine timing:
+// the same seeds produce byte-identical runs at any GOMAXPROCS.
+type Group struct {
+	members   []*Scheduler
+	lookahead time.Duration
+
+	// BeforeWindow, when set, runs at every barrier while all members are
+	// idle — single-threaded, so it may rebuild state the shards read
+	// concurrently during windows (topology snapshots, routing tables).
+	BeforeWindow func()
+
+	mu        sync.Mutex
+	inboxes   [][]groupEvent
+	postSeq   []uint64  // per-source post counter; source order is deterministic
+	windowEnd time.Time // current window end, for the lookahead guard
+	inWindow  bool
+}
+
+// groupEvent is one cross-shard event awaiting installation at a barrier.
+type groupEvent struct {
+	when   time.Time
+	src    int
+	srcSeq uint64
+	fn     func(now time.Time, arg any)
+	arg    any
+}
+
+// NewGroup creates a group over the given member schedulers. lookahead must
+// be positive: it is the minimum virtual-time distance of any cross-shard
+// event from its sender's clock, and the width of the parallel window.
+// All members must be Virtual-mode schedulers.
+func NewGroup(lookahead time.Duration, members ...*Scheduler) *Group {
+	if lookahead <= 0 {
+		panic("sched: group lookahead must be positive")
+	}
+	if len(members) == 0 {
+		panic("sched: group needs at least one member")
+	}
+	for _, m := range members {
+		if m.Mode() != Virtual {
+			panic("sched: group members must be virtual-mode schedulers")
+		}
+		m.setMember(true)
+	}
+	return &Group{
+		members:   members,
+		lookahead: lookahead,
+		inboxes:   make([][]groupEvent, len(members)),
+		postSeq:   make([]uint64, len(members)),
+	}
+}
+
+// Members returns the member schedulers in shard order.
+func (g *Group) Members() []*Scheduler { return g.members }
+
+// Lookahead returns the group's lookahead window width.
+func (g *Group) Lookahead() time.Duration { return g.lookahead }
+
+// Post queues fn(when, arg) for execution on member dst at virtual time
+// when, on behalf of member src. It is safe to call from any member's
+// tasks or events while the group runs. when must be at least lookahead
+// after the sender's clock; posts that land inside the currently running
+// window are a lookahead violation and panic, because the destination may
+// already have advanced past them.
+func (g *Group) Post(dst, src int, when time.Time, fn func(now time.Time, arg any), arg any) {
+	g.mu.Lock()
+	if g.inWindow && when.Before(g.windowEnd) {
+		end := g.windowEnd
+		g.mu.Unlock()
+		panic(fmt.Sprintf("sched: group post at %s inside window ending %s (lookahead violation)",
+			when.Format(time.RFC3339Nano), end.Format(time.RFC3339Nano)))
+	}
+	g.postSeq[src]++
+	g.inboxes[dst] = append(g.inboxes[dst], groupEvent{
+		when: when, src: src, srcSeq: g.postSeq[src], fn: fn, arg: arg,
+	})
+	g.mu.Unlock()
+}
+
+// Run drives the group until every member is quiescent and no cross-shard
+// event is pending. It returns nil on completion, the first member error
+// (panic, stop) otherwise, or a DeadlockError naming blocked tasks across
+// all shards when no member can make progress.
+func (g *Group) Run() error { return g.run(time.Time{}) }
+
+// RunUntil drives the group until virtual time reaches deadline. As with
+// Scheduler.RunUntil, events at or after the deadline stay pending.
+func (g *Group) RunUntil(deadline time.Time) error { return g.run(deadline) }
+
+func (g *Group) run(deadline time.Time) error {
+	for {
+		// Barrier: all members idle. Rebuild shared state, then install
+		// the cross-shard events collected during the last window.
+		if g.BeforeWindow != nil {
+			g.BeforeWindow()
+		}
+		g.installInboxes()
+
+		// Find the globally earliest pending event.
+		var tmin time.Time
+		any := false
+		for _, m := range g.members {
+			if when, ok := m.NextEventTime(); ok && (!any || when.Before(tmin)) {
+				tmin, any = when, true
+			}
+		}
+		if !any {
+			var blocked []string
+			for _, m := range g.members {
+				blocked = append(blocked, m.BlockedTasks()...)
+			}
+			if len(blocked) > 0 {
+				sort.Strings(blocked)
+				return &DeadlockError{Now: g.members[0].Now(), Blocked: blocked}
+			}
+			return nil
+		}
+		if !deadline.IsZero() && !tmin.Before(deadline) {
+			return nil
+		}
+		end := tmin.Add(g.lookahead)
+		if !deadline.IsZero() && end.After(deadline) {
+			end = deadline
+		}
+
+		// Window: run every member up to end, in parallel.
+		g.mu.Lock()
+		g.windowEnd = end
+		g.inWindow = true
+		g.mu.Unlock()
+		errs := make([]error, len(g.members))
+		var wg sync.WaitGroup
+		for i, m := range g.members {
+			wg.Add(1)
+			go func(i int, m *Scheduler) {
+				defer wg.Done()
+				errs[i] = m.RunUntil(end)
+			}(i, m)
+		}
+		wg.Wait()
+		g.mu.Lock()
+		g.inWindow = false
+		g.mu.Unlock()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// installInboxes moves pending cross-shard events into their destination
+// schedulers in (when, src, srcSeq) order — the deterministic merge.
+func (g *Group) installInboxes() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for dst, box := range g.inboxes {
+		if len(box) == 0 {
+			continue
+		}
+		sort.Slice(box, func(i, j int) bool {
+			a, b := box[i], box[j]
+			if !a.when.Equal(b.when) {
+				return a.when.Before(b.when)
+			}
+			if a.src != b.src {
+				return a.src < b.src
+			}
+			return a.srcSeq < b.srcSeq
+		})
+		for _, ev := range box {
+			g.members[dst].ScheduleEventAt(ev.when, ev.fn, ev.arg)
+		}
+		g.inboxes[dst] = box[:0]
+	}
+}

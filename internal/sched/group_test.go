@@ -1,0 +1,164 @@
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// groupDigest runs a two-member ping-pong workload whose cross-shard
+// events branch and re-post, and returns a per-shard transcript of every
+// event execution. The workload is deterministic by construction; the
+// digest must therefore be invariant under GOMAXPROCS and repetition.
+func groupDigest(procs int) string {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+	const lookahead = 5 * time.Millisecond
+	a, b := NewVirtual(), NewVirtual()
+	g := NewGroup(lookahead, a, b)
+	members := []*Scheduler{a, b}
+	logs := make([][]string, 2) // written only by the owning shard
+
+	// Each event logs itself and re-posts to the other shard until the
+	// hop budget is spent; odd hops also fork a second, longer-delayed
+	// event so inbox installation has to order multiple pending events.
+	var hop func(now time.Time, arg any)
+	type msg struct {
+		shard int
+		hops  int
+		label string
+	}
+	hop = func(now time.Time, arg any) {
+		m := arg.(*msg)
+		logs[m.shard] = append(logs[m.shard],
+			fmt.Sprintf("%s shard%d %s", now.Format(time.RFC3339Nano), m.shard, m.label))
+		if m.hops <= 0 {
+			return
+		}
+		dst := 1 - m.shard
+		g.Post(dst, m.shard, now.Add(lookahead), hop, &msg{shard: dst, hops: m.hops - 1, label: m.label + ">"})
+		if m.hops%2 == 1 {
+			g.Post(dst, m.shard, now.Add(2*lookahead), hop, &msg{shard: dst, hops: m.hops - 2, label: m.label + "+"})
+		}
+	}
+	for i, m := range members {
+		i, m := i, m
+		m.Go(fmt.Sprintf("seed%d", i), func() {
+			m.Sleep(time.Duration(i+1) * time.Millisecond)
+			g.Post(1-i, i, m.Now().Add(lookahead), hop, &msg{shard: 1 - i, hops: 6, label: fmt.Sprintf("m%d", i)})
+		})
+	}
+	if err := g.Run(); err != nil {
+		return "error: " + err.Error()
+	}
+	return strings.Join(logs[0], "\n") + "\n---\n" + strings.Join(logs[1], "\n")
+}
+
+func TestGroupDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	want := groupDigest(1)
+	if strings.HasPrefix(want, "error:") {
+		t.Fatal(want)
+	}
+	if !strings.Contains(want, "m0>>") || !strings.Contains(want, "m1>+") {
+		t.Fatalf("workload did not exercise cross-shard chains:\n%s", want)
+	}
+	for i := 0; i < 5; i++ {
+		if got := groupDigest(8); got != want {
+			t.Fatalf("run %d at GOMAXPROCS=8 diverged:\n--- want ---\n%s\n--- got ---\n%s", i, want, got)
+		}
+	}
+}
+
+func TestGroupDeadlockReportsAllShards(t *testing.T) {
+	a, b := NewVirtual(), NewVirtual()
+	g := NewGroup(time.Millisecond, a, b)
+	ca, cb := a.NewCond("ca"), b.NewCond("cb")
+	a.Go("stuck-a", func() { ca.Wait() })
+	b.Go("stuck-b", func() { cb.Wait() })
+	err := g.Run()
+	de, ok := err.(*DeadlockError)
+	if !ok {
+		t.Fatalf("err = %v, want DeadlockError", err)
+	}
+	names := strings.Join(de.Blocked, ",")
+	if !strings.Contains(names, "stuck-a") || !strings.Contains(names, "stuck-b") {
+		t.Fatalf("blocked = %v, want both shards' tasks", de.Blocked)
+	}
+}
+
+func TestGroupMemberQuiescenceIsNotDeadlock(t *testing.T) {
+	a, b := NewVirtual(), NewVirtual()
+	g := NewGroup(time.Millisecond, a, b)
+	ran := false
+	a.Go("only-a", func() { a.Sleep(3 * time.Millisecond); ran = true })
+	if err := g.Run(); err != nil {
+		t.Fatalf("Run: %v (an idle member must not report deadlock)", err)
+	}
+	if !ran {
+		t.Fatal("task did not run")
+	}
+}
+
+func TestGroupLookaheadViolationPanics(t *testing.T) {
+	a, b := NewVirtual(), NewVirtual()
+	g := NewGroup(10*time.Millisecond, a, b)
+	a.Go("violate", func() {
+		a.Sleep(time.Millisecond)
+		// Posting closer than the lookahead lands inside the running
+		// window: the violation must surface, not corrupt the merge.
+		g.Post(1, 0, a.Now().Add(time.Microsecond), func(time.Time, any) {}, nil)
+	})
+	err := g.Run()
+	if err == nil || !strings.Contains(err.Error(), "lookahead violation") {
+		t.Fatalf("err = %v, want lookahead violation", err)
+	}
+}
+
+func TestGroupRunUntilLeavesFutureWork(t *testing.T) {
+	a, b := NewVirtual(), NewVirtual()
+	g := NewGroup(time.Millisecond, a, b)
+	fired := 0
+	a.ScheduleFunc(5*time.Millisecond, "early", func() { fired++ })
+	b.ScheduleFunc(50*time.Millisecond, "late", func() { fired++ })
+	if err := g.RunUntil(a.Now().Add(20 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d, want only the pre-deadline timer", fired)
+	}
+	if err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 2 {
+		t.Fatalf("fired = %d after full run", fired)
+	}
+}
+
+// TestGroupInboxInstallOrder posts events with equal timestamps from both
+// shards and checks the (when, src, srcSeq) merge order.
+func TestGroupInboxInstallOrder(t *testing.T) {
+	a, b, c := NewVirtual(), NewVirtual(), NewVirtual()
+	g := NewGroup(time.Millisecond, a, b, c)
+	when := a.Now().Add(10 * time.Millisecond)
+	var order []string
+	rec := func(label string) func(time.Time, any) {
+		return func(time.Time, any) { order = append(order, label) }
+	}
+	// Same destination, same timestamp, different sources and post order;
+	// all posts land in the same window, so one barrier installs them all
+	// and the (when, src, srcSeq) sort decides.
+	c.Go("post-c", func() {
+		g.Post(0, 2, when, rec("c1"), nil)
+	})
+	b.Go("post-b", func() {
+		g.Post(0, 1, when, rec("b1"), nil)
+		g.Post(0, 1, when, rec("b2"), nil)
+	})
+	if err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fmt.Sprint(order), "[b1 b2 c1]"; got != want {
+		t.Fatalf("install order = %v, want %v", got, want)
+	}
+}

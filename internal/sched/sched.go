@@ -17,6 +17,14 @@
 //     point for foreign goroutines is Inject, which hands a closure to the
 //     scheduler to be run as a task.
 //
+// Besides tasks, the scheduler runs inline events: small non-blocking
+// callbacks executed directly on the controller goroutine (ScheduleEvent,
+// PostEvent). Events skip the goroutine handoff a task costs and their
+// timers are pooled, which is what makes the emulator's per-packet path
+// allocation-free. An event shares the timer heap and the runnable FIFO
+// with tasks, so tasks and events interleave in exactly the (time, seq) /
+// FIFO order determinism requires.
+//
 // The scheduler supports two modes. In Virtual mode time jumps instantly
 // from event to event; an experiment with thousands of runs completes in
 // seconds. In RealTime mode the controller sleeps the wall-clock delta
@@ -26,7 +34,6 @@
 package sched
 
 import (
-	"container/heap"
 	"fmt"
 	"runtime/debug"
 	"sort"
@@ -73,6 +80,10 @@ type task struct {
 	name  string
 	wake  chan struct{}
 	state taskState
+	// fn is the body the worker goroutine runs on its next dispatch. Task
+	// goroutines are pooled: when a task finishes, its goroutine parks and
+	// a later spawn reuses it with a fresh id, name and fn.
+	fn func()
 	// daemon tasks (network pumps, protocol agents) do not keep Run alive:
 	// when only daemons remain and nothing is scheduled, Run returns nil
 	// instead of reporting a deadlock.
@@ -92,6 +103,22 @@ type task struct {
 	// unlink it and stop its timer, and stopped timers are discarded
 	// unfired when popped.
 	cw condWaiter
+	// sleep is the task's wake timer, embedded so Sleep does not allocate
+	// a Timer per block. Sleep timers are never stopped and are always
+	// popped from the heap before the task can sleep again, so the struct
+	// is reusable the moment the task resumes.
+	sleep Timer
+}
+
+// runnableItem is one entry of the runnable FIFO: either a task to resume
+// or an inline event to run on the controller goroutine. Sharing one FIFO
+// keeps the relative order of task wakeups and posted events identical to
+// a task-only scheduler, which the byte-identity of recorded runs depends
+// on.
+type runnableItem struct {
+	t   *task
+	fn  func(now time.Time, arg any)
+	arg any
 }
 
 // DeadlockError is returned by Run when live tasks remain but none is
@@ -119,6 +146,14 @@ func (e *PanicError) Error() string {
 	return fmt.Sprintf("sched: task %q panicked: %v", e.Task, e.Value)
 }
 
+// maxIdleWorkers bounds the pool of parked task goroutines kept between
+// spawns; the pool is drained when Run returns so abandoned schedulers do
+// not pin goroutines.
+const maxIdleWorkers = 64
+
+// maxFreeTimers bounds the event-timer free list.
+const maxFreeTimers = 1024
+
 // Scheduler is a cooperative discrete-event scheduler. The zero value is not
 // usable; create one with New.
 type Scheduler struct {
@@ -129,7 +164,7 @@ type Scheduler struct {
 	now       time.Time
 	seq       uint64
 	timers    timerHeap
-	runnable  []*task
+	runnable  []runnableItem
 	tasks     map[uint64]*task // live tasks
 	current   *task
 	ctrl      chan struct{} // task -> controller: "I blocked or exited"
@@ -139,6 +174,16 @@ type Scheduler struct {
 	running   bool // a Run* call is active
 	daemons   int  // live daemon tasks
 	keepAlive bool // RealTime: stay in Run when quiescent, awaiting Inject
+	// member marks the scheduler as a shard of a Group: a Virtual-mode
+	// window that ends with blocked tasks is not a deadlock (the wakeup
+	// may arrive as a cross-shard event at the next barrier), so run
+	// returns nil and leaves the diagnosis to the group.
+	member bool
+
+	// idleWorkers holds parked task goroutines for reuse; timerFree holds
+	// recycled event timers. Both are touched only under mu.
+	idleWorkers []*task
+	timerFree   []*Timer
 
 	// stats
 	switches uint64
@@ -196,6 +241,13 @@ func (s *Scheduler) SetKeepAlive(on bool) {
 	s.keepAlive = on
 }
 
+// setMember marks the scheduler as a Group shard (see Group).
+func (s *Scheduler) setMember(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.member = on
+}
+
 // Now returns the current virtual time. It may be called from any goroutine.
 func (s *Scheduler) Now() time.Time {
 	s.mu.Lock()
@@ -235,40 +287,79 @@ func (s *Scheduler) GoDaemon(name string, fn func()) {
 
 func (s *Scheduler) spawn(name string, fn func(), daemon bool) {
 	s.mu.Lock()
-	t := s.newTaskLocked(name)
-	t.daemon = daemon
+	t, fresh := s.startTaskLocked(name, fn, daemon)
+	s.runnable = append(s.runnable, runnableItem{t: t})
+	s.mu.Unlock()
+	if fresh {
+		go s.workerBody(t)
+	}
+}
+
+// startTaskLocked allocates or reuses a task for fn and registers it as
+// live. fresh reports whether a new worker goroutine must be started.
+func (s *Scheduler) startTaskLocked(name string, fn func(), daemon bool) (t *task, fresh bool) {
+	s.seq++
+	if k := len(s.idleWorkers); k > 0 {
+		t = s.idleWorkers[k-1]
+		s.idleWorkers[k-1] = nil
+		s.idleWorkers = s.idleWorkers[:k-1]
+		t.id = s.seq
+		t.name = name
+		t.state = stateRunnable
+		t.daemon = daemon
+		t.timedOut = false
+		t.blockedOn = ""
+		t.cw = condWaiter{}
+		t.fn = fn
+	} else {
+		fresh = true
+		t = &task{id: s.seq, name: name, wake: make(chan struct{}, 1),
+			state: stateRunnable, daemon: daemon, fn: fn}
+	}
+	s.tasks[t.id] = t
 	if daemon {
 		s.daemons++
 	}
-	s.runnable = append(s.runnable, t)
-	s.mu.Unlock()
-	go s.taskBody(t, fn)
+	return t, fresh
 }
 
-func (s *Scheduler) newTaskLocked(name string) *task {
-	s.seq++
-	t := &task{id: s.seq, name: name, wake: make(chan struct{}, 1), state: stateRunnable}
-	s.tasks[t.id] = t
-	return t
+// workerBody is the goroutine behind one (possibly reused) task slot. Each
+// iteration runs one task body; between bodies the goroutine parks in the
+// idle pool. A nil fn wakes it for the last time: the pool is draining.
+func (s *Scheduler) workerBody(t *task) {
+	for {
+		<-t.wake // wait for dispatch (or pool drain)
+		fn := t.fn
+		if fn == nil {
+			return
+		}
+		t.fn = nil
+		s.runTaskFn(t, fn)
+		s.mu.Lock()
+		s.finishTaskLocked(t)
+		pooled := len(s.idleWorkers) < maxIdleWorkers
+		if pooled {
+			s.idleWorkers = append(s.idleWorkers, t)
+		}
+		s.mu.Unlock()
+		s.ctrl <- struct{}{}
+		if !pooled {
+			return
+		}
+	}
 }
 
-func (s *Scheduler) taskBody(t *task, fn func()) {
-	<-t.wake // wait for first dispatch
+// runTaskFn executes one task body, converting an escaped panic into the
+// scheduler's PanicError.
+func (s *Scheduler) runTaskFn(t *task, fn func()) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.mu.Lock()
 			if s.panicked == nil {
 				s.panicked = &PanicError{Task: t.name, Value: r, Stack: string(debug.Stack())}
 			}
-			s.finishTaskLocked(t)
 			s.mu.Unlock()
-			s.ctrl <- struct{}{}
-			return
 		}
-		s.mu.Lock()
-		s.finishTaskLocked(t)
-		s.mu.Unlock()
-		s.ctrl <- struct{}{}
 	}()
 	fn()
 }
@@ -282,6 +373,15 @@ func (s *Scheduler) finishTaskLocked(t *task) {
 	if s.current == t {
 		s.current = nil
 	}
+}
+
+// drainWorkersLocked releases all parked worker goroutines. Called (with mu
+// held) when Run returns, so a scheduler that is dropped between runs does
+// not pin goroutines.
+func (s *Scheduler) drainWorkersLocked() []*task {
+	ws := s.idleWorkers
+	s.idleWorkers = nil
+	return ws
 }
 
 // Inject hands fn to the scheduler from a foreign goroutine; fn will run as
@@ -299,10 +399,12 @@ func (s *Scheduler) Inject(name string, fn func()) {
 	} else {
 		s.mu.Lock()
 	}
-	t := s.newTaskLocked(name)
-	s.runnable = append(s.runnable, t)
+	t, fresh := s.startTaskLocked(name, fn, false)
+	s.runnable = append(s.runnable, runnableItem{t: t})
 	s.mu.Unlock()
-	go s.taskBody(t, fn)
+	if fresh {
+		go s.workerBody(t)
+	}
 	// Poke the controller in case it is idle-waiting (RealTime mode).
 	select {
 	case s.inject <- struct{}{}:
@@ -367,7 +469,12 @@ func (s *Scheduler) run(deadline time.Time) error {
 	defer func() {
 		s.mu.Lock()
 		s.running = false
+		ws := s.drainWorkersLocked()
 		s.mu.Unlock()
+		for _, t := range ws {
+			t.fn = nil
+			t.wake <- struct{}{}
+		}
 	}()
 
 	//lint:ignore walltime realtime mode anchors the virtual timeline to one wall reading by design
@@ -388,19 +495,28 @@ func (s *Scheduler) run(deadline time.Time) error {
 			return ErrStopped
 		}
 
-		// 1. Resume the next runnable task, if any.
+		// 1. Resume the next runnable item (task or posted event), if any.
 		if len(s.runnable) > 0 {
-			t := s.runnable[0]
+			it := s.runnable[0]
 			copy(s.runnable, s.runnable[1:])
+			s.runnable[len(s.runnable)-1] = runnableItem{}
 			s.runnable = s.runnable[:len(s.runnable)-1]
-			t.state = stateRunning
-			s.current = t
-			s.switches++
-			s.m.switches.Inc()
-			s.m.runnable.Set(int64(len(s.runnable)))
-			s.mu.Unlock()
-			t.wake <- struct{}{}
-			<-s.ctrl // wait until t blocks or exits
+			if it.t != nil {
+				t := it.t
+				t.state = stateRunning
+				s.current = t
+				s.switches++
+				s.m.switches.Inc()
+				s.m.runnable.Set(int64(len(s.runnable)))
+				s.mu.Unlock()
+				t.wake <- struct{}{}
+				<-s.ctrl // wait until t blocks or exits
+			} else {
+				now := s.now
+				s.m.runnable.Set(int64(len(s.runnable)))
+				s.mu.Unlock()
+				s.runEvent(it.fn, now, it.arg)
+			}
 			continue
 		}
 
@@ -408,7 +524,7 @@ func (s *Scheduler) run(deadline time.Time) error {
 		if s.timers.Len() > 0 {
 			tm := s.timers[0]
 			if tm.stopped {
-				heap.Pop(&s.timers)
+				s.timers.pop()
 				s.mu.Unlock()
 				continue
 			}
@@ -433,7 +549,7 @@ func (s *Scheduler) run(deadline time.Time) error {
 					continue // re-evaluate: injection may have added work
 				}
 			}
-			heap.Pop(&s.timers)
+			s.timers.pop()
 			if tm.when.After(s.now) {
 				s.now = tm.when
 			}
@@ -442,15 +558,30 @@ func (s *Scheduler) run(deadline time.Time) error {
 				s.m.fired.Inc()
 				s.m.queueLen.Set(int64(s.timers.Len()))
 				s.observeVtimeLagLocked(wallBase, virtBase)
-				// Runs with s.mu held; only queue manipulation.
 				switch {
+				case tm.eventFn != nil:
+					// Inline event: runs on the controller goroutine
+					// after releasing the lock. The timer is recycled
+					// first — event timers are never exposed to callers.
+					fn, arg := tm.eventFn, tm.eventArg
+					now := s.now
+					s.releaseTimerLocked(tm)
+					s.mu.Unlock()
+					s.runEvent(fn, now, arg)
+					continue
 				case tm.wake != nil:
 					s.makeRunnableLocked(tm.wake)
 				case tm.spawnFn != nil:
-					t := s.newTaskLocked(tm.spawnName)
-					s.runnable = append(s.runnable, t)
-					go s.taskBody(t, tm.spawnFn)
+					t, fresh := s.startTaskLocked(tm.spawnName, tm.spawnFn, false)
+					s.runnable = append(s.runnable, runnableItem{t: t})
+					tm.spawnFn = nil
+					if fresh {
+						s.mu.Unlock()
+						go s.workerBody(t)
+						continue
+					}
 				default:
+					// Runs with s.mu held; only queue manipulation.
 					tm.fire()
 				}
 			}
@@ -483,11 +614,34 @@ func (s *Scheduler) run(deadline time.Time) error {
 			}
 			continue
 		}
+		if s.member {
+			// A group shard with blocked tasks is not (yet) deadlocked:
+			// the wakeup may arrive from another shard at the next
+			// barrier. The Group reports the deadlock if every shard is
+			// stuck and no cross-shard event is pending.
+			s.mu.Unlock()
+			return nil
+		}
 		blocked := s.blockedNamesLocked()
 		now := s.now
 		s.mu.Unlock()
 		return &DeadlockError{Now: now, Blocked: blocked}
 	}
+}
+
+// runEvent executes one inline event on the controller goroutine, without
+// the scheduler lock, converting an escaped panic into a PanicError.
+func (s *Scheduler) runEvent(fn func(time.Time, any), now time.Time, arg any) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.mu.Lock()
+			if s.panicked == nil {
+				s.panicked = &PanicError{Task: "event", Value: r, Stack: string(debug.Stack())}
+			}
+			s.mu.Unlock()
+		}
+	}()
+	fn(now, arg)
 }
 
 func (s *Scheduler) blockedNamesLocked() []string {
@@ -505,6 +659,35 @@ func (s *Scheduler) blockedNamesLocked() []string {
 	return names
 }
 
+// BlockedTasks returns the names of blocked non-daemon tasks, formatted as
+// in a DeadlockError. The Group uses it to assemble a cross-shard deadlock
+// report; it must only be called while the scheduler is idle.
+func (s *Scheduler) BlockedTasks() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.blockedNamesLocked()
+}
+
+// NextEventTime returns the virtual time of the scheduler's next pending
+// work item: Now() if anything is runnable, else the earliest timer's fire
+// time. ok is false when the scheduler has nothing pending. Group barriers
+// use it to pick the next lookahead window.
+func (s *Scheduler) NextEventTime() (when time.Time, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.runnable) > 0 {
+		return s.now, true
+	}
+	for s.timers.Len() > 0 {
+		if s.timers[0].stopped {
+			s.timers.pop()
+			continue
+		}
+		return s.timers[0].when, true
+	}
+	return time.Time{}, false
+}
+
 // block parks the current task. The caller must have already registered the
 // task with whatever will later make it runnable again (a timer or a cond
 // waiter list), while holding s.mu; block is called after releasing s.mu.
@@ -515,7 +698,8 @@ func (s *Scheduler) block(t *task) {
 
 // mustCurrent returns the currently executing task and panics if the caller
 // is not running on the scheduler. All blocking primitives require task
-// context.
+// context — inline events (ScheduleEvent, PostEvent) and packet handlers
+// invoked from them must not block.
 func (s *Scheduler) mustCurrentLocked(op string) *task {
 	t := s.current
 	if t == nil || t.state != stateRunning {
@@ -531,7 +715,7 @@ func (s *Scheduler) makeRunnableLocked(t *task) {
 	}
 	t.state = stateRunnable
 	t.blockedOn = ""
-	s.runnable = append(s.runnable, t)
+	s.runnable = append(s.runnable, runnableItem{t: t})
 }
 
 // Sleep suspends the current task for d of virtual time. Non-positive
@@ -546,7 +730,7 @@ func (s *Scheduler) Sleep(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
-	s.addWakeTimerLocked(s.now.Add(d), t)
+	s.addSleepTimerLocked(s.now.Add(d), t)
 	s.mu.Unlock()
 	s.block(t)
 }
@@ -558,7 +742,7 @@ func (s *Scheduler) Yield() {
 	t := s.mustCurrentLocked("Yield")
 	t.state = stateRunnable
 	s.current = nil
-	s.runnable = append(s.runnable, t)
+	s.runnable = append(s.runnable, runnableItem{t: t})
 	s.mu.Unlock()
 	s.block(t)
 }
@@ -569,8 +753,8 @@ func (s *Scheduler) Yield() {
 type Timer struct {
 	s       *Scheduler
 	when    time.Time
+	whenNS  int64 // when.UnixNano(), cached so heap ordering is int compares
 	seq     uint64
-	idx     int
 	stopped bool
 	fire    func()
 	// wake, when set, replaces fire: the timer just makes this task
@@ -578,11 +762,14 @@ type Timer struct {
 	// avoids allocating a wake closure for every sleep.
 	wake *task
 	// spawnFn/spawnName, when set, replace fire: the timer starts a new
-	// task running spawnFn. ScheduleFunc fires once per emulated packet
-	// delivery, so the spawn parameters live in the timer instead of a
-	// per-call closure.
+	// task running spawnFn.
 	spawnFn   func()
 	spawnName string
+	// eventFn/eventArg, when set, replace fire: the timer runs eventFn
+	// inline on the controller goroutine, outside the scheduler lock.
+	// Event timers are pooled and never escape the scheduler.
+	eventFn  func(now time.Time, arg any)
+	eventArg any
 }
 
 // When returns the virtual time at which the timer fires.
@@ -602,18 +789,23 @@ func (t *Timer) Stop() bool {
 
 func (s *Scheduler) addTimerLocked(when time.Time, fire func()) *Timer {
 	s.seq++
-	tm := &Timer{s: s, when: when, seq: s.seq, fire: fire}
-	heap.Push(&s.timers, tm)
+	tm := &Timer{s: s, when: when, whenNS: when.UnixNano(), seq: s.seq, fire: fire}
+	s.timers.push(tm)
 	return tm
 }
 
-// addWakeTimerLocked schedules a timer that just makes t runnable again,
-// without the wake closure a fire func would cost.
-func (s *Scheduler) addWakeTimerLocked(when time.Time, t *task) *Timer {
+// addSleepTimerLocked schedules the task's embedded wake timer: no
+// allocation, and no wake closure a fire func would cost.
+func (s *Scheduler) addSleepTimerLocked(when time.Time, t *task) {
 	s.seq++
-	tm := &Timer{s: s, when: when, seq: s.seq, wake: t}
-	heap.Push(&s.timers, tm)
-	return tm
+	tm := &t.sleep
+	tm.s = s
+	tm.when = when
+	tm.whenNS = when.UnixNano()
+	tm.seq = s.seq
+	tm.stopped = false
+	tm.wake = t
+	s.timers.push(tm)
 }
 
 // ScheduleFunc runs fn as a new task after d of virtual time. The returned
@@ -641,37 +833,134 @@ func (s *Scheduler) ScheduleAt(when time.Time, name string, fn func()) *Timer {
 // addSpawnTimerLocked schedules a timer that starts fn as a fresh task.
 func (s *Scheduler) addSpawnTimerLocked(when time.Time, name string, fn func()) *Timer {
 	s.seq++
-	tm := &Timer{s: s, when: when, seq: s.seq, spawnFn: fn, spawnName: name}
-	heap.Push(&s.timers, tm)
+	tm := &Timer{s: s, when: when, whenNS: when.UnixNano(), seq: s.seq, spawnFn: fn, spawnName: name}
+	s.timers.push(tm)
 	return tm
 }
 
-// timerHeap orders timers by (when, seq) so simultaneous timers fire in
-// creation order, keeping virtual-mode execution deterministic.
+// ScheduleEvent runs fn(now, arg) inline on the controller goroutine after
+// d of virtual time. Events are the allocation-free fast path for per-packet
+// work: the timer comes from a free list and fn is expected to be a static
+// function with its state in arg. fn runs without the scheduler lock but
+// outside any task, so it must not block on scheduler primitives; it may
+// schedule further events, post events, spawn tasks and signal conds.
+// Events are not cancelable.
+func (s *Scheduler) ScheduleEvent(d time.Duration, fn func(now time.Time, arg any), arg any) {
+	if d < 0 {
+		d = 0
+	}
+	s.mu.Lock()
+	s.scheduleEventAtLocked(s.now.Add(d), fn, arg)
+	s.mu.Unlock()
+}
+
+// ScheduleEventAt is ScheduleEvent with an absolute firing time (clamped to
+// the present). Group barriers use it to install cross-shard events.
+func (s *Scheduler) ScheduleEventAt(when time.Time, fn func(now time.Time, arg any), arg any) {
+	s.mu.Lock()
+	if when.Before(s.now) {
+		when = s.now
+	}
+	s.scheduleEventAtLocked(when, fn, arg)
+	s.mu.Unlock()
+}
+
+func (s *Scheduler) scheduleEventAtLocked(when time.Time, fn func(now time.Time, arg any), arg any) {
+	s.seq++
+	var tm *Timer
+	if k := len(s.timerFree); k > 0 {
+		tm = s.timerFree[k-1]
+		s.timerFree[k-1] = nil
+		s.timerFree = s.timerFree[:k-1]
+	} else {
+		tm = &Timer{s: s}
+	}
+	tm.when = when
+	tm.whenNS = when.UnixNano()
+	tm.seq = s.seq
+	tm.stopped = false
+	tm.eventFn = fn
+	tm.eventArg = arg
+	s.timers.push(tm)
+}
+
+// releaseTimerLocked returns a fired event timer to the free list.
+func (s *Scheduler) releaseTimerLocked(tm *Timer) {
+	tm.eventFn = nil
+	tm.eventArg = nil
+	if len(s.timerFree) < maxFreeTimers {
+		s.timerFree = append(s.timerFree, tm)
+	}
+}
+
+// PostEvent appends fn(now, arg) to the runnable FIFO: it runs at the
+// current virtual instant, after the items already queued, before any
+// timer fires — the same position a task woken by Cond.Signal would get.
+// The same non-blocking rules as for ScheduleEvent apply.
+func (s *Scheduler) PostEvent(fn func(now time.Time, arg any), arg any) {
+	s.mu.Lock()
+	s.runnable = append(s.runnable, runnableItem{fn: fn, arg: arg})
+	s.mu.Unlock()
+}
+
+// timerHeap orders timers by (whenNS, seq) so simultaneous timers fire in
+// creation order, keeping virtual-mode execution deterministic. It is a
+// hand-rolled binary heap: timer pushes and pops are the hottest scheduler
+// operation, and cached int64 keys with direct calls beat the
+// container/heap interface plus time.Time comparisons by a wide margin.
 type timerHeap []*Timer
 
 func (h timerHeap) Len() int { return len(h) }
-func (h timerHeap) Less(i, j int) bool {
-	if !h[i].when.Equal(h[j].when) {
-		return h[i].when.Before(h[j].when)
+
+func (h timerHeap) before(a, b *Timer) bool {
+	if a.whenNS != b.whenNS {
+		return a.whenNS < b.whenNS
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h timerHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *timerHeap) Push(x any) {
-	tm := x.(*Timer)
-	tm.idx = len(*h)
+
+func (h *timerHeap) push(tm *Timer) {
 	*h = append(*h, tm)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.before(tm, q[parent]) {
+			break
+		}
+		q[i] = q[parent]
+		i = parent
+	}
+	q[i] = tm
 }
-func (h *timerHeap) Pop() any {
-	old := *h
-	n := len(old)
-	tm := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return tm
+
+// pop removes and returns the earliest timer. The caller must have checked
+// Len() > 0.
+func (h *timerHeap) pop() *Timer {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	tm := q[n]
+	q[n] = nil
+	q = q[:n]
+	*h = q
+	if n > 0 {
+		i := 0
+		for {
+			l := 2*i + 1
+			if l >= n {
+				break
+			}
+			if r := l + 1; r < n && q.before(q[r], q[l]) {
+				l = r
+			}
+			if !q.before(q[l], tm) {
+				break
+			}
+			q[i] = q[l]
+			i = l
+		}
+		q[i] = tm
+	}
+	return top
 }
